@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the broadcast state machines themselves:
+//! local CPU cost of pushing one payload through a full closed-loop
+//! protocol round (all endpoints simulated in-process, no virtual time).
+
+use at_broadcast::auth::NoAuth;
+use at_broadcast::bracha::{BrachaBroadcast, BrachaMsg};
+use at_broadcast::echo::{EchoBroadcast, EchoMsg};
+use at_broadcast::types::Step;
+use at_model::ProcessId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::VecDeque;
+
+fn bracha_round(n: usize) -> usize {
+    let mut endpoints: Vec<BrachaBroadcast<u64>> = (0..n)
+        .map(|i| BrachaBroadcast::new(ProcessId::new(i as u32), n))
+        .collect();
+    let mut step = Step::new();
+    endpoints[0].broadcast(7, &mut step);
+    let mut inflight: VecDeque<(ProcessId, ProcessId, BrachaMsg<u64>)> = step
+        .outgoing
+        .into_iter()
+        .map(|o| (ProcessId::new(0), o.to, o.msg))
+        .collect();
+    let mut delivered = 0;
+    while let Some((from, to, msg)) = inflight.pop_front() {
+        let mut step = Step::new();
+        endpoints[to.as_usize()].on_message(from, msg, &mut step);
+        for out in step.outgoing {
+            inflight.push_back((to, out.to, out.msg));
+        }
+        delivered += step.deliveries.len();
+    }
+    delivered
+}
+
+fn echo_round(n: usize) -> usize {
+    let mut endpoints: Vec<EchoBroadcast<u64, NoAuth>> = (0..n)
+        .map(|i| {
+            let mut endpoint = EchoBroadcast::new(ProcessId::new(i as u32), n, NoAuth);
+            endpoint.set_forward_final(false);
+            endpoint
+        })
+        .collect();
+    let mut step = Step::new();
+    endpoints[0].broadcast(7, &mut step);
+    let mut inflight: VecDeque<(ProcessId, ProcessId, EchoMsg<u64, ()>)> = step
+        .outgoing
+        .into_iter()
+        .map(|o| (ProcessId::new(0), o.to, o.msg))
+        .collect();
+    let mut delivered = 0;
+    while let Some((from, to, msg)) = inflight.pop_front() {
+        let mut step = Step::new();
+        endpoints[to.as_usize()].on_message(from, msg, &mut step);
+        for out in step.outgoing {
+            inflight.push_back((to, out.to, out.msg));
+        }
+        delivered += step.deliveries.len();
+    }
+    delivered
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_round");
+    for n in [4usize, 16, 40] {
+        group.bench_with_input(BenchmarkId::new("bracha", n), &n, |b, &n| {
+            b.iter(|| assert_eq!(bracha_round(n), n));
+        });
+        group.bench_with_input(BenchmarkId::new("echo", n), &n, |b, &n| {
+            b.iter(|| assert_eq!(echo_round(n), n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks for the from-scratch cryptography: these
+//! numbers justify the virtual-time cost constants used by the
+//! evaluation's modelled-crypto mode (DESIGN.md §4).
+
+use at_crypto::{KeyStore, Sha256, Sha512};
+use at_model::ProcessId;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_sha2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha2");
+    let data = vec![0xABu8; 1024];
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("sha256_1k", |b| b.iter(|| Sha256::digest(&data)));
+    group.bench_function("sha512_1k", |b| b.iter(|| Sha512::digest(&data)));
+    group.finish();
+}
+
+fn bench_ed25519(c: &mut Criterion) {
+    let keys = KeyStore::deterministic(1, 7);
+    let signer = ProcessId::new(0);
+    let msg = b"transfer acct0 -> acct1 amount 25 seq 1";
+    let sig = keys.keypair(signer).sign(msg);
+
+    let mut group = c.benchmark_group("ed25519");
+    group.sample_size(20);
+    group.bench_function("sign", |b| b.iter(|| keys.keypair(signer).sign(msg)));
+    group.bench_function("verify", |b| {
+        b.iter(|| keys.public(signer).verify(msg, &sig).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha2, bench_ed25519);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion wrapper over the T1/T2 evaluation at a small scale, so that
+//! `cargo bench --workspace` exercises the full simulation path. The full
+//! sweep (up to n = 100) lives in the `evaluation` binary.
+
+use at_bench::{eval_baseline, eval_consensusless_bracha, eval_consensusless_echo, EvalConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluation_smoke");
+    group.sample_size(10);
+    for n in [4usize, 10] {
+        let config = EvalConfig::standard(n, 2, 3);
+        group.bench_with_input(BenchmarkId::new("echo", n), &config, |b, config| {
+            b.iter(|| eval_consensusless_echo(config));
+        });
+        group.bench_with_input(BenchmarkId::new("bracha", n), &config, |b, config| {
+            b.iter(|| eval_consensusless_bracha(config));
+        });
+        group.bench_with_input(BenchmarkId::new("pbft", n), &config, |b, config| {
+            b.iter(|| eval_baseline(config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

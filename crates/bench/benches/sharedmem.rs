@@ -1,0 +1,148 @@
+//! Criterion benchmarks for the shared-memory algorithms (experiments
+//! F1-F3): Figure 1 over both snapshot implementations, Figure 3's
+//! k-shared object, and the mutex reference object, under multi-threaded
+//! contention.
+
+use at_model::{AccountId, Amount, Ledger, OwnerMap, ProcessId};
+use at_sharedmem::figure1::SnapshotAssetTransfer;
+use at_sharedmem::figure2::TransferConsensus;
+use at_sharedmem::figure3::KSharedAssetTransfer;
+use at_sharedmem::object::{MutexAssetTransfer, SharedAssetTransfer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::thread;
+
+/// Runs `ops` transfers per thread over `object`, `threads` threads.
+fn pump<O: SharedAssetTransfer + 'static>(object: Arc<O>, threads: usize, ops: u64) {
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let object = Arc::clone(&object);
+            thread::spawn(move || {
+                let me = ProcessId::new(i as u32);
+                let src = AccountId::new(i as u32);
+                let dst = AccountId::new(((i + 1) % threads) as u32);
+                for _ in 0..ops {
+                    object.transfer(me, src, dst, Amount::new(1));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_transfer");
+    group.sample_size(10);
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("afek_waitfree", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let object = Arc::new(SnapshotAssetTransfer::wait_free_uniform(
+                        threads,
+                        Amount::new(1_000_000),
+                    ));
+                    pump(object, threads, 200);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lock_snapshot", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let object = Arc::new(SnapshotAssetTransfer::blocking_uniform(
+                        threads,
+                        Amount::new(1_000_000),
+                    ));
+                    pump(object, threads, 200);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutex_reference", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let object = Arc::new(MutexAssetTransfer::new(Ledger::uniform(
+                        threads,
+                        Amount::new(1_000_000),
+                    )));
+                    pump(object, threads, 200);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3_kshared");
+    group.sample_size(10);
+    for k in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shared_account", k), &k, |b, &k| {
+            b.iter(|| {
+                let shared = AccountId::new(0);
+                let sink = AccountId::new(1);
+                let mut owners = OwnerMap::new();
+                for process in ProcessId::all(k) {
+                    owners.add_owner(shared, process);
+                }
+                owners.add_unowned(sink);
+                let object = Arc::new(KSharedAssetTransfer::new(
+                    k,
+                    [(shared, Amount::new(1_000_000))],
+                    owners,
+                ));
+                let handles: Vec<_> = (0..k)
+                    .map(|i| {
+                        let object = Arc::clone(&object);
+                        thread::spawn(move || {
+                            let me = ProcessId::new(i as u32);
+                            for _ in 0..50 {
+                                object.transfer(me, shared, sink, Amount::new(1));
+                            }
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    handle.join().unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_consensus");
+    group.sample_size(10);
+    for k in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("decide", k), &k, |b, &k| {
+            b.iter(|| {
+                let consensus =
+                    Arc::new(TransferConsensus::new(k, MutexAssetTransfer::new));
+                let handles: Vec<_> = (0..k)
+                    .map(|i| {
+                        let consensus = Arc::clone(&consensus);
+                        thread::spawn(move || {
+                            consensus.propose(ProcessId::new(i as u32), i as u64)
+                        })
+                    })
+                    .collect();
+                let mut decisions = Vec::new();
+                for handle in handles {
+                    decisions.push(handle.join().unwrap());
+                }
+                assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1, bench_figure3, bench_figure2);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Ablation **A2**: batching in the consensus-based baseline.
+//!
+//! Run with `cargo run -p at-bench --bin ablation_batching --release`.
+
+use at_bench::{eval_baseline, format_row, table_header, EvalConfig};
+
+fn main() {
+    println!("# A2 — PBFT baseline batch-size ablation");
+    println!();
+    println!("{}", table_header());
+    for n in [10usize, 25, 64] {
+        for batch in [1usize, 8, 64] {
+            let mut config = EvalConfig::standard(n, 6, 13);
+            config.batch_size = batch;
+            let result = eval_baseline(&config);
+            println!("{}", format_row(&format!("pbft-b{batch}"), &result));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Ablation **A1**: the cost of the secure-broadcast primitive under the
+//! Figure 4 system — Bracha's naive quadratic protocol vs. the linear
+//! signed-echo protocol.
+//!
+//! Run with `cargo run -p at-bench --bin ablation_broadcast --release`.
+
+use at_bench::{
+    eval_consensusless_bracha, eval_consensusless_echo, format_row, table_header, EvalConfig,
+};
+
+fn main() {
+    println!("# A1 — broadcast primitive ablation (same Figure 4 replica on top)");
+    println!();
+    println!("{}", table_header());
+    for n in [4usize, 10, 16, 25, 40] {
+        let config = EvalConfig::standard(n, 6, 7);
+        let echo = eval_consensusless_echo(&config);
+        let bracha = eval_consensusless_bracha(&config);
+        println!("{}", format_row("echo", &echo));
+        println!("{}", format_row("bracha", &bracha));
+        println!(
+            "| msg ratio bracha/echo | {n} | | {:.1}x | | | | |",
+            bracha.messages as f64 / echo.messages as f64
+        );
+    }
+}

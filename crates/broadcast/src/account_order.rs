@@ -1,0 +1,592 @@
+//! The *account-order* secure broadcast of Section 6.
+//!
+//! For `k`-shared accounts the source-order property is not enough: up to
+//! `k` different owners issue transfers for the same account, and benign
+//! processes must apply them in the sequence-number order assigned by the
+//! account's BFT service. The paper modifies the classical echo broadcast:
+//!
+//! > "A message with a sequence number `s` associated with an account `a`
+//! > is only acknowledged by a benign process if the last message
+//! > associated with `a` it delivered had sequence number `s − 1`. Once a
+//! > quorum is collected, the sender sends the message equipped with the
+//! > signed quorum to all and delivers the message."
+//!
+//! * **Account order**: benign processes deliver messages of the same
+//!   account in sequence order.
+//! * **Anti-equivocation**: a benign process acknowledges at most one
+//!   message per `(account, seq)`; two conflicting messages can never both
+//!   assemble a quorum of `⌈(n+f+1)/2⌉` (any two quorums intersect in a
+//!   benign process), so even a fully compromised account can block but
+//!   never double-spend.
+
+use crate::auth::Authenticator;
+use crate::types::Step;
+use at_model::codec::{encode, Writer};
+use at_model::{AccountId, Encode, ProcessId, SeqNo};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Wire messages of the account-order broadcast.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AccountOrderMsg<P, S> {
+    /// A sender's payload for `(account, seq)`.
+    Send {
+        /// The account this message is associated with.
+        account: AccountId,
+        /// The account's BFT-assigned sequence number.
+        seq: SeqNo,
+        /// The payload.
+        payload: P,
+        /// Sender's signature over `(account, seq, payload)`.
+        sig: S,
+    },
+    /// A receiver's conditional acknowledgement (to the sender).
+    Ack {
+        /// The account.
+        account: AccountId,
+        /// The acknowledged sequence number.
+        seq: SeqNo,
+        /// The payload digest.
+        digest: [u8; 32],
+        /// The acknowledger's signature share.
+        share: S,
+    },
+    /// Payload plus quorum certificate; delivered in account order.
+    Final {
+        /// The original sender (attribution).
+        sender: ProcessId,
+        /// The account.
+        account: AccountId,
+        /// The sequence number.
+        seq: SeqNo,
+        /// The payload.
+        payload: P,
+        /// `(acknowledger, share)` quorum certificate.
+        certificate: Vec<(ProcessId, S)>,
+    },
+}
+
+/// A delivery of the account-order broadcast.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccountDelivery<P> {
+    /// The process that broadcast the message.
+    pub sender: ProcessId,
+    /// The account the message belongs to.
+    pub account: AccountId,
+    /// The account sequence number.
+    pub seq: SeqNo,
+    /// The payload.
+    pub payload: P,
+}
+
+struct PendingSend<P> {
+    sender: ProcessId,
+    payload: P,
+}
+
+struct Sending<S> {
+    digest: [u8; 32],
+    shares: BTreeMap<ProcessId, S>,
+    finalized: bool,
+}
+
+/// One process's endpoint of the account-order broadcast.
+pub struct AccountOrderBroadcast<P, A: Authenticator> {
+    me: ProcessId,
+    n: usize,
+    f: usize,
+    auth: A,
+    /// Next sequence number each account expects to *deliver*.
+    next_deliver: HashMap<AccountId, u64>,
+    /// The digest acknowledged per (account, seq) — at most one.
+    acked: HashMap<(AccountId, u64), [u8; 32]>,
+    /// SENDs waiting for their turn to be acknowledged.
+    pending_sends: HashMap<AccountId, BTreeMap<u64, PendingSend<P>>>,
+    /// FINALs waiting for their turn to be delivered.
+    pending_finals: HashMap<AccountId, BTreeMap<u64, (ProcessId, P, Vec<(ProcessId, A::Sig)>)>>,
+    /// Sender-side state of our own broadcasts.
+    sending: HashMap<(AccountId, u64), Sending<A::Sig>>,
+    /// Deliveries ready for the caller.
+    ready: Vec<AccountDelivery<P>>,
+    forward_final: bool,
+}
+
+impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
+    /// Creates the endpoint for process `me` of `n`.
+    pub fn new(me: ProcessId, n: usize, auth: A) -> Self {
+        assert!(n >= 1, "at least one process");
+        AccountOrderBroadcast {
+            me,
+            n,
+            f: (n - 1) / 3,
+            auth,
+            next_deliver: HashMap::new(),
+            acked: HashMap::new(),
+            pending_sends: HashMap::new(),
+            pending_finals: HashMap::new(),
+            sending: HashMap::new(),
+            ready: Vec::new(),
+            forward_final: true,
+        }
+    }
+
+    /// The ack quorum `⌈(n+f+1)/2⌉` ("more than two thirds" in the
+    /// paper's prose).
+    pub fn quorum(&self) -> usize {
+        (self.n + self.f) / 2 + 1
+    }
+
+    /// Enables/disables FINAL forwarding (totality against Byzantine
+    /// senders). On by default.
+    pub fn set_forward_final(&mut self, forward: bool) {
+        self.forward_final = forward;
+    }
+
+    /// Broadcasts `payload` as the message with `seq` for `account`.
+    ///
+    /// The sequence number comes from the account's BFT service (see
+    /// `at-core`'s Section 6 implementation); this layer enforces that
+    /// benign processes deliver per-account sequences gaplessly and
+    /// without forks.
+    pub fn broadcast(
+        &mut self,
+        account: AccountId,
+        seq: SeqNo,
+        payload: P,
+        step: &mut Step<AccountOrderMsg<P, A::Sig>, AccountDelivery<P>>,
+    ) {
+        let digest = payload_digest(&payload);
+        let sig = self
+            .auth
+            .sign(self.me, &send_bytes(account, seq, digest));
+        self.sending.insert(
+            (account, seq.value()),
+            Sending {
+                digest,
+                shares: BTreeMap::new(),
+                finalized: false,
+            },
+        );
+        step.send_all(
+            self.n,
+            AccountOrderMsg::Send {
+                account,
+                seq,
+                payload,
+                sig,
+            },
+        );
+    }
+
+    /// Handles a protocol message from `from`.
+    pub fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: AccountOrderMsg<P, A::Sig>,
+        step: &mut Step<AccountOrderMsg<P, A::Sig>, AccountDelivery<P>>,
+    ) {
+        match msg {
+            AccountOrderMsg::Send {
+                account,
+                seq,
+                payload,
+                sig,
+            } => {
+                if !self
+                    .auth
+                    .verify(from, &send_bytes(account, seq, payload_digest(&payload)), &sig)
+                {
+                    return;
+                }
+                self.pending_sends
+                    .entry(account)
+                    .or_default()
+                    .entry(seq.value())
+                    .or_insert(PendingSend {
+                        sender: from,
+                        payload,
+                    });
+                self.try_ack(account, step);
+            }
+            AccountOrderMsg::Ack {
+                account,
+                seq,
+                digest,
+                share,
+            } => self.on_ack(from, account, seq, digest, share, step),
+            AccountOrderMsg::Final {
+                sender,
+                account,
+                seq,
+                payload,
+                certificate,
+            } => self.on_final(sender, account, seq, payload, certificate, step),
+        }
+    }
+
+    /// Acknowledges the next-in-sequence pending SEND for `account`, if
+    /// its turn has come (paper: ack `s` only after delivering `s − 1`).
+    fn try_ack(
+        &mut self,
+        account: AccountId,
+        step: &mut Step<AccountOrderMsg<P, A::Sig>, AccountDelivery<P>>,
+    ) {
+        let expected = *self.next_deliver.entry(account).or_insert(1);
+        let Some(slot) = self.pending_sends.get_mut(&account) else {
+            return;
+        };
+        let Some(pending) = slot.get(&expected) else {
+            return;
+        };
+        let digest = payload_digest(&pending.payload);
+        // At most one digest acknowledged per (account, seq).
+        let acked = self
+            .acked
+            .entry((account, expected))
+            .or_insert(digest);
+        if *acked != digest {
+            return; // a conflicting message was already acknowledged
+        }
+        let share = self
+            .auth
+            .sign(self.me, &ack_bytes(account, SeqNo::new(expected), digest));
+        step.send(
+            pending.sender,
+            AccountOrderMsg::Ack {
+                account,
+                seq: SeqNo::new(expected),
+                digest,
+                share,
+            },
+        );
+    }
+
+    fn on_ack(
+        &mut self,
+        from: ProcessId,
+        account: AccountId,
+        seq: SeqNo,
+        digest: [u8; 32],
+        share: A::Sig,
+        step: &mut Step<AccountOrderMsg<P, A::Sig>, AccountDelivery<P>>,
+    ) {
+        if !self
+            .auth
+            .verify(from, &ack_bytes(account, seq, digest), &share)
+        {
+            return;
+        }
+        let quorum = self.quorum();
+        let n = self.n;
+        let me = self.me;
+        let Some(state) = self.sending.get_mut(&(account, seq.value())) else {
+            return;
+        };
+        if state.digest != digest || state.finalized {
+            return;
+        }
+        state.shares.insert(from, share);
+        if state.shares.len() >= quorum {
+            state.finalized = true;
+            let certificate: Vec<(ProcessId, A::Sig)> = state
+                .shares
+                .iter()
+                .map(|(process, sig)| (*process, sig.clone()))
+                .collect();
+            // Recover the payload from our pending sends (we sent it to
+            // ourselves too).
+            let payload = self
+                .pending_sends
+                .get(&account)
+                .and_then(|slot| slot.get(&seq.value()))
+                .map(|pending| pending.payload.clone())
+                .expect("sender retains its own payload");
+            step.send_all(
+                n,
+                AccountOrderMsg::Final {
+                    sender: me,
+                    account,
+                    seq,
+                    payload,
+                    certificate,
+                },
+            );
+        }
+    }
+
+    fn on_final(
+        &mut self,
+        sender: ProcessId,
+        account: AccountId,
+        seq: SeqNo,
+        payload: P,
+        certificate: Vec<(ProcessId, A::Sig)>,
+        step: &mut Step<AccountOrderMsg<P, A::Sig>, AccountDelivery<P>>,
+    ) {
+        let digest = payload_digest(&payload);
+        let mut signers = BTreeMap::new();
+        for (signer, share) in &certificate {
+            if self.auth.verify(*signer, &ack_bytes(account, seq, digest), share) {
+                signers.insert(*signer, ());
+            }
+        }
+        if signers.len() < self.quorum() {
+            return;
+        }
+        let finals = self.pending_finals.entry(account).or_default();
+        if finals.contains_key(&seq.value()) {
+            return; // duplicate
+        }
+        finals.insert(seq.value(), (sender, payload, certificate));
+        self.drain_deliveries(account, step);
+    }
+
+    fn drain_deliveries(
+        &mut self,
+        account: AccountId,
+        step: &mut Step<AccountOrderMsg<P, A::Sig>, AccountDelivery<P>>,
+    ) {
+        loop {
+            let expected = *self.next_deliver.entry(account).or_insert(1);
+            let Some((sender, payload, certificate)) = self
+                .pending_finals
+                .get_mut(&account)
+                .and_then(|finals| finals.remove(&expected))
+            else {
+                break;
+            };
+            self.next_deliver.insert(account, expected + 1);
+            // Drop the satisfied pending send.
+            if let Some(slot) = self.pending_sends.get_mut(&account) {
+                slot.remove(&expected);
+            }
+            if self.forward_final {
+                step.send_all(
+                    self.n,
+                    AccountOrderMsg::Final {
+                        sender,
+                        account,
+                        seq: SeqNo::new(expected),
+                        payload: payload.clone(),
+                        certificate,
+                    },
+                );
+            }
+            let delivery = AccountDelivery {
+                sender,
+                account,
+                seq: SeqNo::new(expected),
+                payload,
+            };
+            self.ready.push(delivery.clone());
+            step.deliver(sender, SeqNo::new(expected), delivery);
+            // A delivery may unblock the acknowledgement of the next SEND.
+            self.try_ack(account, step);
+        }
+    }
+
+    /// The next sequence number this process will deliver for `account`.
+    pub fn expected(&self, account: AccountId) -> SeqNo {
+        SeqNo::new(self.next_deliver.get(&account).copied().unwrap_or(1))
+    }
+
+    /// All deliveries made so far, in delivery order.
+    pub fn delivered(&self) -> &[AccountDelivery<P>] {
+        &self.ready
+    }
+}
+
+impl<P: Clone + Encode, A: Authenticator> fmt::Debug for AccountOrderBroadcast<P, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AccountOrderBroadcast(me={}, n={}, delivered={})",
+            self.me,
+            self.n,
+            self.ready.len()
+        )
+    }
+}
+
+fn payload_digest<P: Encode>(payload: &P) -> [u8; 32] {
+    at_crypto::Sha256::digest(&encode(payload))
+}
+
+fn send_bytes(account: AccountId, seq: SeqNo, digest: [u8; 32]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(b'a');
+    account.encode(&mut w);
+    seq.encode(&mut w);
+    w.put_bytes(&digest);
+    w.into_bytes()
+}
+
+fn ack_bytes(account: AccountId, seq: SeqNo, digest: [u8; 32]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(b'k');
+    account.encode(&mut w);
+    seq.encode(&mut w);
+    w.put_bytes(&digest);
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::NoAuth;
+    use std::collections::VecDeque;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn acct(i: u32) -> AccountId {
+        AccountId::new(i)
+    }
+
+    type Endpoint = AccountOrderBroadcast<u64, NoAuth>;
+    type Wire = (ProcessId, ProcessId, AccountOrderMsg<u64, ()>);
+
+    fn run(
+        endpoints: &mut [Endpoint],
+        mut inflight: VecDeque<Wire>,
+        drop_rule: impl Fn(&Wire) -> bool,
+    ) {
+        while let Some(wire) = inflight.pop_front() {
+            if drop_rule(&wire) {
+                continue;
+            }
+            let (from, to, msg) = wire;
+            let mut step = Step::new();
+            endpoints[to.as_usize()].on_message(from, msg, &mut step);
+            for out in step.outgoing {
+                inflight.push_back((to, out.to, out.msg));
+            }
+        }
+    }
+
+    fn start(
+        endpoints: &mut [Endpoint],
+        sender: ProcessId,
+        account: AccountId,
+        seq: u64,
+        value: u64,
+    ) -> VecDeque<Wire> {
+        let mut step = Step::new();
+        endpoints[sender.as_usize()].broadcast(account, SeqNo::new(seq), value, &mut step);
+        step.outgoing
+            .into_iter()
+            .map(|out| (sender, out.to, out.msg))
+            .collect()
+    }
+
+    fn system(n: usize) -> Vec<Endpoint> {
+        (0..n)
+            .map(|i| AccountOrderBroadcast::new(p(i as u32), n, NoAuth))
+            .collect()
+    }
+
+    #[test]
+    fn in_order_broadcasts_deliver_everywhere() {
+        let mut endpoints = system(4);
+        let mut wires = start(&mut endpoints, p(0), acct(0), 1, 100);
+        wires.extend(start(&mut endpoints, p(1), acct(0), 2, 200));
+        run(&mut endpoints, wires, |_| false);
+        for endpoint in &endpoints {
+            let values: Vec<u64> = endpoint.delivered().iter().map(|d| d.payload).collect();
+            assert_eq!(values, vec![100, 200]);
+            assert_eq!(endpoint.expected(acct(0)), SeqNo::new(3));
+        }
+    }
+
+    #[test]
+    fn out_of_order_seq_waits_for_predecessor() {
+        let mut endpoints = system(4);
+        // seq 2 first: nobody acks, nothing delivers.
+        let wires = start(&mut endpoints, p(0), acct(0), 2, 200);
+        run(&mut endpoints, wires, |_| false);
+        for endpoint in &endpoints {
+            assert!(endpoint.delivered().is_empty());
+        }
+        // seq 1 arrives: both deliver in order.
+        let wires = start(&mut endpoints, p(1), acct(0), 1, 100);
+        run(&mut endpoints, wires, |_| false);
+        for endpoint in &endpoints {
+            let values: Vec<u64> = endpoint.delivered().iter().map(|d| d.payload).collect();
+            assert_eq!(values, vec![100, 200]);
+        }
+    }
+
+    #[test]
+    fn conflicting_same_seq_messages_block_but_never_fork() {
+        let mut endpoints = system(4);
+        // Two owners both claim seq 1 with different payloads (the
+        // compromised-account scenario of Section 6).
+        let mut wires = start(&mut endpoints, p(0), acct(0), 1, 111);
+        wires.extend(start(&mut endpoints, p(1), acct(0), 1, 222));
+        run(&mut endpoints, wires, |_| false);
+        // Every process delivered at most one value, and no two processes
+        // delivered different values for seq 1.
+        let mut seen = std::collections::HashSet::new();
+        for endpoint in &endpoints {
+            assert!(endpoint.delivered().len() <= 1);
+            for delivery in endpoint.delivered() {
+                seen.insert(delivery.payload);
+            }
+        }
+        assert!(seen.len() <= 1, "forked deliveries: {seen:?}");
+    }
+
+    #[test]
+    fn accounts_are_independent_streams() {
+        let mut endpoints = system(4);
+        let mut wires = start(&mut endpoints, p(0), acct(0), 1, 1);
+        wires.extend(start(&mut endpoints, p(1), acct(1), 1, 2));
+        // A gap on account 2 does not block account 0/1.
+        wires.extend(start(&mut endpoints, p(2), acct(2), 5, 3));
+        run(&mut endpoints, wires, |_| false);
+        for endpoint in &endpoints {
+            let mut delivered: Vec<(AccountId, u64)> = endpoint
+                .delivered()
+                .iter()
+                .map(|d| (d.account, d.payload))
+                .collect();
+            delivered.sort();
+            assert_eq!(delivered, vec![(acct(0), 1), (acct(1), 2)]);
+        }
+    }
+
+    #[test]
+    fn delivery_unblocks_next_ack() {
+        let mut endpoints = system(4);
+        // Both seq 1 and seq 2 are in flight concurrently; receivers must
+        // ack 2 only after delivering 1 — and they eventually do.
+        let mut wires = start(&mut endpoints, p(0), acct(7), 2, 20);
+        wires.extend(start(&mut endpoints, p(0), acct(7), 1, 10));
+        run(&mut endpoints, wires, |_| false);
+        for endpoint in &endpoints {
+            let values: Vec<u64> = endpoint.delivered().iter().map(|d| d.payload).collect();
+            assert_eq!(values, vec![10, 20]);
+        }
+    }
+
+    #[test]
+    fn forwarding_gives_totality() {
+        let mut endpoints = system(4);
+        let wires = start(&mut endpoints, p(0), acct(0), 1, 9);
+        // p0's FINAL only reaches p1.
+        run(&mut endpoints, wires, |(from, to, msg)| {
+            matches!(msg, AccountOrderMsg::Final { .. }) && *from == p(0) && *to != p(1)
+        });
+        for (i, endpoint) in endpoints.iter().enumerate() {
+            assert_eq!(endpoint.delivered().len(), 1, "process {i}");
+        }
+    }
+
+    #[test]
+    fn quorum_and_debug() {
+        let endpoint: Endpoint = AccountOrderBroadcast::new(p(0), 4, NoAuth);
+        assert_eq!(endpoint.quorum(), 3);
+        assert!(format!("{endpoint:?}").contains("delivered=0"));
+    }
+}

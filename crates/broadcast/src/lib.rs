@@ -1,0 +1,50 @@
+//! # at-broadcast — secure broadcast primitives
+//!
+//! Section 5 of the paper replaces consensus with a *secure broadcast*
+//! providing Integrity, Agreement, Validity and Source Order; Section 6
+//! strengthens source order to *account order*. This crate implements the
+//! corresponding protocols as sans-I/O state machines, independent of the
+//! simulator (they fill a [`types::Step`] with messages to send and
+//! payloads to deliver):
+//!
+//! * [`bracha`] — Bracha's reliable broadcast, the paper's "naive
+//!   quadratic" implementation (reference [10]): 3 rounds, `O(n²)`
+//!   messages, no signatures (authenticated channels);
+//! * [`echo`] — signed-echo broadcast in the Malkhi–Reiter style
+//!   (references [35, 36]): 2 round trips, `O(n)` sender messages plus
+//!   certificates;
+//! * [`account_order`] — the Section 6 modification whose
+//!   acknowledgement rule enforces per-account sequencing even for
+//!   compromised shared accounts;
+//! * [`auth`] — pluggable signing ([`EdAuth`] real Ed25519 /
+//!   [`NoAuth`] authenticated-channels model);
+//! * [`types`] — delivery/step plumbing and the source-order buffer.
+//!
+//! # Example
+//!
+//! ```
+//! use at_broadcast::bracha::{BrachaBroadcast, BrachaMsg};
+//! use at_broadcast::types::Step;
+//! use at_model::ProcessId;
+//!
+//! let mut sender: BrachaBroadcast<u64> = BrachaBroadcast::new(ProcessId::new(0), 4);
+//! let mut step = Step::new();
+//! let seq = sender.broadcast(42, &mut step);
+//! assert_eq!(seq.value(), 1);
+//! assert_eq!(step.outgoing.len(), 4); // INIT to all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account_order;
+pub mod auth;
+pub mod bracha;
+pub mod echo;
+pub mod types;
+
+pub use account_order::{AccountDelivery, AccountOrderBroadcast, AccountOrderMsg};
+pub use auth::{Authenticator, EdAuth, NoAuth};
+pub use bracha::{BrachaBroadcast, BrachaMsg};
+pub use echo::{EchoBroadcast, EchoMsg};
+pub use types::{Delivery, Outgoing, SourceOrderBuffer, Step};

@@ -1,0 +1,206 @@
+//! Common broadcast-layer types.
+
+use at_model::{ProcessId, SeqNo};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A message to hand to the network, addressed to one process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outgoing<M> {
+    /// The destination process.
+    pub to: ProcessId,
+    /// The message.
+    pub msg: M,
+}
+
+/// A payload delivered by a broadcast primitive, attributed to its source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery<P> {
+    /// The originating (broadcasting) process.
+    pub source: ProcessId,
+    /// The source's sequence number for this broadcast.
+    pub seq: SeqNo,
+    /// The delivered payload.
+    pub payload: P,
+}
+
+/// Sink collecting the outputs of one broadcast-layer step: messages to
+/// send and payloads to deliver to the application.
+#[derive(Debug)]
+pub struct Step<M, P> {
+    /// Messages to transmit.
+    pub outgoing: Vec<Outgoing<M>>,
+    /// Payloads delivered (in delivery order).
+    pub deliveries: Vec<Delivery<P>>,
+}
+
+impl<M, P> Default for Step<M, P> {
+    fn default() -> Self {
+        Step {
+            outgoing: Vec::new(),
+            deliveries: Vec::new(),
+        }
+    }
+}
+
+impl<M, P> Step<M, P> {
+    /// An empty step.
+    pub fn new() -> Self {
+        Step::default()
+    }
+
+    /// Queues `msg` for `to`.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.outgoing.push(Outgoing { to, msg });
+    }
+
+    /// Queues `msg` for every process in a system of size `n` (including
+    /// the local process, per the broadcast convention).
+    pub fn send_all(&mut self, n: usize, msg: M)
+    where
+        M: Clone,
+    {
+        for i in 0..n {
+            self.outgoing.push(Outgoing {
+                to: ProcessId::new(i as u32),
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Queues a delivery.
+    pub fn deliver(&mut self, source: ProcessId, seq: SeqNo, payload: P) {
+        self.deliveries.push(Delivery {
+            source,
+            seq,
+            payload,
+        });
+    }
+}
+
+/// Per-source FIFO delivery buffer: releases `(source, seq)` payloads in
+/// sequence order per source, realising the *source order* property of
+/// Section 5.2 (strengthened to FIFO, which the paper notes is what the
+/// per-process sequence numbers provide).
+pub struct SourceOrderBuffer<P> {
+    pending: BTreeMap<ProcessId, BTreeMap<u64, P>>,
+    next: BTreeMap<ProcessId, u64>,
+}
+
+impl<P> Default for SourceOrderBuffer<P> {
+    fn default() -> Self {
+        SourceOrderBuffer {
+            pending: BTreeMap::new(),
+            next: BTreeMap::new(),
+        }
+    }
+}
+
+impl<P> SourceOrderBuffer<P> {
+    /// Creates an empty buffer; the first expected sequence number per
+    /// source is 1.
+    pub fn new() -> Self {
+        SourceOrderBuffer::default()
+    }
+
+    /// Offers a decoded broadcast; returns every payload that became
+    /// releasable, in order.
+    pub fn offer(&mut self, source: ProcessId, seq: SeqNo, payload: P) -> Vec<(SeqNo, P)> {
+        let slot = self.pending.entry(source).or_default();
+        slot.entry(seq.value()).or_insert(payload);
+        let next = self.next.entry(source).or_insert(1);
+        let mut released = Vec::new();
+        while let Some(payload) = slot.remove(next) {
+            released.push((SeqNo::new(*next), payload));
+            *next += 1;
+        }
+        released
+    }
+
+    /// The next sequence number expected from `source`.
+    pub fn expected(&self, source: ProcessId) -> SeqNo {
+        SeqNo::new(self.next.get(&source).copied().unwrap_or(1))
+    }
+
+    /// Number of buffered (gapped) payloads across all sources.
+    pub fn buffered(&self) -> usize {
+        self.pending.values().map(BTreeMap::len).sum()
+    }
+}
+
+impl<P> fmt::Debug for SourceOrderBuffer<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SourceOrderBuffer(buffered={})", self.buffered())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn s(v: u64) -> SeqNo {
+        SeqNo::new(v)
+    }
+
+    #[test]
+    fn in_order_offers_release_immediately() {
+        let mut buffer = SourceOrderBuffer::new();
+        assert_eq!(buffer.offer(p(0), s(1), "a"), vec![(s(1), "a")]);
+        assert_eq!(buffer.offer(p(0), s(2), "b"), vec![(s(2), "b")]);
+        assert_eq!(buffer.expected(p(0)), s(3));
+    }
+
+    #[test]
+    fn gaps_hold_back_until_filled() {
+        let mut buffer = SourceOrderBuffer::new();
+        assert_eq!(buffer.offer(p(0), s(2), "b"), vec![]);
+        assert_eq!(buffer.offer(p(0), s(3), "c"), vec![]);
+        assert_eq!(buffer.buffered(), 2);
+        let released = buffer.offer(p(0), s(1), "a");
+        assert_eq!(released, vec![(s(1), "a"), (s(2), "b"), (s(3), "c")]);
+        assert_eq!(buffer.buffered(), 0);
+    }
+
+    #[test]
+    fn sources_are_independent() {
+        let mut buffer = SourceOrderBuffer::new();
+        assert_eq!(buffer.offer(p(1), s(1), "x"), vec![(s(1), "x")]);
+        assert_eq!(buffer.offer(p(0), s(2), "b"), vec![]);
+        assert_eq!(buffer.expected(p(0)), s(1));
+        assert_eq!(buffer.expected(p(1)), s(2));
+    }
+
+    #[test]
+    fn duplicate_offers_are_ignored() {
+        let mut buffer = SourceOrderBuffer::new();
+        assert_eq!(buffer.offer(p(0), s(1), "a"), vec![(s(1), "a")]);
+        // Re-offering a released seq does nothing.
+        assert_eq!(buffer.offer(p(0), s(1), "a'"), vec![]);
+        // Duplicate buffered offers keep the first payload.
+        assert_eq!(buffer.offer(p(0), s(3), "c"), vec![]);
+        assert_eq!(buffer.offer(p(0), s(3), "c'"), vec![]);
+        let released = buffer.offer(p(0), s(2), "b");
+        assert_eq!(released, vec![(s(2), "b"), (s(3), "c")]);
+    }
+
+    #[test]
+    fn step_sink_collects() {
+        let mut step: Step<u8, &str> = Step::new();
+        step.send(p(1), 7);
+        step.send_all(2, 9);
+        step.deliver(p(0), s(1), "payload");
+        assert_eq!(step.outgoing.len(), 3);
+        assert_eq!(step.deliveries.len(), 1);
+        assert_eq!(step.deliveries[0].source, p(0));
+    }
+
+    #[test]
+    fn debug_renders() {
+        let buffer: SourceOrderBuffer<u8> = SourceOrderBuffer::new();
+        assert!(format!("{buffer:?}").contains("buffered=0"));
+    }
+}

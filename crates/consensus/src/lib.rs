@@ -1,0 +1,27 @@
+//! # at-consensus — the consensus-based baseline
+//!
+//! The paper's evaluation (Section 5) compares its broadcast-based asset
+//! transfer against "a consensus-based" solution; Section 6 additionally
+//! needs a BFT state-machine-replication service per shared account. This
+//! crate provides both:
+//!
+//! * [`pbft`] — a PBFT-style three-phase atomic broadcast (pre-prepare /
+//!   prepare / commit, batching, leader rotation via view change) over
+//!   arbitrary replica groups;
+//! * [`transfer_system`] — the consensus-based asset-transfer system
+//!   (every process a replica, transfers totally ordered then executed),
+//!   packaged as an [`at_net::Actor`] for the simulator.
+//!
+//! The same [`pbft::PbftReplica`] doubles as the per-account sequencer in
+//! `at-core`'s Section 6 implementation — instantiated over the owner
+//! group of each shared account, exactly as the paper prescribes
+//! ("communication complexity polynomial in `k` and not in `N`").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pbft;
+pub mod transfer_system;
+
+pub use pbft::{PbftMsg, PbftReplica};
+pub use transfer_system::{BaselineEvent, BaselineReplica};

@@ -1,0 +1,59 @@
+//! # at-core — consensusless asset transfer in message passing
+//!
+//! The practical contribution of *The Consensus Number of a
+//! Cryptocurrency* (Sections 5–6): a Byzantine fault-tolerant asset
+//! transfer system built on secure broadcast instead of consensus.
+//!
+//! * [`figure4`] — the paper's Figure 4 state machine (`seq`/`rec`/
+//!   `hist`/`deps`/`toValidate` and the `Valid` predicate), independent
+//!   of any particular broadcast;
+//! * [`replica`] — the state machine wired to a secure broadcast
+//!   ([`at_broadcast::bracha`] or [`at_broadcast::echo`]) as a simulator
+//!   actor;
+//! * [`byzantine`] — equivocating / overspending / dependency-forging
+//!   adversaries used by the safety tests;
+//! * [`kshared`] — the Section 6 extension: per-account owner-group BFT
+//!   sequencing plus account-order broadcast, giving `k`-shared accounts
+//!   whose compromise can block only themselves.
+//!
+//! # Example
+//!
+//! ```
+//! use at_core::replica::{ConsensuslessReplica, TransferEvent};
+//! use at_model::{AccountId, Amount, ProcessId};
+//! use at_net::{NetConfig, Simulation, VirtualTime};
+//!
+//! // Four processes, each owning account i with 100 units.
+//! let replicas = (0..4)
+//!     .map(|i| ConsensuslessReplica::bracha(ProcessId::new(i), 4, Amount::new(100)))
+//!     .collect();
+//! let mut sim = Simulation::new(replicas, NetConfig::lan(0));
+//!
+//! // Process 0 pays 25 to account 1 — no consensus involved.
+//! sim.schedule(VirtualTime::ZERO, ProcessId::new(0), |replica, ctx| {
+//!     replica.submit(AccountId::new(1), Amount::new(25), ctx);
+//! });
+//! sim.run_until_quiet(1_000_000);
+//!
+//! let completed = sim
+//!     .take_events()
+//!     .into_iter()
+//!     .filter(|(_, _, e)| matches!(e, TransferEvent::Completed { .. }))
+//!     .count();
+//! assert_eq!(completed, 1);
+//! let observer = sim.actor(ProcessId::new(2));
+//! assert_eq!(observer.observed_balance(AccountId::new(1)), Amount::new(125));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byzantine;
+pub mod figure4;
+pub mod kshared;
+pub mod replica;
+
+pub use byzantine::{MaliciousReplica, Participant};
+pub use figure4::{Applied, TransferMsg, TransferState};
+pub use kshared::{KEvent, KMsg, KPayload, KSharedReplica};
+pub use replica::{ConsensuslessReplica, TransferBroadcast, TransferEvent};

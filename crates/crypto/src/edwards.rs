@@ -1,0 +1,337 @@
+//! The twisted Edwards curve edwards25519:
+//! `-x² + y² = 1 + d·x²·y²` over GF(2^255 − 19),
+//! with `d = -121665/121666`.
+//!
+//! Points use extended homogeneous coordinates `(X : Y : Z : T)` with
+//! `x = X/Z`, `y = Y/Z`, `T = XY/Z` (Hisil–Wong–Carter–Dawson 2008), the
+//! coordinate system of the EdDSA reference implementations. The curve
+//! constants (`d`, the base point) are derived from their defining
+//! equations at first use rather than transcribed.
+//!
+//! Scalar multiplication is plain double-and-add — variable time, which is
+//! acceptable for a research reproduction (documented in DESIGN.md).
+
+use crate::bigint::U256;
+use crate::field::FieldElement;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// The curve constant `d = -121665/121666 mod p`.
+pub fn curve_d() -> FieldElement {
+    static D: OnceLock<FieldElement> = OnceLock::new();
+    *D.get_or_init(|| {
+        FieldElement::from_u64(121665)
+            .neg()
+            .mul(FieldElement::from_u64(121666).invert())
+    })
+}
+
+/// `2d`, used by the addition formula.
+fn curve_2d() -> FieldElement {
+    static D2: OnceLock<FieldElement> = OnceLock::new();
+    *D2.get_or_init(|| curve_d().add(curve_d()))
+}
+
+/// A point on edwards25519 in extended coordinates.
+#[derive(Clone, Copy)]
+pub struct EdwardsPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+    t: FieldElement,
+}
+
+impl EdwardsPoint {
+    /// The neutral element (0, 1).
+    pub fn identity() -> EdwardsPoint {
+        EdwardsPoint {
+            x: FieldElement::ZERO,
+            y: FieldElement::ONE,
+            z: FieldElement::ONE,
+            t: FieldElement::ZERO,
+        }
+    }
+
+    /// The standard base point `B` with `y = 4/5` and even `x`.
+    pub fn basepoint() -> EdwardsPoint {
+        static B: OnceLock<EdwardsPoint> = OnceLock::new();
+        *B.get_or_init(|| {
+            let y = FieldElement::from_u64(4).mul(FieldElement::from_u64(5).invert());
+            let mut encoded = y.to_le_bytes();
+            // Sign bit 0 selects the even-x root.
+            encoded[31] &= 0x7F;
+            EdwardsPoint::decompress(&encoded).expect("base point decompresses")
+        })
+    }
+
+    /// Constructs from affine coordinates, checking the curve equation.
+    pub fn from_affine(x: FieldElement, y: FieldElement) -> Option<EdwardsPoint> {
+        let x2 = x.square();
+        let y2 = y.square();
+        let lhs = y2.sub(x2);
+        let rhs = FieldElement::ONE.add(curve_d().mul(x2).mul(y2));
+        lhs.equals(rhs).then(|| EdwardsPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+            t: x.mul(y),
+        })
+    }
+
+    /// The affine coordinates `(x, y)`.
+    pub fn to_affine(self) -> (FieldElement, FieldElement) {
+        let z_inv = self.z.invert();
+        (self.x.mul(z_inv), self.y.mul(z_inv))
+    }
+
+    /// Whether this is the neutral element.
+    pub fn is_identity(self) -> bool {
+        // x/z == 0 and y/z == 1  ⇔  x == 0 and y == z.
+        self.x.is_zero() && self.y.equals(self.z)
+    }
+
+    /// Point equality (projective comparison, no inversion).
+    pub fn equals(self, rhs: EdwardsPoint) -> bool {
+        // x1/z1 == x2/z2 ⇔ x1·z2 == x2·z1, same for y.
+        self.x.mul(rhs.z).equals(rhs.x.mul(self.z))
+            && self.y.mul(rhs.z).equals(rhs.y.mul(self.z))
+    }
+
+    /// Point addition (unified add-2008-hwcd-3 for `a = -1`).
+    pub fn add(self, rhs: EdwardsPoint) -> EdwardsPoint {
+        let a = self.y.sub(self.x).mul(rhs.y.sub(rhs.x));
+        let b = self.y.add(self.x).mul(rhs.y.add(rhs.x));
+        let c = self.t.mul(curve_2d()).mul(rhs.t);
+        let d = self.z.add(self.z).mul(rhs.z);
+        let e = b.sub(a);
+        let f = d.sub(c);
+        let g = d.add(c);
+        let h = b.add(a);
+        EdwardsPoint {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
+    }
+
+    /// Point doubling (dbl-2008-hwcd for `a = -1`).
+    pub fn double(self) -> EdwardsPoint {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().add(self.z.square());
+        let d = a.neg(); // a = -1 twist
+        let e = self.x.add(self.y).square().sub(a).sub(b);
+        let g = d.add(b);
+        let f = g.sub(c);
+        let h = d.sub(b);
+        EdwardsPoint {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
+    }
+
+    /// Point negation.
+    pub fn neg(self) -> EdwardsPoint {
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// Scalar multiplication `[n]P` by a 256-bit integer (double-and-add).
+    pub fn mul(self, n: U256) -> EdwardsPoint {
+        let mut result = EdwardsPoint::identity();
+        let mut base = self;
+        for i in 0..n.bits() {
+            if n.bit(i) {
+                result = result.add(base);
+            }
+            base = base.double();
+        }
+        result
+    }
+
+    /// Compressed 32-byte encoding: `y` with the sign of `x` in bit 255.
+    pub fn compress(self) -> [u8; 32] {
+        let (x, y) = self.to_affine();
+        let mut out = y.to_le_bytes();
+        if x.is_odd() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decodes a compressed point; `None` when the encoding is invalid
+    /// (not on the curve, or `x = 0` with sign bit set).
+    pub fn decompress(bytes: &[u8; 32]) -> Option<EdwardsPoint> {
+        let sign = bytes[31] >> 7;
+        let mut y_bytes = *bytes;
+        y_bytes[31] &= 0x7F;
+        // Reject non-canonical y (≥ p) to make encodings unique.
+        let y_int = crate::bigint::U256::from_le_bytes(&y_bytes);
+        if y_int >= crate::field::prime() {
+            return None;
+        }
+        let y = FieldElement::from_le_bytes(&y_bytes);
+        // x² = (y² - 1) / (d·y² + 1)
+        let y2 = y.square();
+        let u = y2.sub(FieldElement::ONE);
+        let v = curve_d().mul(y2).add(FieldElement::ONE);
+        let mut x = FieldElement::sqrt_ratio(u, v)?;
+        if x.is_zero() && sign == 1 {
+            return None; // -0 is not a valid encoding
+        }
+        if x.is_odd() != (sign == 1) {
+            x = x.neg();
+        }
+        EdwardsPoint::from_affine(x, y)
+    }
+}
+
+impl fmt::Debug for EdwardsPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EdwardsPoint({:02x?}…)", &self.compress()[..4])
+    }
+}
+
+impl PartialEq for EdwardsPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.equals(*other)
+    }
+}
+
+impl Eq for EdwardsPoint {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::order;
+
+    fn b() -> EdwardsPoint {
+        EdwardsPoint::basepoint()
+    }
+
+    #[test]
+    fn basepoint_is_on_curve() {
+        let (x, y) = b().to_affine();
+        assert!(EdwardsPoint::from_affine(x, y).is_some());
+        // y = 4/5
+        let expected_y = FieldElement::from_u64(4).mul(FieldElement::from_u64(5).invert());
+        assert!(y.equals(expected_y));
+        assert!(!x.is_odd());
+    }
+
+    #[test]
+    fn identity_laws() {
+        let id = EdwardsPoint::identity();
+        assert!(id.is_identity());
+        assert!(id.add(b()).equals(b()));
+        assert!(b().add(id).equals(b()));
+        assert!(id.double().is_identity());
+    }
+
+    #[test]
+    fn add_matches_double() {
+        assert!(b().add(b()).equals(b().double()));
+        let p2 = b().double();
+        assert!(p2.add(p2).equals(p2.double()));
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative() {
+        let p = b();
+        let q = b().double();
+        let r = q.double();
+        assert!(p.add(q).equals(q.add(p)));
+        assert!(p.add(q).add(r).equals(p.add(q.add(r))));
+    }
+
+    #[test]
+    fn negation_cancels() {
+        let p = b().double().add(b());
+        assert!(p.add(p.neg()).is_identity());
+    }
+
+    #[test]
+    fn scalar_multiplication_consistency() {
+        // [5]B == B+B+B+B+B
+        let five = b().mul(U256::from_u64(5));
+        let sum = b().add(b()).add(b()).add(b()).add(b());
+        assert!(five.equals(sum));
+        // [0]P = identity, [1]P = P
+        assert!(b().mul(U256::ZERO).is_identity());
+        assert!(b().mul(U256::ONE).equals(b()));
+    }
+
+    #[test]
+    fn scalar_multiplication_distributes() {
+        // [a+b]B == [a]B + [b]B for small a, b.
+        let a = U256::from_u64(123);
+        let c = U256::from_u64(456);
+        let lhs = b().mul(U256::from_u64(579));
+        let rhs = b().mul(a).add(b().mul(c));
+        assert!(lhs.equals(rhs));
+    }
+
+    #[test]
+    fn basepoint_has_order_l() {
+        // [ℓ]B = identity — the strongest validation of the whole group
+        // arithmetic stack (field, formulas, constants).
+        assert!(b().mul(order()).is_identity());
+        // [ℓ-1]B = -B
+        let (lm1, _) = order().overflowing_sub(U256::ONE);
+        assert!(b().mul(lm1).equals(b().neg()));
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        let mut p = b();
+        for _ in 0..8 {
+            let encoded = p.compress();
+            let decoded = EdwardsPoint::decompress(&encoded).expect("valid encoding");
+            assert!(decoded.equals(p));
+            p = p.add(b()).double();
+        }
+    }
+
+    #[test]
+    fn identity_compresses_to_y_one() {
+        let encoded = EdwardsPoint::identity().compress();
+        assert_eq!(encoded[0], 1);
+        assert!(encoded[1..].iter().all(|&byte| byte == 0));
+        let decoded = EdwardsPoint::decompress(&encoded).unwrap();
+        assert!(decoded.is_identity());
+    }
+
+    #[test]
+    fn decompress_rejects_invalid() {
+        // y = 2 gives x² = 3/(4d+1), not a square for this curve.
+        let mut bytes = [0u8; 32];
+        bytes[0] = 2;
+        assert!(EdwardsPoint::decompress(&bytes).is_none());
+
+        // Non-canonical y ≥ p rejected.
+        let mut big = [0xFFu8; 32];
+        big[31] = 0x7F;
+        assert!(EdwardsPoint::decompress(&big).is_none());
+
+        // -0 encoding rejected: y=1 (identity has x=0) with sign bit set.
+        let mut neg_zero = EdwardsPoint::identity().compress();
+        neg_zero[31] |= 0x80;
+        assert!(EdwardsPoint::decompress(&neg_zero).is_none());
+    }
+
+    #[test]
+    fn sign_bit_selects_negation() {
+        let p = b();
+        let mut encoded = p.compress();
+        encoded[31] ^= 0x80;
+        let flipped = EdwardsPoint::decompress(&encoded).expect("valid");
+        assert!(flipped.equals(p.neg()));
+    }
+}

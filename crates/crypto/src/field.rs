@@ -1,0 +1,368 @@
+//! Arithmetic in the field GF(2^255 − 19) underlying Curve25519.
+//!
+//! Elements are four little-endian `u64` limbs kept *weakly reduced*
+//! (< 2^256); full canonical reduction happens on encode/compare. The
+//! multiplication folds the high 256 bits of the 512-bit product back in
+//! using `2^256 ≡ 38 (mod p)`.
+//!
+//! The implementation is **not constant-time** — this library is a research
+//! reproduction of a PODC paper, not a production wallet — and is
+//! property-tested against the generic big-integer reference in
+//! [`crate::bigint`].
+
+use crate::bigint::{U256, U512};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An element of GF(2^255 − 19).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct FieldElement([u64; 4]);
+
+/// The prime modulus `p = 2^255 − 19` as a `U256`.
+pub fn prime() -> U256 {
+    static P: OnceLock<U256> = OnceLock::new();
+    *P.get_or_init(|| {
+        let mut limbs = [u64::MAX; 4];
+        limbs[3] = 0x7FFF_FFFF_FFFF_FFFF;
+        U256(limbs).overflowing_sub(U256::from_u64(18)).0
+    })
+}
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement([0; 4]);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0]);
+
+    /// Constructs from a small integer.
+    pub const fn from_u64(v: u64) -> FieldElement {
+        FieldElement([v, 0, 0, 0])
+    }
+
+    /// Constructs from 32 little-endian bytes, reducing modulo `p`.
+    ///
+    /// Point decompression masks the sign bit before calling this; general
+    /// callers may pass any 256-bit value.
+    pub fn from_le_bytes(bytes: &[u8; 32]) -> FieldElement {
+        FieldElement(U256::from_le_bytes(bytes).rem(prime()).0)
+    }
+
+    /// Canonical 32-byte little-endian encoding (fully reduced).
+    pub fn to_le_bytes(self) -> [u8; 32] {
+        self.reduce().to_le_bytes()
+    }
+
+    /// The canonical residue in `[0, p)`.
+    pub fn reduce(self) -> U256 {
+        U256(self.0).rem(prime())
+    }
+
+    /// Whether the canonical residue is zero.
+    pub fn is_zero(self) -> bool {
+        self.reduce().is_zero()
+    }
+
+    /// The low bit of the canonical residue (the "sign" in EdDSA point
+    /// compression).
+    pub fn is_odd(self) -> bool {
+        self.reduce().bit(0)
+    }
+
+    /// Field addition.
+    pub fn add(self, rhs: FieldElement) -> FieldElement {
+        let (mut sum, mut overflow) = U256(self.0).overflowing_add(U256(rhs.0));
+        while overflow {
+            // 2^256 ≡ 38 (mod p); the second fold cannot overflow again
+            // but the loop keeps the invariant obvious.
+            let (s, o) = sum.overflowing_add(U256::from_u64(38));
+            sum = s;
+            overflow = o;
+        }
+        FieldElement(sum.0)
+    }
+
+    /// Field negation.
+    pub fn neg(self) -> FieldElement {
+        let residue = self.reduce();
+        if residue.is_zero() {
+            FieldElement::ZERO
+        } else {
+            FieldElement(prime().overflowing_sub(residue).0.0)
+        }
+    }
+
+    /// Field subtraction.
+    pub fn sub(self, rhs: FieldElement) -> FieldElement {
+        self.add(rhs.neg())
+    }
+
+    /// Field multiplication with fast `2^256 ≡ 38` folding.
+    pub fn mul(self, rhs: FieldElement) -> FieldElement {
+        let product = U256(self.0).widening_mul(U256(rhs.0));
+        FieldElement(fold_512(product).0)
+    }
+
+    /// Field squaring.
+    pub fn square(self) -> FieldElement {
+        self.mul(self)
+    }
+
+    /// Exponentiation by a 256-bit exponent (square-and-multiply).
+    pub fn pow(self, exponent: U256) -> FieldElement {
+        let mut result = FieldElement::ONE;
+        let mut base = self;
+        for i in 0..exponent.bits() {
+            if exponent.bit(i) {
+                result = result.mul(base);
+            }
+            base = base.square();
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat: `a^(p−2)`.
+    ///
+    /// Returns zero for zero (no inverse exists).
+    pub fn invert(self) -> FieldElement {
+        let exponent = prime().overflowing_sub(U256::from_u64(2)).0;
+        self.pow(exponent)
+    }
+
+    /// `sqrt(u/v)` as used by Ed25519 point decompression
+    /// (RFC 8032 §5.1.3).
+    ///
+    /// Returns `Some(x)` with `v·x² = u` when a square root exists
+    /// (choosing an arbitrary sign), `None` otherwise.
+    pub fn sqrt_ratio(u: FieldElement, v: FieldElement) -> Option<FieldElement> {
+        // candidate = u * v^3 * (u * v^7)^((p-5)/8)
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let exponent = {
+            // (p - 5) / 8: p ≡ 5 (mod 8) so this is exact.
+            let (pm5, _) = prime().overflowing_sub(U256::from_u64(5));
+            shr3(pm5)
+        };
+        let candidate = u.mul(v3).mul(u.mul(v7).pow(exponent));
+        let check = v.mul(candidate.square());
+        if check.equals(u) {
+            Some(candidate)
+        } else if check.equals(u.neg()) {
+            Some(candidate.mul(sqrt_minus_one()))
+        } else {
+            None
+        }
+    }
+
+    /// Canonical equality (compares fully-reduced residues).
+    pub fn equals(self, rhs: FieldElement) -> bool {
+        self.reduce() == rhs.reduce()
+    }
+}
+
+impl fmt::Debug for FieldElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fe({:?})", self.reduce())
+    }
+}
+
+/// Folds a 512-bit product into a weakly-reduced 256-bit value using
+/// `2^256 ≡ 38 (mod p)`.
+fn fold_512(product: U512) -> U256 {
+    // low + high * 38; high * 38 < 2^256 * 38 so do it limb-wise.
+    let low = product.low_u256();
+    let high = product.high_u256();
+    let mut out = [0u64; 4];
+    let mut carry: u128 = 0;
+    for i in 0..4 {
+        let acc = low.0[i] as u128 + (high.0[i] as u128) * 38 + carry;
+        out[i] = acc as u64;
+        carry = acc >> 64;
+    }
+    // carry < 38; fold again: carry * 2^256 ≡ carry * 38.
+    let mut result = U256(out);
+    while carry != 0 {
+        let (sum, overflow) = result.overflowing_add(U256::from_u64(carry as u64 * 38));
+        result = sum;
+        carry = overflow as u128;
+    }
+    result
+}
+
+/// `(x) >> 3` for a 256-bit value.
+fn shr3(x: U256) -> U256 {
+    let mut out = [0u64; 4];
+    for i in 0..4 {
+        out[i] = x.0[i] >> 3;
+        if i + 1 < 4 {
+            out[i] |= x.0[i + 1] << 61;
+        }
+    }
+    U256(out)
+}
+
+/// `sqrt(−1) = 2^((p−1)/4) mod p`, derived rather than transcribed.
+pub fn sqrt_minus_one() -> FieldElement {
+    static ROOT: OnceLock<FieldElement> = OnceLock::new();
+    *ROOT.get_or_init(|| {
+        let (pm1, _) = prime().overflowing_sub(U256::ONE);
+        let exponent = {
+            // (p - 1) / 4
+            let half = shr1(pm1);
+            shr1(half)
+        };
+        FieldElement::from_u64(2).pow(exponent)
+    })
+}
+
+fn shr1(x: U256) -> U256 {
+    let mut out = [0u64; 4];
+    for i in 0..4 {
+        out[i] = x.0[i] >> 1;
+        if i + 1 < 4 {
+            out[i] |= x.0[i + 1] << 63;
+        }
+    }
+    U256(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(v: u64) -> FieldElement {
+        FieldElement::from_u64(v)
+    }
+
+    #[test]
+    fn prime_value() {
+        // p = 2^255 - 19: check low and high limbs.
+        let p = prime();
+        assert_eq!(p.0[0], u64::MAX - 18);
+        assert_eq!(p.0[3], 0x7FFF_FFFF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = fe(12345);
+        let b = fe(67890);
+        assert!(a.add(b).sub(b).equals(a));
+        assert!(a.sub(a).is_zero());
+    }
+
+    #[test]
+    fn neg_of_zero_is_zero() {
+        assert!(FieldElement::ZERO.neg().is_zero());
+    }
+
+    #[test]
+    fn mul_matches_bigint_reference() {
+        let values = [
+            U256::from_u64(0),
+            U256::from_u64(1),
+            U256::from_u64(19),
+            U256([u64::MAX, u64::MAX, u64::MAX, 0x7FFF_FFFF_FFFF_FFFF]),
+            U256([0xDEAD_BEEF, 0xCAFE_BABE, 0x1234_5678, 0x0FED_CBA9]),
+            prime().overflowing_sub(U256::ONE).0,
+        ];
+        for &x in &values {
+            for &y in &values {
+                let fast = FieldElement(x.0).mul(FieldElement(y.0)).reduce();
+                let reference = x.rem(prime()).mul_mod(y.rem(prime()), prime());
+                assert_eq!(fast, reference, "x={x:?} y={y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_to_256_is_38() {
+        // encode 2^255 - 19 + 38*? sanity: (2^128)^2 = 2^256 ≡ 38.
+        let two128 = FieldElement([0, 0, 1, 0]);
+        assert!(two128.square().equals(fe(38)));
+    }
+
+    #[test]
+    fn invert_small_values() {
+        for v in [1u64, 2, 3, 19, 121666, 0xFFFF_FFFF] {
+            let x = fe(v);
+            assert!(x.mul(x.invert()).equals(FieldElement::ONE), "v={v}");
+        }
+    }
+
+    #[test]
+    fn invert_zero_is_zero() {
+        assert!(FieldElement::ZERO.invert().is_zero());
+    }
+
+    #[test]
+    fn pow_small_exponents() {
+        assert!(fe(3).pow(U256::from_u64(4)).equals(fe(81)));
+        assert!(fe(5).pow(U256::ZERO).equals(FieldElement::ONE));
+        assert!(fe(5).pow(U256::ONE).equals(fe(5)));
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) = 1 for a ≠ 0.
+        let exponent = prime().overflowing_sub(U256::ONE).0;
+        assert!(fe(7).pow(exponent).equals(FieldElement::ONE));
+    }
+
+    #[test]
+    fn sqrt_minus_one_squares_to_minus_one() {
+        let i = sqrt_minus_one();
+        assert!(i.square().equals(FieldElement::ONE.neg()));
+    }
+
+    #[test]
+    fn sqrt_ratio_finds_roots() {
+        // 4/1 has root ±2.
+        let root = FieldElement::sqrt_ratio(fe(4), FieldElement::ONE).expect("root");
+        assert!(root.equals(fe(2)) || root.equals(fe(2).neg()));
+
+        // 2/1: 2 is not a quadratic residue mod p (p ≡ 5 mod 8).
+        assert!(FieldElement::sqrt_ratio(fe(2), FieldElement::ONE).is_none());
+
+        // u/v with v ≠ 1: 8/2 = 4 has a root.
+        let root = FieldElement::sqrt_ratio(fe(8), fe(2)).expect("root");
+        assert!(fe(2).mul(root.square()).equals(fe(8)));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let x = FieldElement([0xAAAA, 0xBBBB, 0xCCCC, 0xDDDD]);
+        let bytes = x.to_le_bytes();
+        let back = FieldElement::from_le_bytes(&bytes);
+        assert!(x.equals(back));
+    }
+
+    #[test]
+    fn decode_reduces_large_values() {
+        // 2^255 - 1 ≡ 18 (mod p)
+        let mut bytes = [0xFFu8; 32];
+        bytes[31] = 0x7F;
+        assert!(FieldElement::from_le_bytes(&bytes).equals(fe(18)));
+    }
+
+    #[test]
+    fn parity_of_canonical_residue() {
+        assert!(!fe(0).is_odd());
+        assert!(fe(1).is_odd());
+        assert!(!fe(2).is_odd());
+        // -1 = p - 1, which is even.
+        assert!(!FieldElement::ONE.neg().is_odd());
+    }
+
+    #[test]
+    fn weak_reduction_stays_consistent() {
+        // Repeated additions keep values weakly reduced but semantically
+        // correct.
+        let mut acc = FieldElement::ZERO;
+        for _ in 0..1000 {
+            acc = acc.add(FieldElement([u64::MAX; 4]));
+        }
+        let expected = U256([u64::MAX; 4])
+            .rem(prime())
+            .mul_mod(U256::from_u64(1000), prime());
+        assert_eq!(acc.reduce(), expected);
+    }
+}

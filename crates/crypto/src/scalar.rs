@@ -1,0 +1,223 @@
+//! Arithmetic modulo the Ed25519 group order
+//! `ℓ = 2^252 + 27742317777372353535851937790883648493`.
+//!
+//! Scalars are canonical residues in `[0, ℓ)`. Wide (512-bit) inputs — the
+//! SHA-512 outputs of the EdDSA construction — are reduced with the generic
+//! big-integer machinery; this is cold-path arithmetic (a handful of
+//! reductions per signature), so clarity wins over speed.
+
+use crate::bigint::{U256, U512};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// The group order `ℓ`.
+pub fn order() -> U256 {
+    static L: OnceLock<U256> = OnceLock::new();
+    *L.get_or_init(|| {
+        // ℓ = 2^252 + 27742317777372353535851937790883648493.
+        // The additive constant is 125 bits; assemble it from two u64 halves:
+        // 27742317777372353535851937790883648493 = 0x14DEF9DEA2F79CD6_5812631A5CF5D3ED.
+        let mut limbs = [0u64; 4];
+        limbs[0] = 0x5812_631A_5CF5_D3ED;
+        limbs[1] = 0x14DE_F9DE_A2F7_9CD6;
+        limbs[3] = 1u64 << 60; // 2^252
+        U256(limbs)
+    })
+}
+
+/// A scalar modulo `ℓ`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// The scalar zero.
+    pub const ZERO: Scalar = Scalar(U256([0; 4]));
+    /// The scalar one.
+    pub const ONE: Scalar = Scalar(U256([1, 0, 0, 0]));
+
+    /// Constructs from a small integer.
+    pub fn from_u64(v: u64) -> Scalar {
+        Scalar(U256::from_u64(v).rem(order()))
+    }
+
+    /// Reduces 32 little-endian bytes modulo `ℓ`.
+    pub fn from_le_bytes_reduced(bytes: &[u8; 32]) -> Scalar {
+        Scalar(U256::from_le_bytes(bytes).rem(order()))
+    }
+
+    /// Parses 32 little-endian bytes, rejecting non-canonical values
+    /// (`≥ ℓ`), as RFC 8032 verification requires for `S`.
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Scalar> {
+        let value = U256::from_le_bytes(bytes);
+        (value < order()).then_some(Scalar(value))
+    }
+
+    /// Reduces 64 little-endian bytes (a SHA-512 output) modulo `ℓ`.
+    pub fn from_wide_bytes(bytes: &[u8; 64]) -> Scalar {
+        Scalar(U512::from_le_bytes(bytes).rem(order()))
+    }
+
+    /// The "clamped" secret scalar of RFC 8032 §5.1.5: clears the low 3
+    /// bits, clears bit 255, sets bit 254.
+    ///
+    /// Note: the clamped value is used *as an integer* in scalar
+    /// multiplication, not reduced mod ℓ first; it is below 2^255 and the
+    /// multiplication routine accepts the full range.
+    pub fn clamp_integer(mut bytes: [u8; 32]) -> U256 {
+        bytes[0] &= 0b1111_1000;
+        bytes[31] &= 0b0111_1111;
+        bytes[31] |= 0b0100_0000;
+        U256::from_le_bytes(&bytes)
+    }
+
+    /// Canonical 32-byte little-endian encoding.
+    pub fn to_le_bytes(self) -> [u8; 32] {
+        self.0.to_le_bytes()
+    }
+
+    /// The canonical residue as a 256-bit integer.
+    pub fn to_u256(self) -> U256 {
+        self.0
+    }
+
+    /// Whether the scalar is zero.
+    pub fn is_zero(self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Scalar addition mod ℓ.
+    pub fn add(self, rhs: Scalar) -> Scalar {
+        Scalar(self.0.add_mod(rhs.0, order()))
+    }
+
+    /// Scalar subtraction mod ℓ.
+    pub fn sub(self, rhs: Scalar) -> Scalar {
+        Scalar(self.0.sub_mod(rhs.0, order()))
+    }
+
+    /// Scalar multiplication mod ℓ.
+    pub fn mul(self, rhs: Scalar) -> Scalar {
+        Scalar(self.0.mul_mod(rhs.0, order()))
+    }
+
+    /// Scalar negation mod ℓ.
+    pub fn neg(self) -> Scalar {
+        Scalar::ZERO.sub(self)
+    }
+}
+
+impl fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scalar({:?})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_magnitude() {
+        // ℓ is a 253-bit number starting with 2^252.
+        assert_eq!(order().bits(), 253);
+        assert!(order().bit(252));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Scalar::from_u64(123456789);
+        let b = Scalar::from_u64(987654321);
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(a.sub(a), Scalar::ZERO);
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        let a = Scalar::from_u64(424242);
+        assert_eq!(a.mul(Scalar::ONE), a);
+        assert_eq!(a.mul(Scalar::ZERO), Scalar::ZERO);
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes() {
+        let a = Scalar::from_u64(0xDEAD_BEEF);
+        let b = Scalar::from_u64(0xCAFE_BABE);
+        let c = Scalar::from_u64(0x1234_5678);
+        assert_eq!(a.mul(b), b.mul(a));
+        assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn neg_adds_to_zero() {
+        let a = Scalar::from_u64(777);
+        assert_eq!(a.add(a.neg()), Scalar::ZERO);
+        assert_eq!(Scalar::ZERO.neg(), Scalar::ZERO);
+    }
+
+    #[test]
+    fn wide_reduction_consistent_with_narrow() {
+        // A 64-byte input whose high half is zero reduces like the low half.
+        let mut wide = [0u8; 64];
+        let mut narrow = [0u8; 32];
+        for i in 0..32 {
+            wide[i] = i as u8;
+            narrow[i] = i as u8;
+        }
+        assert_eq!(
+            Scalar::from_wide_bytes(&wide),
+            Scalar::from_le_bytes_reduced(&narrow)
+        );
+    }
+
+    #[test]
+    fn wide_reduction_of_order_is_zero() {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&order().to_le_bytes());
+        assert_eq!(Scalar::from_wide_bytes(&wide), Scalar::ZERO);
+    }
+
+    #[test]
+    fn canonical_bytes_reject_order() {
+        assert!(Scalar::from_canonical_bytes(&order().to_le_bytes()).is_none());
+        let (below, _) = order().overflowing_sub(U256::ONE);
+        assert!(Scalar::from_canonical_bytes(&below.to_le_bytes()).is_some());
+        assert!(Scalar::from_canonical_bytes(&[0u8; 32]).is_some());
+    }
+
+    #[test]
+    fn clamping_sets_expected_bits() {
+        let clamped = Scalar::clamp_integer([0xFFu8; 32]);
+        assert!(!clamped.bit(0));
+        assert!(!clamped.bit(1));
+        assert!(!clamped.bit(2));
+        assert!(clamped.bit(254));
+        assert!(!clamped.bit(255));
+
+        let clamped_zero = Scalar::clamp_integer([0u8; 32]);
+        assert!(clamped_zero.bit(254));
+        assert_eq!(clamped_zero.bits(), 255);
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        let a = Scalar::from_u64(0xABCD_EF01_2345_6789);
+        assert_eq!(Scalar::from_canonical_bytes(&a.to_le_bytes()), Some(a));
+    }
+
+    #[test]
+    fn fermat_inverse_via_pow_chain() {
+        // ℓ is prime: a^(ℓ-1) ≡ 1 (mod ℓ). Exercise via repeated squaring
+        // on the Scalar API (multiply accumulator).
+        let a = Scalar::from_u64(3);
+        let (exp, _) = order().overflowing_sub(U256::ONE);
+        let mut result = Scalar::ONE;
+        let mut base = a;
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = result.mul(base);
+            }
+            base = base.mul(base);
+        }
+        assert_eq!(result, Scalar::ONE);
+    }
+}

@@ -1,0 +1,395 @@
+//! Linearizability checking.
+//!
+//! [`linearizable`] implements a Wing–Gong style search: it looks for a
+//! legal sequential ordering of a concurrent [`History`] that respects
+//! real-time precedence (`≺_H ⊆ ≺_S`) and the sequential specification `Δ`
+//! embodied by [`Ledger`].
+//!
+//! Pending (incomplete) invocations are handled as the paper's completion
+//! construction prescribes: each may either be dropped or completed with the
+//! response `Δ` determines at its linearization point.
+//!
+//! The search memoizes visited configurations `(linearized-set, state)` and
+//! is exhaustive, so a [`CheckOutcome::NotLinearizable`] verdict is a proof
+//! of violation for the given history. Intended for histories of up to a
+//! few dozen concurrent operations, which is what the test harnesses
+//! produce.
+
+use crate::history::{History, OpId, OpRecord, Operation, Response};
+use crate::spec::Ledger;
+use std::collections::HashSet;
+
+/// The verdict of a linearizability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The history is linearizable; the witness lists the operations in a
+    /// legal linearization order (dropped pending operations excluded).
+    Linearizable {
+        /// A legal sequential order of the operations.
+        witness: Vec<OpId>,
+    },
+    /// No legal linearization exists.
+    NotLinearizable,
+}
+
+impl CheckOutcome {
+    /// Whether the verdict is positive.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, CheckOutcome::Linearizable { .. })
+    }
+}
+
+/// Checks whether `history` is linearizable with respect to the sequential
+/// asset-transfer specification starting from `initial`.
+///
+/// # Example
+///
+/// ```
+/// use at_model::history::{History, Operation, Response};
+/// use at_model::{AccountId, Amount, Ledger, OwnerMap, ProcessId};
+///
+/// let a = AccountId::new(0);
+/// let b = AccountId::new(1);
+/// let p0 = ProcessId::new(0);
+/// let ledger = Ledger::new(
+///     [(a, Amount::new(5)), (b, Amount::ZERO)],
+///     OwnerMap::single_owner([(a, p0)]),
+/// );
+///
+/// let mut h = History::new();
+/// let t = h.invoke(p0, Operation::Transfer { source: a, destination: b, amount: Amount::new(3) });
+/// h.respond(t, Response::Transfer(true));
+/// let r = h.invoke(p0, Operation::Read { account: b });
+/// h.respond(r, Response::Read(Amount::new(3)));
+///
+/// assert!(at_model::linearizable(&h, &ledger).is_linearizable());
+/// ```
+pub fn linearizable(history: &History, initial: &Ledger) -> CheckOutcome {
+    let records = history.records();
+    let n = records.len();
+    assert!(n <= 128, "checker supports at most 128 operations");
+
+    let mut checker = Checker {
+        records: &records,
+        initial,
+        visited: HashSet::new(),
+        witness: Vec::with_capacity(n),
+    };
+    let complete_mask: u128 = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_complete())
+        .fold(0, |mask, (i, _)| mask | (1u128 << i));
+
+    if checker.search(0, initial.clone(), complete_mask) {
+        CheckOutcome::Linearizable {
+            witness: checker.witness,
+        }
+    } else {
+        CheckOutcome::NotLinearizable
+    }
+}
+
+struct Checker<'a> {
+    records: &'a [OpRecord],
+    initial: &'a Ledger,
+    /// Visited `(linearized-set, state-fingerprint)` configurations.
+    visited: HashSet<(u128, Vec<u64>)>,
+    witness: Vec<OpId>,
+}
+
+impl Checker<'_> {
+    /// Depth-first search for a legal linearization.
+    ///
+    /// `done` is the bitset of linearized operations; `state` the ledger
+    /// after applying them; `complete_mask` the bitset of operations that
+    /// have recorded responses.
+    fn search(&mut self, done: u128, state: Ledger, complete_mask: u128) -> bool {
+        // Success: every completed operation has been linearized; pending
+        // ones may be dropped (removed in the completion H̄).
+        if done & complete_mask == complete_mask {
+            return true;
+        }
+
+        let fingerprint: Vec<u64> = state.iter().map(|(_, x)| x.units()).collect();
+        if !self.visited.insert((done, fingerprint)) {
+            return false;
+        }
+
+        // Wing–Gong minimality: the next linearized operation must be
+        // invoked before the earliest response among non-linearized
+        // completed operations, otherwise that earlier operation precedes
+        // it in real time.
+        let min_return = self
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| done & (1 << *i) == 0 && r.is_complete())
+            .filter_map(|(_, r)| r.returned_at)
+            .min()
+            .unwrap_or(usize::MAX);
+
+        for (i, record) in self.records.iter().enumerate() {
+            if done & (1 << i) != 0 || record.invoked_at > min_return {
+                continue;
+            }
+            let mut next_state = state.clone();
+            if !Self::apply(record, &mut next_state) {
+                continue;
+            }
+            self.witness.push(record.id);
+            if self.search(done | (1 << i), next_state, complete_mask) {
+                return true;
+            }
+            self.witness.pop();
+        }
+        false
+    }
+
+    /// Applies `record` to `state` per `Δ`; returns `false` when the
+    /// recorded response contradicts the specification at this point.
+    fn apply(record: &OpRecord, state: &mut Ledger) -> bool {
+        match record.op {
+            Operation::Transfer {
+                source,
+                destination,
+                amount,
+            } => {
+                let outcome = state
+                    .transfer(record.process, source, destination, amount)
+                    .is_ok();
+                match record.response {
+                    Some(Response::Transfer(recorded)) => outcome == recorded,
+                    Some(_) => false,
+                    // Pending transfer: Δ determines the response.
+                    None => true,
+                }
+            }
+            Operation::Read { account } => {
+                let balance = state.read(account);
+                match record.response {
+                    Some(Response::Read(recorded)) => balance == recorded,
+                    Some(_) => false,
+                    None => true,
+                }
+            }
+        }
+    }
+
+    #[allow(dead_code)]
+    fn initial(&self) -> &Ledger {
+        self.initial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AccountId, Amount, ProcessId};
+    use crate::owner::OwnerMap;
+
+    fn a(i: u32) -> AccountId {
+        AccountId::new(i)
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn amt(x: u64) -> Amount {
+        Amount::new(x)
+    }
+
+    fn transfer(src: u32, dst: u32, x: u64) -> Operation {
+        Operation::Transfer {
+            source: a(src),
+            destination: a(dst),
+            amount: amt(x),
+        }
+    }
+
+    fn read(acct: u32) -> Operation {
+        Operation::Read { account: a(acct) }
+    }
+
+    /// Two accounts, 10 units each, account i owned by process i.
+    fn ledger() -> Ledger {
+        Ledger::uniform(2, amt(10))
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h = History::new();
+        assert!(linearizable(&h, &ledger()).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_legal_history_passes() {
+        let mut h = History::new();
+        let t = h.invoke(p(0), transfer(0, 1, 4));
+        h.respond(t, Response::Transfer(true));
+        let r = h.invoke(p(1), read(1));
+        h.respond(r, Response::Read(amt(14)));
+        let outcome = linearizable(&h, &ledger());
+        assert!(outcome.is_linearizable());
+        if let CheckOutcome::Linearizable { witness } = outcome {
+            assert_eq!(witness.len(), 2);
+        }
+    }
+
+    #[test]
+    fn wrong_read_value_fails() {
+        let mut h = History::new();
+        let t = h.invoke(p(0), transfer(0, 1, 4));
+        h.respond(t, Response::Transfer(true));
+        let r = h.invoke(p(1), read(1));
+        h.respond(r, Response::Read(amt(99)));
+        assert_eq!(linearizable(&h, &ledger()), CheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn double_spend_history_fails() {
+        // p0 has 10 units but two sequential transfers of 8 both succeed:
+        // impossible in any linearization.
+        let mut h = History::new();
+        let t1 = h.invoke(p(0), transfer(0, 1, 8));
+        h.respond(t1, Response::Transfer(true));
+        let t2 = h.invoke(p(0), transfer(0, 1, 8));
+        h.respond(t2, Response::Transfer(true));
+        assert_eq!(linearizable(&h, &ledger()), CheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn concurrent_reads_may_reorder() {
+        // read(0) overlapping a transfer may see either 10 or 6.
+        for observed in [10u64, 6] {
+            let mut h = History::new();
+            let t = h.invoke(p(0), transfer(0, 1, 4));
+            let r = h.invoke(p(1), read(0));
+            h.respond(r, Response::Read(amt(observed)));
+            h.respond(t, Response::Transfer(true));
+            assert!(
+                linearizable(&h, &ledger()).is_linearizable(),
+                "observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_overlapping_read_cannot_see_stale_value() {
+        // The read starts strictly after the successful transfer returned,
+        // so it must observe the debited balance.
+        let mut h = History::new();
+        let t = h.invoke(p(0), transfer(0, 1, 4));
+        h.respond(t, Response::Transfer(true));
+        let r = h.invoke(p(1), read(0));
+        h.respond(r, Response::Read(amt(10))); // stale!
+        assert_eq!(linearizable(&h, &ledger()), CheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn failed_transfer_requires_insufficient_balance() {
+        // Balance is 10; a failed transfer of 5 has no justification.
+        let mut h = History::new();
+        let t = h.invoke(p(0), transfer(0, 1, 5));
+        h.respond(t, Response::Transfer(false));
+        assert_eq!(linearizable(&h, &ledger()), CheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn failed_transfer_justified_by_earlier_spend() {
+        let mut h = History::new();
+        let t1 = h.invoke(p(0), transfer(0, 1, 8));
+        h.respond(t1, Response::Transfer(true));
+        let t2 = h.invoke(p(0), transfer(0, 1, 5));
+        h.respond(t2, Response::Transfer(false));
+        assert!(linearizable(&h, &ledger()).is_linearizable());
+    }
+
+    #[test]
+    fn non_owner_transfer_must_fail() {
+        let mut h = History::new();
+        // p1 debiting account 0 succeeds — violates Δ.
+        let t = h.invoke(p(1), transfer(0, 1, 1));
+        h.respond(t, Response::Transfer(true));
+        assert_eq!(linearizable(&h, &ledger()), CheckOutcome::NotLinearizable);
+
+        // The failing version is legal.
+        let mut h = History::new();
+        let t = h.invoke(p(1), transfer(0, 1, 1));
+        h.respond(t, Response::Transfer(false));
+        assert!(linearizable(&h, &ledger()).is_linearizable());
+    }
+
+    #[test]
+    fn pending_transfer_may_be_dropped() {
+        let mut h = History::new();
+        let _pending = h.invoke(p(0), transfer(0, 1, 4));
+        let r = h.invoke(p(1), read(0));
+        h.respond(r, Response::Read(amt(10)));
+        assert!(linearizable(&h, &ledger()).is_linearizable());
+    }
+
+    #[test]
+    fn pending_transfer_may_take_effect() {
+        // The pending transfer's effect is visible to a later read: the
+        // checker must linearize it rather than drop it.
+        let mut h = History::new();
+        let _pending = h.invoke(p(0), transfer(0, 1, 4));
+        let r = h.invoke(p(1), read(0));
+        h.respond(r, Response::Read(amt(6)));
+        assert!(linearizable(&h, &ledger()).is_linearizable());
+    }
+
+    #[test]
+    fn incoming_funds_enable_larger_transfer() {
+        // p1 receives 10 from p0 and then sends 15: legal only in the order
+        // t0 before t1. Both overlap, so the checker must find that order.
+        let mut h = History::new();
+        let t0 = h.invoke(p(0), transfer(0, 1, 10));
+        let t1 = h.invoke(p(1), transfer(1, 0, 15));
+        h.respond(t0, Response::Transfer(true));
+        h.respond(t1, Response::Transfer(true));
+        assert!(linearizable(&h, &ledger()).is_linearizable());
+    }
+
+    #[test]
+    fn real_time_order_constrains_dependent_transfers() {
+        // t1 (needing t0's funds) returns before t0 is invoked: illegal.
+        let mut h = History::new();
+        let t1 = h.invoke(p(1), transfer(1, 0, 15));
+        h.respond(t1, Response::Transfer(true));
+        let t0 = h.invoke(p(0), transfer(0, 1, 10));
+        h.respond(t0, Response::Transfer(true));
+        assert_eq!(linearizable(&h, &ledger()), CheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn witness_is_a_legal_order() {
+        let mut h = History::new();
+        let t0 = h.invoke(p(0), transfer(0, 1, 10));
+        let t1 = h.invoke(p(1), transfer(1, 0, 15));
+        h.respond(t0, Response::Transfer(true));
+        h.respond(t1, Response::Transfer(true));
+        match linearizable(&h, &ledger()) {
+            CheckOutcome::Linearizable { witness } => {
+                // t0 must come first: t1 needs the incoming 10.
+                assert_eq!(witness, vec![t0, t1]);
+            }
+            CheckOutcome::NotLinearizable => panic!("expected linearizable"),
+        }
+    }
+
+    #[test]
+    fn many_concurrent_reads_scale() {
+        let mut h = History::new();
+        let mut ids = Vec::new();
+        for i in 0..20 {
+            ids.push(h.invoke(p(i % 2), read(0)));
+        }
+        for id in ids {
+            h.respond(id, Response::Read(amt(10)));
+        }
+        assert!(linearizable(&h, &ledger()).is_linearizable());
+    }
+}

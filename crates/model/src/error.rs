@@ -1,0 +1,173 @@
+//! Error types shared across the workspace.
+
+use crate::ids::{AccountId, Amount, ProcessId};
+use std::error::Error;
+use std::fmt;
+
+/// Why a `transfer(a, b, x)` invocation returned `false` under the
+/// sequential specification `Δ` of Section 2.2.
+///
+/// The paper folds all failures into the single response `false`; we keep
+/// the reason ([C-GOOD-ERR]) because callers and tests want to distinguish
+/// an authorization failure from an insufficient balance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransferError {
+    /// The invoking process is not in `µ(a)` for the source account.
+    NotOwner {
+        /// The process that attempted the debit.
+        process: ProcessId,
+        /// The account it attempted to debit.
+        account: AccountId,
+    },
+    /// The source account balance is lower than the transferred amount.
+    InsufficientBalance {
+        /// The account being debited.
+        account: AccountId,
+        /// The balance available at the linearization point.
+        balance: Amount,
+        /// The amount the transfer attempted to withdraw.
+        requested: Amount,
+    },
+    /// The source or destination account does not exist in `A`.
+    UnknownAccount {
+        /// The unknown account.
+        account: AccountId,
+    },
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferError::NotOwner { process, account } => {
+                write!(f, "process {process} does not own account {account}")
+            }
+            TransferError::InsufficientBalance {
+                account,
+                balance,
+                requested,
+            } => write!(
+                f,
+                "account {account} holds {balance} but the transfer requested {requested}"
+            ),
+            TransferError::UnknownAccount { account } => {
+                write!(f, "account {account} is not part of the account set")
+            }
+        }
+    }
+}
+
+impl Error for TransferError {}
+
+/// Decoding failure in the canonical binary codec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value was fully decoded.
+    UnexpectedEnd {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// A tag byte did not correspond to any variant of the decoded type.
+    InvalidTag {
+        /// Name of the type being decoded.
+        type_name: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A length prefix exceeded the configured sanity limit.
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+        /// The maximum permitted length.
+        limit: u64,
+    },
+    /// Bytes remained after the top-level value was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// A UTF-8 string field contained invalid UTF-8.
+    InvalidUtf8,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+            ),
+            CodecError::InvalidTag { type_name, tag } => {
+                write!(f, "invalid tag {tag:#04x} while decoding {type_name}")
+            }
+            CodecError::LengthOverflow { declared, limit } => {
+                write!(f, "declared length {declared} exceeds limit {limit}")
+            }
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decoded value")
+            }
+            CodecError::InvalidUtf8 => write!(f, "invalid utf-8 in string field"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_error_display() {
+        let e = TransferError::NotOwner {
+            process: ProcessId::new(1),
+            account: AccountId::new(2),
+        };
+        assert_eq!(e.to_string(), "process p1 does not own account acct2");
+
+        let e = TransferError::InsufficientBalance {
+            account: AccountId::new(0),
+            balance: Amount::new(3),
+            requested: Amount::new(9),
+        };
+        assert!(e.to_string().contains("holds 3"));
+        assert!(e.to_string().contains("requested 9"));
+
+        let e = TransferError::UnknownAccount {
+            account: AccountId::new(5),
+        };
+        assert!(e.to_string().contains("acct5"));
+    }
+
+    #[test]
+    fn codec_error_display() {
+        let e = CodecError::UnexpectedEnd {
+            needed: 8,
+            remaining: 3,
+        };
+        assert!(e.to_string().contains("needed 8"));
+        let e = CodecError::InvalidTag {
+            type_name: "Response",
+            tag: 0xff,
+        };
+        assert!(e.to_string().contains("0xff"));
+        assert!(CodecError::InvalidUtf8.to_string().contains("utf-8"));
+        assert!(CodecError::TrailingBytes { remaining: 2 }
+            .to_string()
+            .contains("trailing"));
+        assert!(CodecError::LengthOverflow {
+            declared: 10,
+            limit: 5
+        }
+        .to_string()
+        .contains("exceeds"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TransferError>();
+        assert_error::<CodecError>();
+    }
+}

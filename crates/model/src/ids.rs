@@ -1,0 +1,417 @@
+//! Strongly-typed identifiers used throughout the workspace.
+//!
+//! The paper works with a set `Π` of `N` processes and a set `A` of
+//! accounts. We represent both with dense `u32` indices wrapped in newtypes
+//! ([C-NEWTYPE]) so that a process index can never be confused with an
+//! account index, and monetary amounts ([`Amount`]) can never be confused
+//! with either.
+
+use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::error::CodecError;
+use std::fmt;
+
+/// Identifier of a process in `Π = {0, …, N-1}`.
+///
+/// # Example
+///
+/// ```
+/// use at_model::ProcessId;
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process identifier from its dense index.
+    pub const fn new(index: u32) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the dense index of this process.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as a `usize`, convenient for vector indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all process identifiers `p0 … p(n-1)`.
+    ///
+    /// ```
+    /// use at_model::ProcessId;
+    /// let all: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(all.len(), 3);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> + Clone {
+        (0..n as u32).map(ProcessId)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(index: u32) -> Self {
+        ProcessId(index)
+    }
+}
+
+/// Identifier of an account in `A`.
+///
+/// # Example
+///
+/// ```
+/// use at_model::AccountId;
+/// let a = AccountId::new(7);
+/// assert_eq!(a.index(), 7);
+/// assert_eq!(a.to_string(), "acct7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AccountId(u32);
+
+impl AccountId {
+    /// Creates an account identifier from its dense index.
+    pub const fn new(index: u32) -> Self {
+        AccountId(index)
+    }
+
+    /// Returns the dense index of this account.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as a `usize`, convenient for vector indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all account identifiers `acct0 … acct(n-1)`.
+    pub fn all(n: usize) -> impl Iterator<Item = AccountId> + Clone {
+        (0..n as u32).map(AccountId)
+    }
+}
+
+impl fmt::Debug for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acct{}", self.0)
+    }
+}
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acct{}", self.0)
+    }
+}
+
+impl From<u32> for AccountId {
+    fn from(index: u32) -> Self {
+        AccountId(index)
+    }
+}
+
+/// A non-negative quantity of the transferred asset.
+///
+/// The paper models balances as natural numbers; we use a `u64` with
+/// *checked* arithmetic — the spec guarantees balances never go negative,
+/// and [`Amount::checked_sub`] returning `None` is how implementations
+/// detect insufficient funds.
+///
+/// # Example
+///
+/// ```
+/// use at_model::Amount;
+/// let a = Amount::new(10);
+/// let b = Amount::new(4);
+/// assert_eq!(a.checked_sub(b), Some(Amount::new(6)));
+/// assert_eq!(b.checked_sub(a), None);
+/// assert_eq!(a.saturating_add(b), Amount::new(14));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Amount(u64);
+
+impl Amount {
+    /// The zero amount.
+    pub const ZERO: Amount = Amount(0);
+
+    /// Creates an amount from a raw unit count.
+    pub const fn new(units: u64) -> Self {
+        Amount(units)
+    }
+
+    /// Returns the raw unit count.
+    pub const fn units(self) -> u64 {
+        self.0
+    }
+
+    /// Checked subtraction; `None` when `other` exceeds `self`.
+    pub fn checked_sub(self, other: Amount) -> Option<Amount> {
+        self.0.checked_sub(other.0).map(Amount)
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, other: Amount) -> Option<Amount> {
+        self.0.checked_add(other.0).map(Amount)
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: Amount) -> Amount {
+        Amount(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, other: Amount) -> Amount {
+        Amount(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns `true` when the amount is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Amount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}¤", self.0)
+    }
+}
+
+impl fmt::Display for Amount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Amount {
+    fn from(units: u64) -> Self {
+        Amount(units)
+    }
+}
+
+impl std::iter::Sum for Amount {
+    fn sum<I: Iterator<Item = Amount>>(iter: I) -> Amount {
+        iter.fold(Amount::ZERO, |acc, x| acc.saturating_add(x))
+    }
+}
+
+/// A per-process transfer sequence number.
+///
+/// In the message-passing protocol (Figure 4) every process numbers its
+/// outgoing transfers `1, 2, 3, …`; sequence numbers are the backbone of the
+/// source-order delivery guarantee.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNo(u64);
+
+impl SeqNo {
+    /// Sequence number zero: "no transfers yet".
+    pub const ZERO: SeqNo = SeqNo(0);
+
+    /// Creates a sequence number.
+    pub const fn new(value: u64) -> Self {
+        SeqNo(value)
+    }
+
+    /// Returns the raw value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The successor sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `u64` overflow, which cannot occur in practice.
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0.checked_add(1).expect("sequence number overflow"))
+    }
+
+    /// Returns `true` when `other` is exactly `self + 1`.
+    pub fn is_successor(self, other: SeqNo) -> bool {
+        other.0 == self.0 + 1
+    }
+}
+
+impl fmt::Debug for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for SeqNo {
+    fn from(value: u64) -> Self {
+        SeqNo(value)
+    }
+}
+
+/// A round number in the shared-memory `k`-consensus reduction (Figure 3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Round(u64);
+
+impl Round {
+    /// The first round.
+    pub const ZERO: Round = Round(0);
+
+    /// Creates a round number.
+    pub const fn new(value: u64) -> Self {
+        Round(value)
+    }
+
+    /// Returns the raw value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The next round.
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+macro_rules! impl_u32_codec {
+    ($ty:ty) => {
+        impl Encode for $ty {
+            fn encode(&self, w: &mut Writer) {
+                w.put_u32(self.0);
+            }
+        }
+        impl Decode for $ty {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                Ok(Self(r.take_u32()?))
+            }
+        }
+    };
+}
+
+macro_rules! impl_u64_codec {
+    ($ty:ty) => {
+        impl Encode for $ty {
+            fn encode(&self, w: &mut Writer) {
+                w.put_u64(self.0);
+            }
+        }
+        impl Decode for $ty {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                Ok(Self(r.take_u64()?))
+            }
+        }
+    };
+}
+
+impl_u32_codec!(ProcessId);
+impl_u32_codec!(AccountId);
+impl_u64_codec!(Amount);
+impl_u64_codec!(SeqNo);
+impl_u64_codec!(Round);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip_and_display() {
+        let p = ProcessId::new(42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(p.as_usize(), 42);
+        assert_eq!(format!("{p}"), "p42");
+        assert_eq!(format!("{p:?}"), "p42");
+        assert_eq!(ProcessId::from(42u32), p);
+    }
+
+    #[test]
+    fn process_id_all_enumerates_in_order() {
+        let all: Vec<_> = ProcessId::all(4).collect();
+        assert_eq!(
+            all,
+            vec![
+                ProcessId::new(0),
+                ProcessId::new(1),
+                ProcessId::new(2),
+                ProcessId::new(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn account_id_display() {
+        let a = AccountId::new(7);
+        assert_eq!(format!("{a}"), "acct7");
+        assert_eq!(AccountId::all(2).count(), 2);
+    }
+
+    #[test]
+    fn amount_checked_arithmetic() {
+        let ten = Amount::new(10);
+        let four = Amount::new(4);
+        assert_eq!(ten.checked_sub(four), Some(Amount::new(6)));
+        assert_eq!(four.checked_sub(ten), None);
+        assert_eq!(ten.checked_add(four), Some(Amount::new(14)));
+        assert_eq!(Amount::new(u64::MAX).checked_add(Amount::new(1)), None);
+        assert_eq!(
+            Amount::new(u64::MAX).saturating_add(Amount::new(5)),
+            Amount::new(u64::MAX)
+        );
+        assert_eq!(four.saturating_sub(ten), Amount::ZERO);
+        assert!(Amount::ZERO.is_zero());
+        assert!(!ten.is_zero());
+    }
+
+    #[test]
+    fn amount_sum() {
+        let total: Amount = [1u64, 2, 3].into_iter().map(Amount::new).sum();
+        assert_eq!(total, Amount::new(6));
+    }
+
+    #[test]
+    fn seqno_succession() {
+        let s = SeqNo::ZERO;
+        assert_eq!(s.next(), SeqNo::new(1));
+        assert!(s.is_successor(SeqNo::new(1)));
+        assert!(!s.is_successor(SeqNo::new(2)));
+        assert!(!SeqNo::new(5).is_successor(SeqNo::new(5)));
+    }
+
+    #[test]
+    fn round_succession() {
+        assert_eq!(Round::ZERO.next(), Round::new(1));
+        assert_eq!(Round::new(3).value(), 3);
+        assert_eq!(format!("{}", Round::new(3)), "r3");
+    }
+
+    #[test]
+    fn ordering_is_index_order() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert!(AccountId::new(0) < AccountId::new(9));
+        assert!(Amount::new(5) < Amount::new(6));
+        assert!(SeqNo::new(1) < SeqNo::new(2));
+    }
+}

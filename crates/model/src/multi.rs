@@ -1,0 +1,371 @@
+//! Multi-source / multi-destination transfers.
+//!
+//! Section 2.2 of the paper: "our definition (and implementation) of the
+//! asset-transfer object type can trivially be extended to support
+//! transfers with multiple source accounts (all owned by the same
+//! sequential process) and multiple destination accounts". This module is
+//! that extension: a [`MultiTransfer`] debits several accounts — all of
+//! which the invoking process must own — and credits several accounts, in
+//! one atomic step, conserving the total.
+
+use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::error::{CodecError, TransferError};
+use crate::ids::{AccountId, Amount, ProcessId};
+use crate::spec::Ledger;
+
+/// An atomic transfer from several owned source accounts to several
+/// destination accounts.
+///
+/// The debited total must equal the credited total; validation is
+/// all-or-nothing (per `Δ`, a failed transfer leaves the state
+/// untouched).
+///
+/// # Example
+///
+/// ```
+/// use at_model::multi::MultiTransfer;
+/// use at_model::{AccountId, Amount, Ledger, OwnerMap, ProcessId};
+///
+/// let p = ProcessId::new(0);
+/// let owners = OwnerMap::single_owner([
+///     (AccountId::new(0), p),
+///     (AccountId::new(1), p),
+/// ]);
+/// let mut ledger = Ledger::new(
+///     [
+///         (AccountId::new(0), Amount::new(10)),
+///         (AccountId::new(1), Amount::new(5)),
+///         (AccountId::new(2), Amount::ZERO),
+///     ],
+///     owners,
+/// );
+///
+/// // Consolidate both accounts into account 2.
+/// let tx = MultiTransfer::new(
+///     [(AccountId::new(0), Amount::new(10)), (AccountId::new(1), Amount::new(5))],
+///     [(AccountId::new(2), Amount::new(15))],
+/// );
+/// tx.apply(p, &mut ledger)?;
+/// assert_eq!(ledger.read(AccountId::new(2)), Amount::new(15));
+/// # Ok::<(), at_model::TransferError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiTransfer {
+    debits: Vec<(AccountId, Amount)>,
+    credits: Vec<(AccountId, Amount)>,
+}
+
+impl MultiTransfer {
+    /// Creates a multi-transfer from debit and credit legs.
+    pub fn new<D, C>(debits: D, credits: C) -> Self
+    where
+        D: IntoIterator<Item = (AccountId, Amount)>,
+        C: IntoIterator<Item = (AccountId, Amount)>,
+    {
+        MultiTransfer {
+            debits: debits.into_iter().collect(),
+            credits: credits.into_iter().collect(),
+        }
+    }
+
+    /// The debit legs.
+    pub fn debits(&self) -> &[(AccountId, Amount)] {
+        &self.debits
+    }
+
+    /// The credit legs.
+    pub fn credits(&self) -> &[(AccountId, Amount)] {
+        &self.credits
+    }
+
+    /// Total debited amount (saturating; validation catches overflow).
+    pub fn debit_total(&self) -> Amount {
+        self.debits.iter().map(|(_, x)| *x).sum()
+    }
+
+    /// Total credited amount.
+    pub fn credit_total(&self) -> Amount {
+        self.credits.iter().map(|(_, x)| *x).sum()
+    }
+
+    /// Whether debits and credits balance.
+    pub fn is_balanced(&self) -> bool {
+        self.debit_total() == self.credit_total()
+    }
+
+    /// Validates the transfer against `ledger` for invoker `process`
+    /// without applying it.
+    ///
+    /// # Errors
+    ///
+    /// * [`TransferError::NotOwner`] — some debited account is not owned
+    ///   by `process` (this also covers an unbalanced transfer attempt,
+    ///   reported against the first debit, when no debits exist at all);
+    /// * [`TransferError::UnknownAccount`] — a leg names an account
+    ///   outside `A`;
+    /// * [`TransferError::InsufficientBalance`] — a debited account
+    ///   cannot cover its leg (aggregated per account: the same account
+    ///   may appear in several legs).
+    pub fn check(&self, process: ProcessId, ledger: &Ledger) -> Result<(), TransferError> {
+        // Unbalanced transfers are malformed: report against the first
+        // account involved.
+        if !self.is_balanced() {
+            let account = self
+                .debits
+                .first()
+                .or(self.credits.first())
+                .map(|(a, _)| *a)
+                .unwrap_or(AccountId::new(0));
+            return Err(TransferError::InsufficientBalance {
+                account,
+                balance: self.debit_total(),
+                requested: self.credit_total(),
+            });
+        }
+        for (account, _) in self.debits.iter().chain(self.credits.iter()) {
+            if !ledger.contains_account(*account) {
+                return Err(TransferError::UnknownAccount { account: *account });
+            }
+        }
+        // Aggregate debits per account (an account may appear twice).
+        let mut per_account: std::collections::BTreeMap<AccountId, Amount> =
+            std::collections::BTreeMap::new();
+        for (account, amount) in &self.debits {
+            if !ledger.owners().is_owner(process, *account) {
+                return Err(TransferError::NotOwner {
+                    process,
+                    account: *account,
+                });
+            }
+            let slot = per_account.entry(*account).or_insert(Amount::ZERO);
+            *slot = slot.saturating_add(*amount);
+        }
+        for (account, total) in per_account {
+            let balance = ledger.read(account);
+            if balance < total {
+                return Err(TransferError::InsufficientBalance {
+                    account,
+                    balance,
+                    requested: total,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates and atomically applies the transfer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MultiTransfer::check`]; on error the ledger is
+    /// unchanged.
+    pub fn apply(&self, process: ProcessId, ledger: &mut Ledger) -> Result<(), TransferError> {
+        self.check(process, ledger)?;
+        // Route every debit leg into the first credit account, then
+        // redistribute from there. Each intermediate move is covered:
+        // `check` validated per-account debit totals against the initial
+        // state, and the sink only ever accumulates. Overlapping
+        // debit/credit accounts net out arithmetically.
+        //
+        // No credit legs ⇒ balance forces every debit to be zero: noop.
+        let Some(sink) = self.credits.first().map(|(a, _)| *a) else {
+            return Ok(());
+        };
+        for (account, amount) in &self.debits {
+            // Temporarily move each debit leg into the first credit
+            // account; the per-account aggregation in `check` guarantees
+            // every step is covered.
+            ledger
+                .transfer(process, *account, sink, *amount)
+                .expect("pre-validated leg");
+        }
+        // Redistribute from the first credit account to the others.
+        if let Some(((first, _), rest)) = self.credits.split_first() {
+            for (account, amount) in rest {
+                ledger
+                    .force_move(*first, *account, *amount)
+                    .expect("pre-validated leg");
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Encode for MultiTransfer {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.debits.len() as u64);
+        for (account, amount) in &self.debits {
+            account.encode(w);
+            amount.encode(w);
+        }
+        w.put_u64(self.credits.len() as u64);
+        for (account, amount) in &self.credits {
+            account.encode(w);
+            amount.encode(w);
+        }
+    }
+}
+
+impl Decode for MultiTransfer {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let read_legs = |r: &mut Reader<'_>| -> Result<Vec<(AccountId, Amount)>, CodecError> {
+            let len = r.take_seq_len()?;
+            let mut out = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                out.push((AccountId::decode(r)?, Amount::decode(r)?));
+            }
+            Ok(out)
+        };
+        let debits = read_legs(r)?;
+        let credits = read_legs(r)?;
+        Ok(MultiTransfer { debits, credits })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::owner::OwnerMap;
+
+    fn a(i: u32) -> AccountId {
+        AccountId::new(i)
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn amt(x: u64) -> Amount {
+        Amount::new(x)
+    }
+
+    fn ledger() -> Ledger {
+        // p0 owns accounts 0 and 1; p1 owns account 2; account 3 unowned.
+        let owners = OwnerMap::builder()
+            .account(a(0), [p(0)])
+            .account(a(1), [p(0)])
+            .account(a(2), [p(1)])
+            .account(a(3), [])
+            .build();
+        Ledger::new(
+            [
+                (a(0), amt(10)),
+                (a(1), amt(5)),
+                (a(2), amt(7)),
+                (a(3), amt(0)),
+            ],
+            owners,
+        )
+    }
+
+    #[test]
+    fn consolidation_and_fanout() {
+        let mut l = ledger();
+        // Consolidate 0 and 1 into 3, split a bit to 2.
+        let tx = MultiTransfer::new(
+            [(a(0), amt(10)), (a(1), amt(5))],
+            [(a(3), amt(12)), (a(2), amt(3))],
+        );
+        assert!(tx.is_balanced());
+        tx.apply(p(0), &mut l).unwrap();
+        assert_eq!(l.read(a(0)), amt(0));
+        assert_eq!(l.read(a(1)), amt(0));
+        assert_eq!(l.read(a(2)), amt(10));
+        assert_eq!(l.read(a(3)), amt(12));
+        assert_eq!(l.total_supply(), amt(22));
+    }
+
+    #[test]
+    fn foreign_source_rejected() {
+        let mut l = ledger();
+        let tx = MultiTransfer::new(
+            [(a(0), amt(1)), (a(2), amt(1))],
+            [(a(3), amt(2))],
+        );
+        let err = tx.apply(p(0), &mut l).unwrap_err();
+        assert!(matches!(err, TransferError::NotOwner { account, .. } if account == a(2)));
+        assert_eq!(l.total_supply(), amt(22));
+        assert_eq!(l.read(a(0)), amt(10), "atomic: nothing applied");
+    }
+
+    #[test]
+    fn unbalanced_rejected() {
+        let mut l = ledger();
+        let tx = MultiTransfer::new([(a(0), amt(5))], [(a(3), amt(4))]);
+        assert!(!tx.is_balanced());
+        assert!(tx.apply(p(0), &mut l).is_err());
+        assert_eq!(l.read(a(0)), amt(10));
+    }
+
+    #[test]
+    fn aggregated_overdraft_rejected() {
+        let mut l = ledger();
+        // Two legs of 6 from account 0 (balance 10): individually fine,
+        // aggregated they overdraw.
+        let tx = MultiTransfer::new(
+            [(a(0), amt(6)), (a(0), amt(6))],
+            [(a(3), amt(12))],
+        );
+        let err = tx.apply(p(0), &mut l).unwrap_err();
+        assert!(matches!(
+            err,
+            TransferError::InsufficientBalance { requested, .. } if requested == amt(12)
+        ));
+    }
+
+    #[test]
+    fn unknown_account_rejected() {
+        let mut l = ledger();
+        let tx = MultiTransfer::new([(a(0), amt(1))], [(a(9), amt(1))]);
+        assert!(matches!(
+            tx.apply(p(0), &mut l),
+            Err(TransferError::UnknownAccount { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_transfer_is_a_noop() {
+        let mut l = ledger();
+        let tx = MultiTransfer::new([], []);
+        tx.apply(p(0), &mut l).unwrap();
+        assert_eq!(l.total_supply(), amt(22));
+    }
+
+    #[test]
+    fn zero_debits_without_credits_is_a_noop() {
+        let mut l = ledger();
+        let tx = MultiTransfer::new([(a(0), amt(0))], []);
+        assert!(tx.is_balanced());
+        tx.apply(p(0), &mut l).unwrap();
+        assert_eq!(l.read(a(0)), amt(10));
+    }
+
+    #[test]
+    fn overlapping_debit_and_credit_nets_out() {
+        let mut l = ledger();
+        // Debit 5 from account 0 while crediting 2 back to it.
+        let tx = MultiTransfer::new(
+            [(a(0), amt(5))],
+            [(a(0), amt(2)), (a(3), amt(3))],
+        );
+        tx.apply(p(0), &mut l).unwrap();
+        assert_eq!(l.read(a(0)), amt(7));
+        assert_eq!(l.read(a(3)), amt(3));
+        assert_eq!(l.total_supply(), amt(22));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let tx = MultiTransfer::new(
+            [(a(0), amt(10)), (a(1), amt(5))],
+            [(a(3), amt(15))],
+        );
+        let bytes = crate::codec::encode(&tx);
+        let back: MultiTransfer = crate::codec::decode(&bytes).unwrap();
+        assert_eq!(tx, back);
+        assert_eq!(back.debits().len(), 2);
+        assert_eq!(back.credits().len(), 1);
+        assert_eq!(back.debit_total(), amt(15));
+        assert_eq!(back.credit_total(), amt(15));
+    }
+}

@@ -1,0 +1,271 @@
+//! The owner map `µ : A → 2^Π`.
+//!
+//! Section 2.2 of the paper associates each account with the set of
+//! processes allowed to debit it. Section 4 generalizes from the
+//! single-owner case (`|µ(a)| ≤ 1`) to the *k-shared* case
+//! (`max_a |µ(a)| = k`), which is precisely the consensus number of the
+//! resulting object.
+
+use crate::ids::{AccountId, ProcessId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The owner map `µ : A → 2^Π`.
+///
+/// # Example
+///
+/// ```
+/// use at_model::{AccountId, OwnerMap, ProcessId};
+///
+/// let a = AccountId::new(0);
+/// let b = AccountId::new(1);
+/// let owners = OwnerMap::builder()
+///     .account(a, [ProcessId::new(0)])
+///     .account(b, [ProcessId::new(1), ProcessId::new(2)])
+///     .build();
+///
+/// assert!(owners.is_owner(ProcessId::new(0), a));
+/// assert!(!owners.is_owner(ProcessId::new(0), b));
+/// assert_eq!(owners.sharedness(), 2); // the object is 2-shared
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct OwnerMap {
+    owners: BTreeMap<AccountId, BTreeSet<ProcessId>>,
+}
+
+impl OwnerMap {
+    /// Creates an empty owner map (no accounts).
+    pub fn new() -> Self {
+        OwnerMap::default()
+    }
+
+    /// Starts building an owner map account by account.
+    pub fn builder() -> OwnerMapBuilder {
+        OwnerMapBuilder {
+            map: OwnerMap::new(),
+        }
+    }
+
+    /// Convenience constructor for the Nakamoto setting of Section 2.2:
+    /// every account has exactly one owner.
+    pub fn single_owner<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (AccountId, ProcessId)>,
+    {
+        let mut map = OwnerMap::new();
+        for (account, process) in pairs {
+            map.owners.entry(account).or_default().insert(process);
+        }
+        map
+    }
+
+    /// Convenience constructor for the common benchmark topology: `n`
+    /// processes, one account each, account `i` owned by process `i`.
+    pub fn one_account_per_process(n: usize) -> Self {
+        OwnerMap::single_owner(
+            (0..n as u32).map(|i| (AccountId::new(i), ProcessId::new(i))),
+        )
+    }
+
+    /// Adds `process` as an owner of `account`.
+    pub fn add_owner(&mut self, account: AccountId, process: ProcessId) {
+        self.owners.entry(account).or_default().insert(process);
+    }
+
+    /// Registers `account` with no owners (it can only receive).
+    pub fn add_unowned(&mut self, account: AccountId) {
+        self.owners.entry(account).or_default();
+    }
+
+    /// Returns `true` when `process ∈ µ(account)`.
+    ///
+    /// An account absent from the map has `µ(a) = ∅`, so this returns
+    /// `false` for unknown accounts.
+    pub fn is_owner(&self, process: ProcessId, account: AccountId) -> bool {
+        self.owners
+            .get(&account)
+            .is_some_and(|set| set.contains(&process))
+    }
+
+    /// The owner set `µ(account)`; empty for unknown accounts.
+    pub fn owners(&self, account: AccountId) -> impl Iterator<Item = ProcessId> + '_ {
+        self.owners
+            .get(&account)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// The number of owners `|µ(account)|`.
+    pub fn owner_count(&self, account: AccountId) -> usize {
+        self.owners.get(&account).map_or(0, BTreeSet::len)
+    }
+
+    /// Whether the account is registered in the map at all.
+    pub fn contains_account(&self, account: AccountId) -> bool {
+        self.owners.contains_key(&account)
+    }
+
+    /// Iterates over all registered accounts in index order.
+    pub fn accounts(&self) -> impl Iterator<Item = AccountId> + '_ {
+        self.owners.keys().copied()
+    }
+
+    /// Number of registered accounts.
+    pub fn account_count(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// The *sharedness* `k = max_a |µ(a)|` of the asset-transfer object.
+    ///
+    /// Theorem 2 of the paper: this value is exactly the consensus number
+    /// of the object.
+    pub fn sharedness(&self) -> usize {
+        self.owners.values().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Accounts the given process owns, in index order.
+    pub fn accounts_owned_by(&self, process: ProcessId) -> impl Iterator<Item = AccountId> + '_ {
+        self.owners
+            .iter()
+            .filter(move |(_, set)| set.contains(&process))
+            .map(|(account, _)| *account)
+    }
+}
+
+impl fmt::Display for OwnerMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "µ{{")?;
+        for (i, (account, set)) in self.owners.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{account}→{{")?;
+            for (j, p) in set.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{p}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Incremental builder for [`OwnerMap`] ([C-BUILDER]).
+#[derive(Clone, Debug, Default)]
+pub struct OwnerMapBuilder {
+    map: OwnerMap,
+}
+
+impl OwnerMapBuilder {
+    /// Registers `account` with the given owner set.
+    pub fn account<I>(mut self, account: AccountId, owners: I) -> Self
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        let set = self.map.owners.entry(account).or_default();
+        set.extend(owners);
+        self
+    }
+
+    /// Finishes building the owner map.
+    pub fn build(self) -> OwnerMap {
+        self.map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AccountId {
+        AccountId::new(i)
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn single_owner_map() {
+        let m = OwnerMap::single_owner([(a(0), p(0)), (a(1), p(1))]);
+        assert!(m.is_owner(p(0), a(0)));
+        assert!(!m.is_owner(p(1), a(0)));
+        assert_eq!(m.sharedness(), 1);
+        assert_eq!(m.account_count(), 2);
+    }
+
+    #[test]
+    fn unknown_account_has_no_owners() {
+        let m = OwnerMap::new();
+        assert!(!m.is_owner(p(0), a(9)));
+        assert_eq!(m.owner_count(a(9)), 0);
+        assert_eq!(m.owners(a(9)).count(), 0);
+        assert!(!m.contains_account(a(9)));
+        assert_eq!(m.sharedness(), 0);
+    }
+
+    #[test]
+    fn k_shared_map_sharedness() {
+        let m = OwnerMap::builder()
+            .account(a(0), [p(0)])
+            .account(a(1), [p(0), p(1), p(2)])
+            .account(a(2), [p(1), p(3)])
+            .build();
+        assert_eq!(m.sharedness(), 3);
+        assert_eq!(m.owner_count(a(1)), 3);
+        let owners: Vec<_> = m.owners(a(1)).collect();
+        assert_eq!(owners, vec![p(0), p(1), p(2)]);
+    }
+
+    #[test]
+    fn unowned_account_can_only_receive() {
+        let mut m = OwnerMap::new();
+        m.add_unowned(a(5));
+        assert!(m.contains_account(a(5)));
+        assert_eq!(m.owner_count(a(5)), 0);
+    }
+
+    #[test]
+    fn accounts_owned_by_process() {
+        let m = OwnerMap::builder()
+            .account(a(0), [p(0)])
+            .account(a(1), [p(0), p(1)])
+            .account(a(2), [p(1)])
+            .build();
+        let mine: Vec<_> = m.accounts_owned_by(p(0)).collect();
+        assert_eq!(mine, vec![a(0), a(1)]);
+    }
+
+    #[test]
+    fn one_account_per_process_topology() {
+        let m = OwnerMap::one_account_per_process(4);
+        assert_eq!(m.account_count(), 4);
+        assert_eq!(m.sharedness(), 1);
+        for i in 0..4 {
+            assert!(m.is_owner(p(i), a(i)));
+        }
+    }
+
+    #[test]
+    fn add_owner_is_idempotent() {
+        let mut m = OwnerMap::new();
+        m.add_owner(a(0), p(1));
+        m.add_owner(a(0), p(1));
+        assert_eq!(m.owner_count(a(0)), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = OwnerMap::builder().account(a(0), [p(0), p(1)]).build();
+        assert_eq!(m.to_string(), "µ{acct0→{p0,p1}}");
+    }
+
+    #[test]
+    fn accounts_iterate_in_order() {
+        let m = OwnerMap::single_owner([(a(2), p(0)), (a(0), p(0)), (a(1), p(0))]);
+        let accounts: Vec<_> = m.accounts().collect();
+        assert_eq!(accounts, vec![a(0), a(1), a(2)]);
+    }
+}

@@ -1,0 +1,646 @@
+//! The deterministic discrete-event simulator.
+//!
+//! A [`Simulation`] runs `N` single-threaded [`Actor`]s exchanging typed
+//! messages over a configurable network. Execution is a classical
+//! discrete-event loop: an ordered queue of `(time, sequence)`-stamped
+//! entries, each delivered to one actor; handling an event charges the
+//! actor's processing cost, so a saturated process queues work — the
+//! mechanism behind the throughput curves in the evaluation.
+//!
+//! Determinism: identical `(actors, config, injected commands)` produce
+//! identical executions — every source of randomness derives from the
+//! config seed, and queue ties break on a monotonic sequence number.
+
+use crate::config::NetConfig;
+use crate::time::VirtualTime;
+use at_model::ProcessId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A deterministic single-threaded protocol participant.
+pub trait Actor {
+    /// The message type exchanged between actors.
+    type Msg: Clone;
+    /// Events surfaced to the harness (operation completions etc.).
+    type Event;
+
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Event>) {
+        let _ = ctx;
+    }
+
+    /// Called for every delivered message.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Event>,
+    );
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, timer: u64, ctx: &mut Context<'_, Self::Msg, Self::Event>) {
+        let _ = (timer, ctx);
+    }
+}
+
+/// The actor's interface to the simulated world during one event handler.
+pub struct Context<'a, M, E> {
+    now: VirtualTime,
+    me: ProcessId,
+    n: usize,
+    outbox: Vec<(ProcessId, M)>,
+    timers: Vec<(VirtualTime, u64)>,
+    events: &'a mut Vec<(VirtualTime, ProcessId, E)>,
+    extra_cost: VirtualTime,
+}
+
+impl<M: Clone, E> Context<'_, M, E> {
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// The identity of this actor.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Total number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sends `msg` to `to` (including possibly ourselves).
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends `msg` to every process, *including* the sender — the usual
+    /// convention of broadcast protocols where the sender also delivers
+    /// its own copy.
+    pub fn send_all(&mut self, msg: M) {
+        for i in 0..self.n {
+            self.outbox.push((ProcessId::new(i as u32), msg.clone()));
+        }
+    }
+
+    /// Schedules `on_timer(timer)` after `delay`.
+    pub fn set_timer(&mut self, delay: VirtualTime, timer: u64) {
+        self.timers.push((delay, timer));
+    }
+
+    /// Emits an event to the harness, stamped with the current time.
+    pub fn emit(&mut self, event: E) {
+        self.events.push((self.now, self.me, event));
+    }
+
+    /// Charges additional processing cost for this handler invocation
+    /// (e.g. modelled signature-verification time).
+    pub fn charge(&mut self, cost: VirtualTime) {
+        self.extra_cost += cost;
+    }
+}
+
+/// A scheduled command: a one-shot closure run on an actor, modelling a
+/// client request arriving at a replica.
+type Command<A> = Box<
+    dyn for<'a> FnOnce(
+        &mut A,
+        &mut Context<'a, <A as Actor>::Msg, <A as Actor>::Event>,
+    ),
+>;
+
+enum Entry<A: Actor> {
+    Start,
+    Deliver { from: ProcessId, msg: A::Msg },
+    Timer { timer: u64 },
+    Command { run: Command<A> },
+}
+
+/// Cumulative simulator statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages delivered to (live) actors.
+    pub messages_delivered: u64,
+    /// Messages dropped by partitions.
+    pub messages_dropped: u64,
+    /// Events processed in total.
+    pub events_processed: u64,
+}
+
+struct QueueItem<A: Actor> {
+    at: VirtualTime,
+    sequence: u64,
+    to: ProcessId,
+    entry: Entry<A>,
+}
+
+impl<A: Actor> PartialEq for QueueItem<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.sequence == other.sequence
+    }
+}
+
+impl<A: Actor> Eq for QueueItem<A> {}
+
+impl<A: Actor> PartialOrd for QueueItem<A> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<A: Actor> Ord for QueueItem<A> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.sequence).cmp(&(other.at, other.sequence))
+    }
+}
+
+/// The discrete-event simulation over actors of type `A`.
+pub struct Simulation<A: Actor> {
+    actors: Vec<A>,
+    crashed: Vec<bool>,
+    busy_until: Vec<VirtualTime>,
+    queue: BinaryHeap<Reverse<QueueItem<A>>>,
+    sequence: u64,
+    now: VirtualTime,
+    rng: StdRng,
+    config: NetConfig,
+    events: Vec<(VirtualTime, ProcessId, A::Event)>,
+    stats: SimStats,
+    /// Directed links currently cut by a partition.
+    blocked_links: HashSet<(ProcessId, ProcessId)>,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates a simulation over `actors` with the given network config.
+    pub fn new(actors: Vec<A>, config: NetConfig) -> Self {
+        let n = actors.len();
+        let rng = StdRng::seed_from_u64(config.seed);
+        let mut sim = Simulation {
+            crashed: vec![false; n],
+            busy_until: vec![VirtualTime::ZERO; n],
+            actors,
+            queue: BinaryHeap::new(),
+            sequence: 0,
+            now: VirtualTime::ZERO,
+            rng,
+            config,
+            events: Vec::new(),
+            stats: SimStats::default(),
+            blocked_links: HashSet::new(),
+        };
+        for i in 0..n {
+            sim.push(VirtualTime::ZERO, ProcessId::new(i as u32), Entry::Start);
+        }
+        sim
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Simulator statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Immutable access to an actor (for end-of-run assertions).
+    pub fn actor(&self, process: ProcessId) -> &A {
+        &self.actors[process.as_usize()]
+    }
+
+    /// Marks `process` as crashed: pending and future deliveries to it are
+    /// dropped, and it takes no further steps.
+    pub fn crash(&mut self, process: ProcessId) {
+        self.crashed[process.as_usize()] = true;
+    }
+
+    /// Whether `process` has been crashed.
+    pub fn is_crashed(&self, process: ProcessId) -> bool {
+        self.crashed[process.as_usize()]
+    }
+
+    /// Installs a network partition: messages between processes in
+    /// *different* groups are silently dropped (the reliable-channel
+    /// assumption is suspended until [`Simulation::heal_partition`]).
+    /// Processes absent from every group communicate freely.
+    pub fn set_partition(&mut self, groups: &[&[ProcessId]]) {
+        self.blocked_links.clear();
+        for (gi, group_a) in groups.iter().enumerate() {
+            for (gj, group_b) in groups.iter().enumerate() {
+                if gi == gj {
+                    continue;
+                }
+                for &a in *group_a {
+                    for &b in *group_b {
+                        self.blocked_links.insert((a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes the current partition; links are reliable again. Messages
+    /// dropped while partitioned stay lost (no retransmission — protocols
+    /// that need it must implement it).
+    pub fn heal_partition(&mut self) {
+        self.blocked_links.clear();
+    }
+
+    /// Whether the directed link `from → to` is currently cut.
+    pub fn is_link_blocked(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.blocked_links.contains(&(from, to))
+    }
+
+    /// Schedules `command` to run on `process` at absolute time `at`
+    /// (clamped to the present).
+    pub fn schedule<F>(&mut self, at: VirtualTime, process: ProcessId, command: F)
+    where
+        F: for<'a> FnOnce(&mut A, &mut Context<'a, A::Msg, A::Event>) + 'static,
+    {
+        let at = at.max(self.now);
+        self.push(
+            at,
+            process,
+            Entry::Command {
+                run: Box::new(command),
+            },
+        );
+    }
+
+    fn push(&mut self, at: VirtualTime, to: ProcessId, entry: Entry<A>) {
+        let item = QueueItem {
+            at,
+            sequence: self.sequence,
+            to,
+            entry,
+        };
+        self.sequence += 1;
+        self.queue.push(Reverse(item));
+    }
+
+    /// Processes a single queue entry. Returns `false` when the queue is
+    /// exhausted.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(item)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(item.at);
+        let process = item.to;
+        let index = process.as_usize();
+        if self.crashed[index] {
+            return true;
+        }
+
+        // Single-threaded process model: the handler starts when the
+        // process becomes free.
+        let start = self.now.max(self.busy_until[index]);
+        self.stats.events_processed += 1;
+
+        let mut ctx = Context {
+            now: start,
+            me: process,
+            n: self.actors.len(),
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            events: &mut self.events,
+            extra_cost: VirtualTime::ZERO,
+        };
+
+        match item.entry {
+            Entry::Start => self.actors[index].on_start(&mut ctx),
+            Entry::Deliver { from, msg } => {
+                self.stats.messages_delivered += 1;
+                self.actors[index].on_message(from, msg, &mut ctx);
+            }
+            Entry::Timer { timer } => self.actors[index].on_timer(timer, &mut ctx),
+            Entry::Command { run } => run(&mut self.actors[index], &mut ctx),
+        }
+
+        let Context {
+            outbox,
+            timers,
+            extra_cost,
+            ..
+        } = ctx;
+
+        // The handler completes after the configured processing cost plus
+        // per-message transmission work.
+        let send_work = VirtualTime::from_micros(
+            self.config.send_cost.as_micros() * outbox.len() as u64,
+        );
+        let done = start + self.config.processing_cost + extra_cost + send_work;
+        self.busy_until[index] = done;
+
+        for (to, msg) in outbox {
+            self.stats.messages_sent += 1;
+            if self.blocked_links.contains(&(process, to)) {
+                self.stats.messages_dropped += 1;
+                continue;
+            }
+            let latency = self.config.latency.sample(&mut self.rng);
+            self.push(done + latency, to, Entry::Deliver { from: process, msg });
+        }
+        for (delay, timer) in timers {
+            self.push(done + delay, process, Entry::Timer { timer });
+        }
+        true
+    }
+
+    /// Runs until the queue is empty or `limit` entries were processed.
+    ///
+    /// Returns `true` when the queue drained (quiescence).
+    pub fn run_until_quiet(&mut self, limit: u64) -> bool {
+        for _ in 0..limit {
+            if !self.step() {
+                return true;
+            }
+        }
+        self.queue.is_empty()
+    }
+
+    /// Runs until virtual time exceeds `deadline` or the queue drains.
+    pub fn run_until(&mut self, deadline: VirtualTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Drains the events emitted so far.
+    pub fn take_events(&mut self) -> Vec<(VirtualTime, ProcessId, A::Event)> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatencyModel;
+
+    /// A ping-pong actor: process 0 starts by pinging 1; each ping is
+    /// ponged back, `rounds` times.
+    struct PingPong {
+        rounds: u64,
+        completed: u64,
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u64),
+        Pong(u64),
+    }
+
+    impl Actor for PingPong {
+        type Msg = Msg;
+        type Event = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg, u64>) {
+            if ctx.me() == ProcessId::new(0) && self.rounds > 0 {
+                ctx.send(ProcessId::new(1), Msg::Ping(1));
+            }
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg, u64>) {
+            match msg {
+                Msg::Ping(round) => ctx.send(from, Msg::Pong(round)),
+                Msg::Pong(round) => {
+                    self.completed = round;
+                    ctx.emit(round);
+                    if round < self.rounds {
+                        ctx.send(from, Msg::Ping(round + 1));
+                    }
+                }
+            }
+        }
+    }
+
+    fn ping_pong_sim(seed: u64) -> Simulation<PingPong> {
+        let actors = vec![
+            PingPong {
+                rounds: 5,
+                completed: 0,
+            },
+            PingPong {
+                rounds: 5,
+                completed: 0,
+            },
+        ];
+        Simulation::new(actors, NetConfig::lan(seed))
+    }
+
+    #[test]
+    fn ping_pong_completes() {
+        let mut sim = ping_pong_sim(0);
+        assert!(sim.run_until_quiet(1_000));
+        assert_eq!(sim.actor(ProcessId::new(0)).completed, 5);
+        let events = sim.take_events();
+        assert_eq!(events.len(), 5);
+        // Events are in time order and all from process 0.
+        for window in events.windows(2) {
+            assert!(window[0].0 <= window[1].0);
+        }
+        assert!(events.iter().all(|(_, p, _)| *p == ProcessId::new(0)));
+    }
+
+    #[test]
+    fn executions_are_deterministic() {
+        let mut sim1 = ping_pong_sim(42);
+        let mut sim2 = ping_pong_sim(42);
+        sim1.run_until_quiet(1_000);
+        sim2.run_until_quiet(1_000);
+        assert_eq!(sim1.now(), sim2.now());
+        assert_eq!(sim1.stats(), sim2.stats());
+        let e1: Vec<_> = sim1.take_events();
+        let e2: Vec<_> = sim2.take_events();
+        assert_eq!(e1.len(), e2.len());
+        for (a, b) in e1.iter().zip(&e2) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.2, b.2);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut sim1 = ping_pong_sim(1);
+        let mut sim2 = ping_pong_sim(2);
+        sim1.run_until_quiet(1_000);
+        sim2.run_until_quiet(1_000);
+        // With jittered latency the completion times almost surely differ.
+        assert_ne!(sim1.now(), sim2.now());
+    }
+
+    #[test]
+    fn virtual_time_advances_with_latency() {
+        let config = NetConfig {
+            latency: LatencyModel::fixed(VirtualTime::from_millis(1)),
+            processing_cost: VirtualTime::ZERO,
+            send_cost: VirtualTime::ZERO,
+            seed: 0,
+        };
+        let actors = vec![
+            PingPong {
+                rounds: 3,
+                completed: 0,
+            },
+            PingPong {
+                rounds: 3,
+                completed: 0,
+            },
+        ];
+        let mut sim = Simulation::new(actors, config);
+        sim.run_until_quiet(1_000);
+        // 3 rounds × 2 hops × 1ms.
+        assert_eq!(sim.now(), VirtualTime::from_millis(6));
+    }
+
+    #[test]
+    fn crash_stops_a_process() {
+        let mut sim = ping_pong_sim(7);
+        sim.crash(ProcessId::new(1));
+        assert!(sim.is_crashed(ProcessId::new(1)));
+        assert!(sim.run_until_quiet(1_000));
+        // The ping was sent but never answered.
+        assert_eq!(sim.actor(ProcessId::new(0)).completed, 0);
+        assert_eq!(sim.stats().messages_sent, 1);
+        assert_eq!(sim.stats().messages_delivered, 0);
+    }
+
+    #[test]
+    fn schedule_runs_commands_at_time() {
+        let mut sim = ping_pong_sim(0);
+        sim.run_until_quiet(1_000);
+        let before = sim.actor(ProcessId::new(0)).completed;
+        assert_eq!(before, 5);
+        // Inject a new ping via a command.
+        sim.schedule(
+            VirtualTime::from_millis(100),
+            ProcessId::new(0),
+            |actor, ctx| {
+                actor.rounds += 1;
+                ctx.send(ProcessId::new(1), Msg::Ping(actor.rounds));
+            },
+        );
+        sim.run_until_quiet(1_000);
+        assert_eq!(sim.actor(ProcessId::new(0)).completed, 6);
+        assert!(sim.now() >= VirtualTime::from_millis(100));
+    }
+
+    #[test]
+    fn processing_cost_delays_handling() {
+        let config = NetConfig {
+            latency: LatencyModel::fixed(VirtualTime::from_micros(1)),
+            processing_cost: VirtualTime::from_millis(10),
+            send_cost: VirtualTime::ZERO,
+            seed: 0,
+        };
+        let actors = vec![
+            PingPong {
+                rounds: 2,
+                completed: 0,
+            },
+            PingPong {
+                rounds: 2,
+                completed: 0,
+            },
+        ];
+        let mut sim = Simulation::new(actors, config);
+        sim.run_until_quiet(1_000);
+        // Each handler costs 10ms; the exchange involves ≥ 8 handler
+        // invocations (2 starts + pings/pongs), so well over 40ms.
+        assert!(sim.now() >= VirtualTime::from_millis(40));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = ping_pong_sim(0);
+        sim.run_until(VirtualTime::from_micros(150));
+        assert!(sim.now() >= VirtualTime::from_micros(150));
+        // Ping-pong over LAN latency (≥200µs base) cannot have finished.
+        assert!(sim.actor(ProcessId::new(0)).completed < 5);
+    }
+
+    #[test]
+    fn partition_drops_cross_group_messages() {
+        let mut sim = ping_pong_sim(3);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        sim.set_partition(&[&[p0], &[p1]]);
+        assert!(sim.is_link_blocked(p0, p1));
+        assert!(sim.is_link_blocked(p1, p0));
+        assert!(sim.run_until_quiet(1_000));
+        // The initial ping was dropped: no round completed.
+        assert_eq!(sim.actor(p0).completed, 0);
+        assert_eq!(sim.stats().messages_dropped, 1);
+
+        // Heal and re-inject: communication works again.
+        sim.heal_partition();
+        assert!(!sim.is_link_blocked(p0, p1));
+        sim.schedule(sim.now(), p0, |_actor, ctx| {
+            ctx.send(ProcessId::new(1), Msg::Ping(1));
+        });
+        assert!(sim.run_until_quiet(1_000));
+        // The restarted exchange runs to completion (all 5 rounds).
+        assert_eq!(sim.actor(p0).completed, 5);
+    }
+
+    #[test]
+    fn send_cost_charges_sender() {
+        let config = NetConfig {
+            latency: LatencyModel::fixed(VirtualTime::from_micros(1)),
+            processing_cost: VirtualTime::ZERO,
+            send_cost: VirtualTime::from_millis(2),
+            seed: 0,
+        };
+        let actors = vec![
+            PingPong {
+                rounds: 1,
+                completed: 0,
+            },
+            PingPong {
+                rounds: 1,
+                completed: 0,
+            },
+        ];
+        let mut sim = Simulation::new(actors, config);
+        sim.run_until_quiet(1_000);
+        // Ping (2ms send work) + pong (2ms) dominate the 1µs latency.
+        assert!(sim.now() >= VirtualTime::from_millis(4));
+    }
+
+    #[test]
+    fn charge_adds_cost() {
+        struct Charger;
+        impl Actor for Charger {
+            type Msg = ();
+            type Event = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, (), ()>) {
+                ctx.charge(VirtualTime::from_millis(5));
+                ctx.set_timer(VirtualTime::ZERO, 0);
+            }
+            fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<'_, (), ()>) {}
+            fn on_timer(&mut self, _: u64, ctx: &mut Context<'_, (), ()>) {
+                ctx.emit(());
+            }
+        }
+        let mut sim = Simulation::new(vec![Charger], NetConfig::instant(0));
+        sim.run_until_quiet(100);
+        let events = sim.take_events();
+        assert_eq!(events.len(), 1);
+        // The timer fires only after the charged 5ms.
+        assert!(events[0].0 >= VirtualTime::from_millis(5));
+    }
+}

@@ -1,0 +1,142 @@
+//! Virtual time.
+//!
+//! The simulator measures time in virtual microseconds. All reported
+//! latencies and throughputs in the benchmark harness are in virtual time,
+//! which is what makes the experiments reproducible and independent of the
+//! host machine.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) virtual time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// Time zero (simulation start).
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        VirtualTime(micros)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        VirtualTime(millis * 1_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        VirtualTime(secs * 1_000_000)
+    }
+
+    /// The value in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The value in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The value in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, earlier: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for VirtualTime {
+    type Output = VirtualTime;
+
+    fn add(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.checked_add(rhs.0).expect("virtual time overflow"))
+    }
+}
+
+impl AddAssign for VirtualTime {
+    fn add_assign(&mut self, rhs: VirtualTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = VirtualTime;
+
+    fn sub(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("virtual time underflow: subtracting a later time"),
+        )
+    }
+}
+
+impl fmt::Debug for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}µs", self.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(VirtualTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(VirtualTime::from_secs(2).as_millis(), 2_000);
+        assert_eq!(VirtualTime::from_micros(1_500).as_millis(), 1);
+        assert!((VirtualTime::from_millis(500).as_secs_f64() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = VirtualTime::from_micros(10);
+        let b = VirtualTime::from_micros(4);
+        assert_eq!(a + b, VirtualTime::from_micros(14));
+        assert_eq!(a - b, VirtualTime::from_micros(6));
+        assert_eq!(b.saturating_sub(a), VirtualTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, VirtualTime::from_micros(14));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtracting_later_time_panics() {
+        let _ = VirtualTime::from_micros(1) - VirtualTime::from_micros(2);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(VirtualTime::from_micros(5).to_string(), "5µs");
+        assert_eq!(VirtualTime::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(VirtualTime::from_secs(2).to_string(), "2.000s");
+        assert_eq!(format!("{:?}", VirtualTime::from_micros(7)), "7µs");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(VirtualTime::from_micros(1) < VirtualTime::from_micros(2));
+        assert_eq!(VirtualTime::ZERO, VirtualTime::default());
+    }
+}

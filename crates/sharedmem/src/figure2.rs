@@ -1,0 +1,220 @@
+//! Figure 2: wait-free consensus among `k` processes from a single
+//! `k`-shared asset-transfer object (the lower bound of Theorem 2).
+//!
+//! `k` processes share an account `a` with initial balance `2k`. Process
+//! `p ∈ {1..k}` (1-based, as in the paper) announces its proposal in a
+//! register and then tries to withdraw `2k − p`:
+//!
+//! * any two withdrawals sum to more than `2k`, so **only the first can
+//!   succeed**;
+//! * the remaining balance `2k − (2k − q) = q` uniquely identifies the
+//!   winner `q`, whose announced value everyone decides.
+//!
+//! ```text
+//! Upon propose(v):
+//!   R[p].write(v)
+//!   AT.transfer(a, s, 2k − p)
+//!   return R[AT.read(a)].read()
+//! ```
+
+use crate::object::SharedAssetTransfer;
+use crate::register::RegisterArray;
+use at_model::{AccountId, Amount, OwnerMap, ProcessId};
+use std::fmt;
+use std::sync::Arc;
+
+/// A consensus object for `k` processes built from registers and one
+/// `k`-shared asset-transfer object, exactly as in Figure 2.
+///
+/// # Example
+///
+/// ```
+/// use at_model::ProcessId;
+/// use at_sharedmem::figure2::TransferConsensus;
+/// use at_sharedmem::object::MutexAssetTransfer;
+///
+/// let consensus = TransferConsensus::new(3, |ledger| MutexAssetTransfer::new(ledger));
+/// let d0 = consensus.propose(ProcessId::new(0), "alpha");
+/// let d1 = consensus.propose(ProcessId::new(1), "beta");
+/// assert_eq!(d0, d1); // agreement
+/// ```
+pub struct TransferConsensus<V, O> {
+    k: usize,
+    registers: RegisterArray<V>,
+    object: Arc<O>,
+    account_a: AccountId,
+    account_s: AccountId,
+}
+
+impl<V: Clone + Send, O: SharedAssetTransfer> TransferConsensus<V, O> {
+    /// Creates the consensus object for `k` processes (`p0 … p(k−1)`).
+    ///
+    /// `make_object` receives the required initial state — account `a`
+    /// with balance `2k` owned by all `k` processes plus a sink account
+    /// `s` — and returns the `k`-shared asset-transfer object to run the
+    /// protocol on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    pub fn new<F>(k: usize, make_object: F) -> Self
+    where
+        F: FnOnce(at_model::Ledger) -> O,
+    {
+        assert!(k > 0, "consensus requires at least one process");
+        let account_a = AccountId::new(0);
+        let account_s = AccountId::new(1);
+        let mut owners = OwnerMap::new();
+        for process in ProcessId::all(k) {
+            owners.add_owner(account_a, process);
+        }
+        owners.add_unowned(account_s);
+        let ledger = at_model::Ledger::new(
+            [
+                (account_a, Amount::new(2 * k as u64)),
+                (account_s, Amount::ZERO),
+            ],
+            owners,
+        );
+        TransferConsensus {
+            k,
+            registers: RegisterArray::new(k),
+            object: Arc::new(make_object(ledger)),
+            account_a,
+            account_s,
+        }
+    }
+
+    /// The number of participating processes.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying asset-transfer object (for inspection in tests).
+    pub fn object(&self) -> &Arc<O> {
+        &self.object
+    }
+
+    /// `propose(v)` for process `process` (0-based; mapped to the paper's
+    /// 1-based `p = index + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `process` is not one of the `k` participants, or if the
+    /// underlying object violates its specification (a safety-violation
+    /// signal in tests, not an expected runtime condition).
+    pub fn propose(&self, process: ProcessId, value: V) -> V {
+        let index = process.as_usize();
+        assert!(index < self.k, "process {process} is not a participant");
+        let p = (index + 1) as u64; // the paper's 1-based process id
+
+        // Line 1: announce the proposal.
+        self.registers.write(index, value);
+
+        // Line 2: try to withdraw 2k − p.
+        let amount = Amount::new(2 * self.k as u64 - p);
+        let _ = self
+            .object
+            .transfer(process, self.account_a, self.account_s, amount);
+
+        // Line 3: the remaining balance identifies the winner q (1-based).
+        let q = self.object.read(self.account_a).units();
+        assert!(
+            q >= 1 && q <= self.k as u64,
+            "object violated the type: residual balance {q}"
+        );
+        self.registers
+            .read((q - 1) as usize)
+            .expect("winner announced before transferring")
+    }
+}
+
+impl<V: Clone + Send, O: SharedAssetTransfer> fmt::Debug for TransferConsensus<V, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TransferConsensus(k={}, balance(a)={})",
+            self.k,
+            self.object.read(self.account_a)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::MutexAssetTransfer;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn sequential_first_proposal_wins() {
+        let consensus = TransferConsensus::new(3, MutexAssetTransfer::new);
+        assert_eq!(consensus.propose(ProcessId::new(1), 'b'), 'b');
+        assert_eq!(consensus.propose(ProcessId::new(0), 'a'), 'b');
+        assert_eq!(consensus.propose(ProcessId::new(2), 'c'), 'b');
+    }
+
+    #[test]
+    fn k_one_decides_own_value() {
+        let consensus = TransferConsensus::new(1, MutexAssetTransfer::new);
+        assert_eq!(consensus.propose(ProcessId::new(0), 99u32), 99);
+        assert_eq!(consensus.k(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a participant")]
+    fn non_participant_rejected() {
+        let consensus = TransferConsensus::new(2, MutexAssetTransfer::new);
+        let _ = consensus.propose(ProcessId::new(5), 0u8);
+    }
+
+    #[test]
+    fn concurrent_agreement_validity_termination() {
+        for trial in 0..30 {
+            let k = 6;
+            let consensus =
+                Arc::new(TransferConsensus::new(k, MutexAssetTransfer::new));
+            let handles: Vec<_> = (0..k as u32)
+                .map(|i| {
+                    let consensus = Arc::clone(&consensus);
+                    thread::spawn(move || consensus.propose(ProcessId::new(i), i * 10))
+                })
+                .collect();
+            let decisions: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let unique: HashSet<_> = decisions.iter().copied().collect();
+            assert_eq!(unique.len(), 1, "trial {trial}: disagreement {decisions:?}");
+            let decided = decisions[0];
+            assert!(decided % 10 == 0 && decided < k as u32 * 10, "validity");
+        }
+    }
+
+    #[test]
+    fn exactly_one_withdrawal_succeeds() {
+        let k = 4;
+        let consensus = Arc::new(TransferConsensus::new(k, MutexAssetTransfer::new));
+        let handles: Vec<_> = (0..k as u32)
+            .map(|i| {
+                let consensus = Arc::clone(&consensus);
+                thread::spawn(move || consensus.propose(ProcessId::new(i), i))
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join().unwrap();
+        }
+        // Residual balance on `a` is the winner's 1-based id; the sink got
+        // 2k − q.
+        let object = consensus.object();
+        let q = object.read(AccountId::new(0)).units();
+        let sink = object.read(AccountId::new(1)).units();
+        assert_eq!(q + sink, 2 * k as u64);
+        assert!(q >= 1 && q <= k as u64);
+    }
+
+    #[test]
+    fn debug_renders() {
+        let consensus: TransferConsensus<u8, _> =
+            TransferConsensus::new(2, MutexAssetTransfer::new);
+        assert!(format!("{consensus:?}").contains("k=2"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example binary (`quickstart`, `payment_network`, `shared_account`,
+//! `consensus_from_transfers`) is self-contained; this library only hosts
+//! small formatting utilities they share.
+
+#![forbid(unsafe_code)]
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,8 @@
+//! Integration-test support crate.
+//!
+//! The actual integration tests live in `tests/tests/*.rs` and span the
+//! whole workspace: shared-memory algorithms checked by the
+//! linearizability checker, message-passing systems under Byzantine
+//! attack, and cross-system agreement scenarios.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,219 @@
+//! Integration tests for the Section 6 system (experiment S6): `k`-shared
+//! accounts in message passing — owner-group BFT sequencing composed with
+//! the account-order broadcast, across crate boundaries.
+
+use at_broadcast::auth::NoAuth;
+use at_core::kshared::{KEvent, KSharedReplica};
+use at_model::{AccountId, Amount, OwnerMap, ProcessId};
+use at_net::{NetConfig, Simulation, VirtualTime};
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn a(i: u32) -> AccountId {
+    AccountId::new(i)
+}
+
+fn amt(x: u64) -> Amount {
+    Amount::new(x)
+}
+
+/// Builds a system with two shared accounts (0: owners 0-2, 1: owners
+/// 3-4) plus singly-owned accounts for everyone.
+fn two_treasuries(n: usize, seed: u64) -> Simulation<KSharedReplica<NoAuth>> {
+    let mut owners = OwnerMap::new();
+    for i in 0..3 {
+        owners.add_owner(a(0), p(i));
+    }
+    for i in 3..5 {
+        owners.add_owner(a(1), p(i));
+    }
+    for i in 0..n {
+        owners.add_owner(a(10 + i as u32), p(i as u32));
+    }
+    let initial: Vec<(AccountId, Amount)> = [(a(0), amt(300)), (a(1), amt(200))]
+        .into_iter()
+        .chain((0..n).map(|i| (a(10 + i as u32), amt(50))))
+        .collect();
+    let replicas = (0..n as u32)
+        .map(|i| KSharedReplica::new(p(i), n, initial.clone(), owners.clone(), NoAuth))
+        .collect();
+    Simulation::new(replicas, NetConfig::lan(seed))
+}
+
+fn successes(events: Vec<(VirtualTime, ProcessId, KEvent)>) -> usize {
+    events
+        .iter()
+        .filter(|(_, _, e)| matches!(e, KEvent::Completed { success: true, .. }))
+        .count()
+}
+
+#[test]
+fn two_shared_accounts_operate_independently() {
+    let mut sim = two_treasuries(6, 3);
+    // Owners of both treasuries spend concurrently.
+    sim.schedule(VirtualTime::ZERO, p(0), |replica, ctx| {
+        replica.submit(a(0), a(11), amt(100), ctx);
+    });
+    sim.schedule(VirtualTime::ZERO, p(2), |replica, ctx| {
+        replica.submit(a(0), a(12), amt(100), ctx);
+    });
+    sim.schedule(VirtualTime::ZERO, p(3), |replica, ctx| {
+        replica.submit(a(1), a(13), amt(150), ctx);
+    });
+    assert!(sim.run_until_quiet(10_000_000));
+    assert_eq!(successes(sim.take_events()), 3);
+    for i in 0..6u32 {
+        assert_eq!(sim.actor(p(i)).read(a(0)), amt(100), "replica {i}");
+        assert_eq!(sim.actor(p(i)).read(a(1)), amt(50), "replica {i}");
+        assert_eq!(sim.actor(p(i)).observed_balance(a(13)), amt(200));
+    }
+}
+
+#[test]
+fn money_flows_between_shared_and_private_accounts() {
+    let mut sim = two_treasuries(6, 7);
+    // Private account funds treasury 0; later treasury 0 pays out more
+    // than its initial balance would allow.
+    sim.schedule(VirtualTime::ZERO, p(5), |replica, ctx| {
+        replica.submit(a(15), a(0), amt(50), ctx);
+    });
+    sim.schedule(VirtualTime::from_millis(200), p(1), |replica, ctx| {
+        replica.submit(a(0), a(10), amt(340), ctx); // 300 + 50 incoming
+    });
+    assert!(sim.run_until_quiet(10_000_000));
+    assert_eq!(successes(sim.take_events()), 2);
+    for i in 0..6u32 {
+        assert_eq!(sim.actor(p(i)).observed_balance(a(0)), amt(10));
+        assert_eq!(sim.actor(p(i)).observed_balance(a(10)), amt(390));
+    }
+}
+
+#[test]
+fn sequencing_is_fair_across_owners_under_load() {
+    let mut sim = two_treasuries(6, 11);
+    for round in 0..4u64 {
+        for owner in 0..3u32 {
+            sim.schedule(
+                VirtualTime::from_millis(round * 50),
+                p(owner),
+                move |replica, ctx| {
+                    replica.submit(a(0), a(14), amt(10), ctx);
+                },
+            );
+        }
+    }
+    assert!(sim.run_until_quiet(50_000_000));
+    let events = sim.take_events();
+    assert_eq!(successes(events), 12);
+    for i in 0..6u32 {
+        assert_eq!(sim.actor(p(i)).read(a(0)), amt(300 - 120), "replica {i}");
+        assert_eq!(sim.actor(p(i)).observed_balance(a(14)), amt(50 + 120));
+    }
+}
+
+#[test]
+fn overdraft_verdicts_are_identical_everywhere() {
+    let mut sim = two_treasuries(6, 13);
+    // Three owners race for 150 each from a 300 treasury: exactly two win.
+    for owner in 0..3u32 {
+        sim.schedule(VirtualTime::ZERO, p(owner), move |replica, ctx| {
+            replica.submit(a(0), a(10 + owner), amt(150), ctx);
+        });
+    }
+    assert!(sim.run_until_quiet(10_000_000));
+    let events = sim.take_events();
+    let wins = successes(events.clone());
+    assert_eq!(wins, 2);
+    // The Applied verdicts agree across replicas: collect (transfer id,
+    // verdict) per replica and compare.
+    use std::collections::BTreeMap;
+    let mut per_replica: BTreeMap<ProcessId, BTreeMap<String, bool>> = BTreeMap::new();
+    for (_, at, event) in events {
+        if let KEvent::Applied { transfer, success } = event {
+            per_replica
+                .entry(at)
+                .or_default()
+                .insert(transfer.to_string(), success);
+        }
+    }
+    let reference = per_replica.values().next().unwrap().clone();
+    for (replica, verdicts) in &per_replica {
+        assert_eq!(verdicts, &reference, "verdicts diverged at {replica}");
+    }
+    for i in 0..6u32 {
+        assert_eq!(sim.actor(p(i)).read(a(0)), amt(0), "replica {i}");
+    }
+}
+
+#[test]
+fn crashed_nonleader_owner_does_not_block_the_account() {
+    let mut sim = two_treasuries(6, 17);
+    // With 3 owners, f = ⌊(3−1)/3⌋ = 0 and the sequencing quorum is
+    // 2f+1 = 1: a crashed non-leader owner (the group leader of view 0 is
+    // p0) leaves the treasury fully live for the remaining owners.
+    sim.crash(p(2));
+    sim.schedule(VirtualTime::ZERO, p(0), |replica, ctx| {
+        replica.submit(a(0), a(11), amt(10), ctx);
+    });
+    // Private accounts are unaffected regardless.
+    sim.schedule(VirtualTime::ZERO, p(5), |replica, ctx| {
+        replica.submit(a(15), a(14), amt(10), ctx);
+    });
+    assert!(sim.run_until_quiet(10_000_000));
+    let events = sim.take_events();
+    let completed_accounts: Vec<AccountId> = events
+        .iter()
+        .filter_map(|(_, _, e)| match e {
+            KEvent::Completed {
+                transfer,
+                success: true,
+            } => Some(transfer.source),
+            _ => None,
+        })
+        .collect();
+    assert!(completed_accounts.contains(&a(15)));
+    assert!(completed_accounts.contains(&a(0)));
+    // All live replicas agree on the treasury balance.
+    for i in [0u32, 1, 3, 4, 5] {
+        assert_eq!(sim.actor(p(i)).read(a(0)), amt(290), "replica {i}");
+    }
+}
+
+#[test]
+fn crashed_leader_owner_blocks_only_that_account() {
+    let mut sim = two_treasuries(6, 19);
+    // The owner-group leader (p0 in view 0) crashes: with no view-change
+    // timer wired for the per-account sequencer, treasury 0 blocks — but
+    // nothing forks, and every other account keeps working (the Section 6
+    // isolation property).
+    sim.crash(p(0));
+    sim.schedule(VirtualTime::ZERO, p(1), |replica, ctx| {
+        replica.submit(a(0), a(11), amt(10), ctx);
+    });
+    sim.schedule(VirtualTime::ZERO, p(3), |replica, ctx| {
+        replica.submit(a(1), a(13), amt(10), ctx);
+    });
+    sim.schedule(VirtualTime::ZERO, p(5), |replica, ctx| {
+        replica.submit(a(15), a(14), amt(10), ctx);
+    });
+    assert!(sim.run_until_quiet(10_000_000));
+    let events = sim.take_events();
+    let completed_accounts: Vec<AccountId> = events
+        .iter()
+        .filter_map(|(_, _, e)| match e {
+            KEvent::Completed {
+                transfer,
+                success: true,
+            } => Some(transfer.source),
+            _ => None,
+        })
+        .collect();
+    assert!(!completed_accounts.contains(&a(0)), "treasury 0 is blocked");
+    assert!(completed_accounts.contains(&a(1)), "treasury 1 unaffected");
+    assert!(completed_accounts.contains(&a(15)), "private unaffected");
+    for i in [1u32, 2, 3, 4, 5] {
+        assert_eq!(sim.actor(p(i)).read(a(0)), amt(300), "no partial effects");
+    }
+}
