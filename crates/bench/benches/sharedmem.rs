@@ -123,14 +123,11 @@ fn bench_figure2(c: &mut Criterion) {
     for k in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("decide", k), &k, |b, &k| {
             b.iter(|| {
-                let consensus =
-                    Arc::new(TransferConsensus::new(k, MutexAssetTransfer::new));
+                let consensus = Arc::new(TransferConsensus::new(k, MutexAssetTransfer::new));
                 let handles: Vec<_> = (0..k)
                     .map(|i| {
                         let consensus = Arc::clone(&consensus);
-                        thread::spawn(move || {
-                            consensus.propose(ProcessId::new(i as u32), i as u64)
-                        })
+                        thread::spawn(move || consensus.propose(ProcessId::new(i as u32), i as u64))
                     })
                     .collect();
                 let mut decisions = Vec::new();

@@ -5,8 +5,8 @@
 //! Run with `cargo run -p at-bench --bin evaluation --release`.
 
 use at_bench::{
-    eval_baseline, eval_consensusless_bracha, eval_consensusless_echo, format_row,
-    table_header, EvalConfig,
+    eval_baseline, eval_consensusless_bracha, eval_consensusless_echo, format_row, table_header,
+    EvalConfig,
 };
 
 fn main() {

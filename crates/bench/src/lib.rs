@@ -32,6 +32,9 @@ use at_consensus::transfer_system::{BaselineEvent, BaselineReplica};
 use at_core::figure4::TransferMsg;
 use at_core::kshared::{KEvent, KSharedReplica};
 use at_core::replica::{ConsensuslessReplica, TransferBroadcast, TransferEvent};
+use at_engine::{
+    BaselineEngine, ConsensuslessEngine, Engine, EngineConfig, Scenario, ScenarioReport,
+};
 use at_model::{AccountId, Amount, Ledger, OwnerMap, ProcessId};
 use at_net::{LatencyModel, NetConfig, Simulation, VirtualTime};
 
@@ -195,11 +198,7 @@ where
 pub fn eval_consensusless_bracha(config: &EvalConfig) -> EvalResult {
     let n = config.n;
     run_consensusless(config, |me| {
-        ConsensuslessReplica::<BrachaBroadcast<TransferMsg>>::bracha(
-            me,
-            n,
-            Amount::new(1_000_000),
-        )
+        ConsensuslessReplica::<BrachaBroadcast<TransferMsg>>::bracha(me, n, Amount::new(1_000_000))
     })
 }
 
@@ -316,6 +315,41 @@ pub fn eval_kshared(config: &EvalConfig, k: usize) -> EvalResult {
     )
 }
 
+/// T3: the closed-loop workload used by the engine-layer sharding and
+/// batching comparison. Each of the `n` processes fronts several clients
+/// and submits `transfers_per_wave` transfers per round trip — the regime
+/// where sender-side batching has something to amortize.
+pub fn t3_scenario(n: usize, waves: usize, transfers_per_wave: usize, seed: u64) -> Scenario {
+    Scenario::new(format!("t3-n{n}"), n)
+        .waves(waves)
+        .transfers_per_wave(transfers_per_wave)
+        .seed(seed)
+        .initial(Amount::new(1_000_000))
+}
+
+/// The engine line-up of the T3 table: the unsharded, unbatched
+/// consensusless engine (the paper's deployment shape), the sharded and
+/// batched production configuration, and the PBFT baseline.
+pub fn t3_engines() -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(ConsensuslessEngine::new(EngineConfig::unsharded())),
+        Box::new(ConsensuslessEngine::new(EngineConfig::sharded_batched(
+            4,
+            8,
+            VirtualTime::from_micros(500),
+        ))),
+        Box::new(BaselineEngine::new(8)),
+    ]
+}
+
+/// Runs the full T3 line-up on one scenario.
+pub fn eval_t3(scenario: &Scenario) -> Vec<ScenarioReport> {
+    t3_engines()
+        .iter()
+        .map(|engine| engine.run(scenario))
+        .collect()
+}
+
 /// Formats one table row (markdown).
 pub fn format_row(label: &str, result: &EvalResult) -> String {
     format!(
@@ -383,6 +417,39 @@ mod tests {
         let r2 = eval_consensusless_echo(&small());
         assert_eq!(r1.duration, r2.duration);
         assert_eq!(r1.messages, r2.messages);
+    }
+
+    #[test]
+    fn t3_sharded_batched_beats_or_matches_unsharded_at_16() {
+        // The acceptance bar of the engine subsystem: at n ≥ 16 the
+        // sharded+batched engine's throughput is at least the unsharded
+        // consensusless engine's (batching amortizes the O(n²) broadcast).
+        let scenario = t3_scenario(16, 2, 4, 21);
+        let reports = eval_t3(&scenario);
+        assert_eq!(reports.len(), 3);
+        let unsharded = &reports[0];
+        let sharded = &reports[1];
+        assert_eq!(unsharded.engine, "consensusless");
+        assert_eq!(sharded.engine, "consensusless-s4b8");
+        assert_eq!(unsharded.completed, sharded.completed);
+        assert!(unsharded.completed > 0);
+        assert!(
+            sharded.throughput_tps >= unsharded.throughput_tps,
+            "sharded+batched {} tps < unsharded {} tps",
+            sharded.throughput_tps,
+            unsharded.throughput_tps
+        );
+        assert!(sharded.messages_sent < unsharded.messages_sent);
+        for report in &reports {
+            assert!(report.agreed && report.supply_ok);
+            assert_eq!(report.conflicts, 0);
+        }
+    }
+
+    #[test]
+    fn t3_runs_are_deterministic() {
+        let scenario = t3_scenario(8, 2, 2, 9);
+        assert_eq!(eval_t3(&scenario), eval_t3(&scenario));
     }
 
     #[test]

@@ -79,6 +79,9 @@ pub struct AccountDelivery<P> {
     pub payload: P,
 }
 
+/// A buffered FINAL: `(source, payload, certificate)`.
+type BufferedFinal<P, S> = (ProcessId, P, Vec<(ProcessId, S)>);
+
 struct PendingSend<P> {
     sender: ProcessId,
     payload: P,
@@ -103,7 +106,7 @@ pub struct AccountOrderBroadcast<P, A: Authenticator> {
     /// SENDs waiting for their turn to be acknowledged.
     pending_sends: HashMap<AccountId, BTreeMap<u64, PendingSend<P>>>,
     /// FINALs waiting for their turn to be delivered.
-    pending_finals: HashMap<AccountId, BTreeMap<u64, (ProcessId, P, Vec<(ProcessId, A::Sig)>)>>,
+    pending_finals: HashMap<AccountId, BTreeMap<u64, BufferedFinal<P, A::Sig>>>,
     /// Sender-side state of our own broadcasts.
     sending: HashMap<(AccountId, u64), Sending<A::Sig>>,
     /// Deliveries ready for the caller.
@@ -156,9 +159,7 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
         step: &mut Step<AccountOrderMsg<P, A::Sig>, AccountDelivery<P>>,
     ) {
         let digest = payload_digest(&payload);
-        let sig = self
-            .auth
-            .sign(self.me, &send_bytes(account, seq, digest));
+        let sig = self.auth.sign(self.me, &send_bytes(account, seq, digest));
         self.sending.insert(
             (account, seq.value()),
             Sending {
@@ -192,10 +193,11 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
                 payload,
                 sig,
             } => {
-                if !self
-                    .auth
-                    .verify(from, &send_bytes(account, seq, payload_digest(&payload)), &sig)
-                {
+                if !self.auth.verify(
+                    from,
+                    &send_bytes(account, seq, payload_digest(&payload)),
+                    &sig,
+                ) {
                     return;
                 }
                 self.pending_sends
@@ -240,10 +242,7 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
         };
         let digest = payload_digest(&pending.payload);
         // At most one digest acknowledged per (account, seq).
-        let acked = self
-            .acked
-            .entry((account, expected))
-            .or_insert(digest);
+        let acked = self.acked.entry((account, expected)).or_insert(digest);
         if *acked != digest {
             return; // a conflicting message was already acknowledged
         }
@@ -326,7 +325,10 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
         let digest = payload_digest(&payload);
         let mut signers = BTreeMap::new();
         for (signer, share) in &certificate {
-            if self.auth.verify(*signer, &ack_bytes(account, seq, digest), share) {
+            if self
+                .auth
+                .verify(*signer, &ack_bytes(account, seq, digest), share)
+            {
                 signers.insert(*signer, ());
             }
         }

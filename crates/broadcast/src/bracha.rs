@@ -140,13 +140,7 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
     pub fn broadcast(&mut self, payload: P, step: &mut Step<BrachaMsg<P>, P>) -> SeqNo {
         self.next_seq = self.next_seq.next();
         let seq = self.next_seq;
-        step.send_all(
-            self.n,
-            BrachaMsg::Init {
-                seq,
-                payload,
-            },
-        );
+        step.send_all(self.n, BrachaMsg::Init { seq, payload });
         seq
     }
 
@@ -183,8 +177,14 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
         // authenticated): a Byzantine process cannot open instances for
         // someone else.
         let digest = digest_of(&payload);
-        let instance = self.instances.entry((from, seq)).or_insert_with(Instance::new);
-        instance.payloads.entry(digest).or_insert_with(|| payload.clone());
+        let instance = self
+            .instances
+            .entry((from, seq))
+            .or_insert_with(Instance::new);
+        instance
+            .payloads
+            .entry(digest)
+            .or_insert_with(|| payload.clone());
         if instance.echoed.is_some() {
             return; // echo only the first INIT per instance
         }
@@ -214,7 +214,10 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
             .instances
             .entry((source, seq))
             .or_insert_with(Instance::new);
-        instance.payloads.entry(digest).or_insert_with(|| payload.clone());
+        instance
+            .payloads
+            .entry(digest)
+            .or_insert_with(|| payload.clone());
         let echoes = instance.echoes.entry(digest).or_default();
         echoes.insert(from);
         if echoes.len() >= echo_quorum && !instance.ready_sent {
@@ -246,7 +249,10 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
             .instances
             .entry((source, seq))
             .or_insert_with(Instance::new);
-        instance.payloads.entry(digest).or_insert_with(|| payload.clone());
+        instance
+            .payloads
+            .entry(digest)
+            .or_insert_with(|| payload.clone());
         let readies = instance.readies.entry(digest).or_default();
         readies.insert(from);
         let count = readies.len();
@@ -311,8 +317,9 @@ mod tests {
         broadcasts: Vec<(ProcessId, u64)>,
         drop_rule: impl Fn(ProcessId, ProcessId, &BrachaMsg<u64>) -> bool,
     ) -> Vec<Vec<Delivery<u64>>> {
-        let mut endpoints: Vec<BrachaBroadcast<u64>> =
-            (0..n).map(|i| BrachaBroadcast::new(p(i as u32), n)).collect();
+        let mut endpoints: Vec<BrachaBroadcast<u64>> = (0..n)
+            .map(|i| BrachaBroadcast::new(p(i as u32), n))
+            .collect();
         let mut inflight: VecDeque<(ProcessId, ProcessId, BrachaMsg<u64>)> = VecDeque::new();
         let mut delivered: Vec<Vec<Delivery<u64>>> = vec![Vec::new(); n];
 
@@ -351,8 +358,7 @@ mod tests {
 
     #[test]
     fn multiple_broadcasts_same_source_deliver_in_order() {
-        let delivered =
-            run_system(4, vec![(p(0), 1), (p(0), 2), (p(0), 3)], |_, _, _| false);
+        let delivered = run_system(4, vec![(p(0), 1), (p(0), 2), (p(0), 3)], |_, _, _| false);
         for deliveries in &delivered {
             let values: Vec<u64> = deliveries.iter().map(|d| d.payload).collect();
             assert_eq!(values, vec![1, 2, 3]);
@@ -361,8 +367,7 @@ mod tests {
 
     #[test]
     fn concurrent_sources_all_deliver() {
-        let delivered =
-            run_system(7, vec![(p(0), 10), (p(3), 30), (p(6), 60)], |_, _, _| false);
+        let delivered = run_system(7, vec![(p(0), 10), (p(3), 30), (p(6), 60)], |_, _, _| false);
         for deliveries in &delivered {
             let mut values: Vec<u64> = deliveries.iter().map(|d| d.payload).collect();
             values.sort_unstable();
@@ -378,8 +383,8 @@ mod tests {
         let delivered = run_system(4, vec![(p(0), 7)], |from, _to, msg| {
             from == p(0) && !matches!(msg, BrachaMsg::Init { .. })
         });
-        for i in 1..4 {
-            assert_eq!(delivered[i].len(), 1, "process {i}");
+        for (i, view) in delivered.iter().enumerate().skip(1) {
+            assert_eq!(view.len(), 1, "process {i}");
         }
     }
 
@@ -388,8 +393,7 @@ mod tests {
         // Drop everything to/from half the system: 2 of 4 reachable is
         // below every quorum, nobody delivers.
         let cut = |proc: ProcessId| proc.index() >= 2;
-        let delivered =
-            run_system(4, vec![(p(0), 9)], move |from, to, _| cut(from) || cut(to));
+        let delivered = run_system(4, vec![(p(0), 9)], move |from, to, _| cut(from) || cut(to));
         for deliveries in &delivered {
             assert!(deliveries.is_empty());
         }
@@ -401,8 +405,9 @@ mod tests {
         // processes. We simulate by injecting raw messages rather than
         // using broadcast().
         let n = 4;
-        let mut endpoints: Vec<BrachaBroadcast<u64>> =
-            (0..n).map(|i| BrachaBroadcast::new(p(i as u32), n)).collect();
+        let mut endpoints: Vec<BrachaBroadcast<u64>> = (0..n)
+            .map(|i| BrachaBroadcast::new(p(i as u32), n))
+            .collect();
         let mut inflight: VecDeque<(ProcessId, ProcessId, BrachaMsg<u64>)> = VecDeque::new();
         // p3 is Byzantine: INIT value 1 to p0/p1, value 2 to p2.
         for (to, value) in [(p(0), 1u64), (p(1), 1), (p(2), 2)] {

@@ -209,7 +209,10 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
         if source != self.me {
             return; // echoes are addressed to the instance's sender
         }
-        if !self.auth.verify(from, &echo_bytes(source, seq, digest), &share) {
+        if !self
+            .auth
+            .verify(from, &echo_bytes(source, seq, digest), &share)
+        {
             return; // invalid share
         }
         let quorum = self.quorum();
@@ -256,13 +259,19 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
             return;
         }
         let digest = payload_digest(&payload);
-        if !self.auth.verify(source, &send_bytes(source, seq, digest), &sig) {
+        if !self
+            .auth
+            .verify(source, &send_bytes(source, seq, digest), &sig)
+        {
             return;
         }
         // Validate the certificate: distinct signers, valid shares, quorum.
         let mut signers = BTreeMap::new();
         for (signer, share) in &certificate {
-            if self.auth.verify(*signer, &echo_bytes(source, seq, digest), share) {
+            if self
+                .auth
+                .verify(*signer, &echo_bytes(source, seq, digest), share)
+            {
                 signers.insert(*signer, ());
             }
         }
@@ -350,8 +359,7 @@ mod tests {
         let mut endpoints: Vec<EchoBroadcast<u64, A>> = (0..n)
             .map(|i| EchoBroadcast::new(p(i as u32), n, auth(p(i as u32))))
             .collect();
-        let mut inflight: VecDeque<(ProcessId, ProcessId, EchoMsg<u64, A::Sig>)> =
-            VecDeque::new();
+        let mut inflight: VecDeque<(ProcessId, ProcessId, EchoMsg<u64, A::Sig>)> = VecDeque::new();
         let mut delivered: Vec<Vec<Delivery<u64>>> = vec![Vec::new(); n];
 
         for (source, value) in broadcasts {
@@ -446,7 +454,7 @@ mod tests {
         // Certificate signed by only one process (quorum is 3), padded
         // with duplicates.
         let share = auth.sign(p(2), &echo_bytes(p(0), seq, digest));
-        let cert = vec![(p(2), share.clone()), (p(2), share.clone()), (p(2), share)];
+        let cert = vec![(p(2), share), (p(2), share), (p(2), share)];
         let mut step = Step::new();
         endpoint.on_message(
             p(0),
@@ -511,9 +519,7 @@ mod tests {
             4,
             |_| NoAuth,
             vec![(p(0), 8)],
-            |from, to, msg| {
-                matches!(msg, EchoMsg::Final { .. }) && from == p(0) && to != p(1)
-            },
+            |from, to, msg| matches!(msg, EchoMsg::Final { .. }) && from == p(0) && to != p(1),
         );
         for (i, deliveries) in delivered.iter().enumerate() {
             assert_eq!(deliveries.len(), 1, "process {i}");

@@ -39,12 +39,14 @@
 
 pub mod account_order;
 pub mod auth;
+pub mod batch;
 pub mod bracha;
 pub mod echo;
 pub mod types;
 
 pub use account_order::{AccountDelivery, AccountOrderBroadcast, AccountOrderMsg};
 pub use auth::{Authenticator, EdAuth, NoAuth};
+pub use batch::{Batch, Batcher};
 pub use bracha::{BrachaBroadcast, BrachaMsg};
 pub use echo::{EchoBroadcast, EchoMsg};
 pub use types::{Delivery, Outgoing, SourceOrderBuffer, Step};

@@ -34,6 +34,10 @@ use std::hash::Hash;
 /// Requirements on requests ordered by the replica group.
 pub trait Request: Clone + Eq + Hash + fmt::Debug {}
 
+/// Per-voter view-change evidence: `(sequence, view, batch)` triples of
+/// the slots the voter had prepared.
+type ViewChangeVotes<R> = HashMap<ProcessId, Vec<(u64, u64, Vec<R>)>>;
+
 impl<T: Clone + Eq + Hash + fmt::Debug> Request for T {}
 
 /// Wire messages of the PBFT baseline.
@@ -128,7 +132,7 @@ pub struct PbftReplica<R> {
     batch_size: usize,
     executed: HashSet<R>,
     /// View-change votes per proposed view.
-    view_changes: HashMap<u64, HashMap<ProcessId, Vec<(u64, u64, Vec<R>)>>>,
+    view_changes: HashMap<u64, ViewChangeVotes<R>>,
     /// Global execution counter (delivery tag).
     execution_index: u64,
 }
@@ -332,10 +336,7 @@ impl<R: Request> PbftReplica<R> {
     }
 
     fn execute_ready(&mut self, step: &mut Step<PbftMsg<R>, (u64, R)>) {
-        loop {
-            let Some(slot) = self.slots.get_mut(&self.next_execute) else {
-                break;
-            };
+        while let Some(slot) = self.slots.get_mut(&self.next_execute) {
             if !slot.committed || slot.executed {
                 break;
             }

@@ -282,7 +282,10 @@ mod tests {
             by_process.entry(at).or_default().push(tx);
         }
         for (process, txs) in &by_process {
-            assert!(txs.len() <= 1, "{process} applied both halves of a double spend");
+            assert!(
+                txs.len() <= 1,
+                "{process} applied both halves of a double spend"
+            );
         }
         // And honest balances stay consistent with at most one spend.
         let credited: u64 = (0..2)
@@ -352,8 +355,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "no meaningful state")]
     fn reading_malicious_state_panics() {
-        let participant =
-            Participant::Equivocator(MaliciousReplica::new(p(0), 2, amt(1)));
+        let participant = Participant::Equivocator(MaliciousReplica::new(p(0), 2, amt(1)));
         let _ = participant.read(a(0));
     }
 

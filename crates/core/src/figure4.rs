@@ -139,12 +139,8 @@ impl TransferState {
         }
         let combined: BTreeSet<&Transfer> =
             self.hist[index].iter().chain(self.deps.iter()).collect();
-        balance_from_transfers(
-            account,
-            self.initial[index],
-            combined.into_iter(),
-        )
-        .expect("figure 4 maintains non-negative balances")
+        balance_from_transfers(account, self.initial[index], combined)
+            .expect("figure 4 maintains non-negative balances")
     }
 
     /// The balance of `account` over *every* transfer this process has
@@ -258,8 +254,7 @@ impl TransferState {
             .iter()
             .chain(msg.deps.iter())
             .collect();
-        match balance_from_transfers(t.source, self.initial[source_index], funded.into_iter())
-        {
+        match balance_from_transfers(t.source, self.initial[source_index], funded) {
             Some(balance) => balance >= t.amount,
             None => false,
         }

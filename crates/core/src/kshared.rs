@@ -156,16 +156,12 @@ impl<A: Authenticator> KSharedReplica<A> {
     /// The balance of `account` from locally applied transfers (plus, for
     /// accounts we own, unfolded incoming credits).
     pub fn read(&self, account: AccountId) -> Amount {
-        let initial = self
-            .initial
-            .get(&account)
-            .copied()
-            .unwrap_or(Amount::ZERO);
+        let initial = self.initial.get(&account).copied().unwrap_or(Amount::ZERO);
         let empty = BTreeSet::new();
         let applied = self.applied.get(&account).unwrap_or(&empty);
         let pool = self.deps_pool.get(&account).unwrap_or(&empty);
         let combined: BTreeSet<&Transfer> = applied.iter().chain(pool.iter()).collect();
-        balance_from_transfers(account, initial, combined.into_iter())
+        balance_from_transfers(account, initial, combined)
             .expect("k-shared replica maintains non-negative balances")
     }
 
@@ -173,11 +169,7 @@ impl<A: Authenticator> KSharedReplica<A> {
     /// convergence view (incoming credits count immediately, not only
     /// after being folded as dependencies).
     pub fn observed_balance(&self, account: AccountId) -> Amount {
-        let initial = self
-            .initial
-            .get(&account)
-            .copied()
-            .unwrap_or(Amount::ZERO);
+        let initial = self.initial.get(&account).copied().unwrap_or(Amount::ZERO);
         balance_from_transfers(account, initial, self.observed.iter())
             .expect("k-shared replica maintains non-negative balances")
     }
@@ -196,8 +188,7 @@ impl<A: Authenticator> KSharedReplica<A> {
         amount: Amount,
         ctx: &mut Context<'_, KMsg<A::Sig>, KEvent>,
     ) {
-        if !self.owners.is_owner(self.me, account) || !self.initial.contains_key(&destination)
-        {
+        if !self.owners.is_owner(self.me, account) || !self.initial.contains_key(&destination) {
             ctx.emit(KEvent::Rejected { account });
             return;
         }
@@ -220,10 +211,13 @@ impl<A: Authenticator> KSharedReplica<A> {
         ctx: &mut Context<'_, KMsg<A::Sig>, KEvent>,
     ) {
         for out in step.outgoing {
-            ctx.send(out.to, KMsg::Seq {
-                account,
-                inner: out.msg,
-            });
+            ctx.send(
+                out.to,
+                KMsg::Seq {
+                    account,
+                    inner: out.msg,
+                },
+            );
         }
         for delivery in step.deliveries {
             let (index, transfer) = delivery.payload;
@@ -293,13 +287,9 @@ impl<A: Authenticator> KSharedReplica<A> {
 
         // The verdict: deterministic across benign processes because the
         // account's stream is totally ordered and deps pin the credits.
-        let initial = self
-            .initial
-            .get(&account)
-            .copied()
-            .unwrap_or(Amount::ZERO);
-        let balance = balance_from_transfers(account, initial, applied.iter())
-            .expect("non-negative balance");
+        let initial = self.initial.get(&account).copied().unwrap_or(Amount::ZERO);
+        let balance =
+            balance_from_transfers(account, initial, applied.iter()).expect("non-negative balance");
         let success = balance >= transfer.amount && transfer.source == account;
         self.observed.extend(deps.iter().copied());
         if success {
@@ -409,9 +399,7 @@ mod tests {
         Simulation::new(replicas, NetConfig::lan(9))
     }
 
-    fn completions(
-        events: Vec<(VirtualTime, ProcessId, KEvent)>,
-    ) -> Vec<(Transfer, bool)> {
+    fn completions(events: Vec<(VirtualTime, ProcessId, KEvent)>) -> Vec<(Transfer, bool)> {
         events
             .into_iter()
             .filter_map(|(_, _, e)| match e {
@@ -433,7 +421,11 @@ mod tests {
         assert!(done[0].1, "transfer succeeded");
         for i in 0..4 {
             assert_eq!(sim.actor(p(i)).read(a(0)), amt(60), "replica {i}");
-            assert_eq!(sim.actor(p(i)).observed_balance(a(2)), amt(90), "replica {i}");
+            assert_eq!(
+                sim.actor(p(i)).observed_balance(a(2)),
+                amt(90),
+                "replica {i}"
+            );
         }
     }
 
@@ -492,8 +484,16 @@ mod tests {
         assert_eq!(done.len(), 2);
         assert!(done.iter().all(|(_, ok)| *ok), "{done:?}");
         for i in 0..4 {
-            assert_eq!(sim.actor(p(i)).observed_balance(a(0)), amt(5), "replica {i}");
-            assert_eq!(sim.actor(p(i)).observed_balance(a(3)), amt(105), "replica {i}");
+            assert_eq!(
+                sim.actor(p(i)).observed_balance(a(0)),
+                amt(5),
+                "replica {i}"
+            );
+            assert_eq!(
+                sim.actor(p(i)).observed_balance(a(3)),
+                amt(105),
+                "replica {i}"
+            );
         }
     }
 
@@ -523,7 +523,11 @@ mod tests {
         assert!(done.iter().all(|(_, ok)| *ok));
         for i in 0..5 {
             assert_eq!(sim.actor(p(i)).read(a(0)), amt(0), "replica {i}");
-            assert_eq!(sim.actor(p(i)).observed_balance(a(4)), amt(140), "replica {i}");
+            assert_eq!(
+                sim.actor(p(i)).observed_balance(a(4)),
+                amt(140),
+                "replica {i}"
+            );
         }
     }
 
@@ -572,7 +576,10 @@ mod tests {
                 }
             }
         }
-        assert!(applied_amounts.len() <= 1, "forked spends: {applied_amounts:?}");
+        assert!(
+            applied_amounts.len() <= 1,
+            "forked spends: {applied_amounts:?}"
+        );
 
         // Healthy accounts keep working.
         sim.schedule(VirtualTime::from_secs(1), p(2), |replica, ctx| {

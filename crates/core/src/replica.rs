@@ -7,12 +7,12 @@
 //! either; the evaluation harness exploits this for ablation A1.
 
 use crate::figure4::{Applied, TransferMsg, TransferState};
-#[allow(unused_imports)]
-use at_model::Encode;
 use at_broadcast::auth::Authenticator;
 use at_broadcast::bracha::{BrachaBroadcast, BrachaMsg};
 use at_broadcast::echo::{EchoBroadcast, EchoMsg};
 use at_broadcast::types::{Delivery, Outgoing, Step};
+#[allow(unused_imports)]
+use at_model::Encode;
 use at_model::{AccountId, Amount, ProcessId, Transfer};
 use at_net::{Actor, Context};
 
@@ -238,7 +238,10 @@ mod tests {
         Amount::new(x)
     }
 
-    fn bracha_system(n: usize, initial: u64) -> Simulation<ConsensuslessReplica<BrachaBroadcast<TransferMsg>>> {
+    fn bracha_system(
+        n: usize,
+        initial: u64,
+    ) -> Simulation<ConsensuslessReplica<BrachaBroadcast<TransferMsg>>> {
         let replicas = (0..n as u32)
             .map(|i| ConsensuslessReplica::bracha(p(i), n, amt(initial)))
             .collect();
@@ -267,8 +270,16 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].amount, amt(25));
         for i in 0..4 {
-            assert_eq!(sim.actor(p(i)).observed_balance(a(0)), amt(75), "replica {i}");
-            assert_eq!(sim.actor(p(i)).observed_balance(a(1)), amt(125), "replica {i}");
+            assert_eq!(
+                sim.actor(p(i)).observed_balance(a(0)),
+                amt(75),
+                "replica {i}"
+            );
+            assert_eq!(
+                sim.actor(p(i)).observed_balance(a(1)),
+                amt(125),
+                "replica {i}"
+            );
         }
     }
 

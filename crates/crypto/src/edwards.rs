@@ -93,8 +93,7 @@ impl EdwardsPoint {
     /// Point equality (projective comparison, no inversion).
     pub fn equals(self, rhs: EdwardsPoint) -> bool {
         // x1/z1 == x2/z2 ⇔ x1·z2 == x2·z1, same for y.
-        self.x.mul(rhs.z).equals(rhs.x.mul(self.z))
-            && self.y.mul(rhs.z).equals(rhs.y.mul(self.z))
+        self.x.mul(rhs.z).equals(rhs.x.mul(self.z)) && self.y.mul(rhs.z).equals(rhs.y.mul(self.z))
     }
 
     /// Point addition (unified add-2008-hwcd-3 for `a = -1`).

@@ -87,7 +87,7 @@ impl FieldElement {
         if residue.is_zero() {
             FieldElement::ZERO
         } else {
-            FieldElement(prime().overflowing_sub(residue).0.0)
+            FieldElement(prime().overflowing_sub(residue).0 .0)
         }
     }
 

@@ -71,10 +71,9 @@ impl PublicKey {
     ///
     /// Returns a [`SignatureError`] describing which check failed.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
-        let r_point =
-            EdwardsPoint::decompress(&signature.r).ok_or(SignatureError::InvalidPoint)?;
-        let s = Scalar::from_canonical_bytes(&signature.s)
-            .ok_or(SignatureError::NonCanonicalScalar)?;
+        let r_point = EdwardsPoint::decompress(&signature.r).ok_or(SignatureError::InvalidPoint)?;
+        let s =
+            Scalar::from_canonical_bytes(&signature.s).ok_or(SignatureError::NonCanonicalScalar)?;
 
         let mut hasher = Sha512::new();
         hasher.update(&signature.r);
@@ -214,7 +213,6 @@ impl Keypair {
             s: s.to_le_bytes(),
         }
     }
-
 }
 
 impl fmt::Debug for Keypair {

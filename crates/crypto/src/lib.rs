@@ -38,6 +38,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The arithmetic API deliberately mirrors the mathematical notation
+// (`a.add(b)`, `a.mul(b)`, `p.neg()`, `x.rem(m)`) instead of operator
+// traits, and limb loops index explicitly like the specifications do.
+#![allow(clippy::should_implement_trait, clippy::needless_range_loop)]
 
 pub mod bigint;
 pub mod edwards;

@@ -20,7 +20,7 @@ fn primes(n: usize) -> Vec<u64> {
     let mut out = Vec::with_capacity(n);
     let mut candidate = 2u64;
     while out.len() < n {
-        if out.iter().all(|p| candidate % p != 0) {
+        if out.iter().all(|p| !candidate.is_multiple_of(*p)) {
             out.push(candidate);
         }
         candidate += 1;
@@ -436,7 +436,9 @@ mod tests {
     #[test]
     fn boundary_lengths() {
         // Lengths straddling the padding boundaries.
-        for len in [55usize, 56, 57, 63, 64, 65, 111, 112, 113, 119, 120, 127, 128] {
+        for len in [
+            55usize, 56, 57, 63, 64, 65, 111, 112, 113, 119, 120, 127, 128,
+        ] {
             let data = vec![0x5Au8; len];
             // Just ensure determinism and no panics at boundaries.
             assert_eq!(Sha256::digest(&data), Sha256::digest(&data));

@@ -1,0 +1,327 @@
+//! Adversarial engine participants.
+//!
+//! The scenario subsystem composes workloads with Byzantine behaviours;
+//! this module provides the attacker actors, all speaking the engine's
+//! wire format ([`EngineMsg`]) so they can sit in the same simulation:
+//!
+//! * [`EngineActor::Equivocator`] — the classic double spend: two
+//!   conflicting batches sent as `INIT` of the *same* broadcast instance
+//!   to different halves of the system (defeated by Bracha's echo
+//!   quorum: at most one of the two can gather `2f+1` echoes);
+//! * [`EngineActor::Overspender`] — a protocol-conformant broadcast of a
+//!   transfer the attacker cannot fund (defeated by every correct
+//!   replica's balance validation);
+//! * [`EngineActor::Silent`] — a process that never sends anything, the
+//!   crash-faulty extreme (the broadcast tolerates `f < n/3` of these).
+//!
+//! The equivocator and overspender embed an honest [`ShardedReplica`]
+//! and relay everyone *else's* traffic through it — keeping the honest
+//! quorums intact makes the attacks maximally sharp.
+
+use crate::config::EngineConfig;
+use crate::replica::{EngineEvent, EngineMsg, ShardedReplica};
+use at_broadcast::bracha::BrachaMsg;
+use at_broadcast::Batch;
+use at_core::figure4::TransferMsg;
+use at_model::{AccountId, Amount, ProcessId, SeqNo, Transfer};
+use at_net::{Actor, Context};
+
+/// Internal state shared by the attacking variants.
+pub struct AttackerState {
+    /// The honest engine used to relay other processes' traffic.
+    inner: ShardedReplica,
+    /// Broadcast-instance counter for self-initiated attacks.
+    attack_broadcast_seq: SeqNo,
+    /// Transfer sequence counter for crafted transfers.
+    attack_transfer_seq: SeqNo,
+}
+
+impl AttackerState {
+    fn new(me: ProcessId, n: usize, initial: Amount, config: EngineConfig) -> Self {
+        AttackerState {
+            inner: ShardedReplica::new(me, n, initial, config),
+            attack_broadcast_seq: SeqNo::ZERO,
+            attack_transfer_seq: SeqNo::ZERO,
+        }
+    }
+
+    fn me(&self) -> ProcessId {
+        self.inner.me()
+    }
+
+    fn my_account(&self) -> AccountId {
+        self.inner.my_account()
+    }
+
+    fn craft(&mut self, destination: AccountId, amount: Amount) -> TransferMsg {
+        TransferMsg {
+            transfer: Transfer::new(
+                self.my_account(),
+                destination,
+                amount,
+                self.me(),
+                self.attack_transfer_seq,
+            ),
+            deps: vec![],
+        }
+    }
+
+    /// Sends `INIT` with batch `left` to the lower half of the system and
+    /// batch `right` to the upper half, both for the same broadcast
+    /// sequence number and the same transfer sequence number — the
+    /// double-spend attempt.
+    fn equivocate(
+        &mut self,
+        left: (AccountId, Amount),
+        right: (AccountId, Amount),
+        ctx: &mut Context<'_, EngineMsg, EngineEvent>,
+    ) {
+        self.attack_broadcast_seq = self.attack_broadcast_seq.next();
+        self.attack_transfer_seq = self.attack_transfer_seq.next();
+        let seq = self.attack_broadcast_seq;
+        let payload_left = Batch::single(self.craft(left.0, left.1));
+        let payload_right = Batch::single(self.craft(right.0, right.1));
+        let n = ctx.n();
+        for i in 0..n {
+            let payload = if i < n / 2 {
+                payload_left.clone()
+            } else {
+                payload_right.clone()
+            };
+            ctx.send(ProcessId::new(i as u32), BrachaMsg::Init { seq, payload });
+        }
+    }
+
+    /// Broadcasts (fully protocol-conformant at the broadcast layer) a
+    /// transfer of `amount`, regardless of the attacker's balance.
+    fn overspend(
+        &mut self,
+        destination: AccountId,
+        amount: Amount,
+        ctx: &mut Context<'_, EngineMsg, EngineEvent>,
+    ) {
+        self.attack_transfer_seq = self.attack_transfer_seq.next();
+        let batch = Batch::single(self.craft(destination, amount));
+        self.inner.broadcast_batch(batch, ctx);
+    }
+}
+
+/// A participant of an engine scenario: honest, or one of the attack
+/// variants.
+pub enum EngineActor {
+    /// A correct sharded, batched replica.
+    Honest(ShardedReplica),
+    /// Double-spends by equivocating at the broadcast layer.
+    Equivocator(AttackerState),
+    /// Broadcasts transfers it cannot fund.
+    Overspender(AttackerState),
+    /// Sends nothing, ever.
+    Silent,
+}
+
+impl EngineActor {
+    /// A correct participant.
+    pub fn honest(me: ProcessId, n: usize, initial: Amount, config: EngineConfig) -> Self {
+        EngineActor::Honest(ShardedReplica::new(me, n, initial, config))
+    }
+
+    /// An equivocating participant.
+    pub fn equivocator(me: ProcessId, n: usize, initial: Amount, config: EngineConfig) -> Self {
+        EngineActor::Equivocator(AttackerState::new(me, n, initial, config))
+    }
+
+    /// An overspending participant.
+    pub fn overspender(me: ProcessId, n: usize, initial: Amount, config: EngineConfig) -> Self {
+        EngineActor::Overspender(AttackerState::new(me, n, initial, config))
+    }
+
+    /// Whether this participant follows the protocol.
+    pub fn is_honest(&self) -> bool {
+        matches!(self, EngineActor::Honest(_))
+    }
+
+    /// The honest replica inside, when this participant is honest.
+    pub fn as_honest(&self) -> Option<&ShardedReplica> {
+        match self {
+            EngineActor::Honest(replica) => Some(replica),
+            _ => None,
+        }
+    }
+
+    /// Submits an honest transfer (no-op on non-honest participants —
+    /// the scenario driver schedules attacks for those instead).
+    pub fn submit(
+        &mut self,
+        destination: AccountId,
+        amount: Amount,
+        ctx: &mut Context<'_, EngineMsg, EngineEvent>,
+    ) {
+        if let EngineActor::Honest(replica) = self {
+            replica.submit(destination, amount, ctx);
+        }
+    }
+
+    /// Launches this participant's attack for one wave. `wave` varies the
+    /// crafted destinations so repeated attacks stay distinct.
+    pub fn attack(&mut self, wave: usize, ctx: &mut Context<'_, EngineMsg, EngineEvent>) {
+        let n = ctx.n();
+        match self {
+            EngineActor::Honest(_) | EngineActor::Silent => {}
+            EngineActor::Equivocator(state) => {
+                let me = state.me().as_usize();
+                let left = AccountId::new(((me + 1 + wave) % n) as u32);
+                let right = AccountId::new(((me + 2 + wave) % n) as u32);
+                state.equivocate((left, Amount::new(5)), (right, Amount::new(5)), ctx);
+            }
+            EngineActor::Overspender(state) => {
+                let me = state.me().as_usize();
+                let dest = AccountId::new(((me + 1 + wave) % n) as u32);
+                // An amount no initial balance covers.
+                state.overspend(dest, Amount::new(u64::MAX / 2), ctx);
+            }
+        }
+    }
+}
+
+impl Actor for EngineActor {
+    type Msg = EngineMsg;
+    type Event = EngineEvent;
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Event>,
+    ) {
+        match self {
+            EngineActor::Honest(replica) => replica.on_message(from, msg, ctx),
+            EngineActor::Equivocator(state) | EngineActor::Overspender(state) => {
+                state.inner.on_message(from, msg, ctx)
+            }
+            EngineActor::Silent => {}
+        }
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Context<'_, Self::Msg, Self::Event>) {
+        match self {
+            EngineActor::Honest(replica) => replica.on_timer(timer, ctx),
+            EngineActor::Equivocator(state) | EngineActor::Overspender(state) => {
+                state.inner.on_timer(timer, ctx)
+            }
+            EngineActor::Silent => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_net::{NetConfig, Simulation, VirtualTime};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn a(i: u32) -> AccountId {
+        AccountId::new(i)
+    }
+
+    fn amt(x: u64) -> Amount {
+        Amount::new(x)
+    }
+
+    fn mixed_system(
+        n: usize,
+        byzantine: u32,
+        make: fn(ProcessId, usize) -> EngineActor,
+    ) -> Simulation<EngineActor> {
+        let actors = (0..n as u32)
+            .map(|i| {
+                if i == byzantine {
+                    make(p(i), n)
+                } else {
+                    EngineActor::honest(p(i), n, amt(100), EngineConfig::unsharded())
+                }
+            })
+            .collect();
+        Simulation::new(actors, NetConfig::lan(9))
+    }
+
+    #[test]
+    fn equivocation_never_double_applies() {
+        let mut sim = mixed_system(4, 0, |me, n| {
+            EngineActor::equivocator(me, n, amt(100), EngineConfig::unsharded())
+        });
+        sim.schedule(VirtualTime::ZERO, p(0), |actor, ctx| actor.attack(0, ctx));
+        assert!(sim.run_until_quiet(1_000_000));
+        // No correct replica applied anything from the equivocator: the
+        // split INIT cannot gather an echo quorum for either value.
+        for i in 1..4 {
+            let replica = sim.actor(p(i)).as_honest().unwrap();
+            assert_eq!(replica.applied_from(p(0)).len(), 0, "replica {i}");
+            let total: Amount = (0..4).map(|j| replica.balance(a(j))).sum();
+            assert_eq!(total, amt(400));
+        }
+    }
+
+    #[test]
+    fn overspend_is_delivered_but_never_validates() {
+        let mut sim = mixed_system(4, 1, |me, n| {
+            EngineActor::overspender(me, n, amt(100), EngineConfig::unsharded())
+        });
+        sim.schedule(VirtualTime::ZERO, p(1), |actor, ctx| actor.attack(0, ctx));
+        assert!(sim.run_until_quiet(1_000_000));
+        for i in [0usize, 2, 3] {
+            let replica = sim.actor(p(i as u32)).as_honest().unwrap();
+            assert_eq!(replica.applied_from(p(1)).len(), 0, "replica {i}");
+            assert_eq!(replica.pending_count(), 1, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn silent_process_does_not_block_progress() {
+        let n = 4;
+        let actors = (0..n as u32)
+            .map(|i| {
+                if i == 3 {
+                    EngineActor::Silent
+                } else {
+                    EngineActor::honest(p(i), n, amt(100), EngineConfig::unsharded())
+                }
+            })
+            .collect();
+        let mut sim = Simulation::new(actors, NetConfig::lan(4));
+        sim.schedule(VirtualTime::ZERO, p(0), |actor, ctx| {
+            actor.submit(a(1), amt(30), ctx);
+        });
+        assert!(sim.run_until_quiet(1_000_000));
+        let completions = sim
+            .take_events()
+            .into_iter()
+            .filter(|(_, _, e)| matches!(e, EngineEvent::Completed { .. }))
+            .count();
+        assert_eq!(completions, 1);
+        for i in 0..3 {
+            assert_eq!(sim.actor(p(i)).as_honest().unwrap().balance(a(1)), amt(130));
+        }
+    }
+
+    #[test]
+    fn attack_on_honest_actor_is_a_no_op() {
+        let mut actor = EngineActor::honest(p(0), 3, amt(10), EngineConfig::unsharded());
+        assert!(actor.is_honest());
+        assert!(actor.as_honest().is_some());
+        let silent = EngineActor::Silent;
+        assert!(!silent.is_honest());
+        assert!(silent.as_honest().is_none());
+        // Submitting on a silent actor does nothing (and must not panic).
+        let actors = vec![EngineActor::Silent, EngineActor::Silent];
+        let mut sim = Simulation::new(actors, NetConfig::instant(0));
+        sim.schedule(VirtualTime::ZERO, p(0), |actor, ctx| {
+            actor.submit(a(1), amt(1), ctx);
+            actor.attack(0, ctx);
+        });
+        assert!(sim.run_until_quiet(100));
+        let _ = &mut actor;
+    }
+}

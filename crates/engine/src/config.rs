@@ -1,0 +1,119 @@
+//! Engine runtime configuration: sharding and batching knobs.
+
+use at_net::VirtualTime;
+
+/// Transfer-batching policy of an engine replica.
+///
+/// Submitted transfers accumulate in a sender-side batch; the batch is
+/// broadcast when it reaches `max_size` or when `window` elapses after
+/// the first pending transfer, whichever comes first. `max_size == 1`
+/// degenerates to per-transfer broadcast (no timer, no extra latency).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush when this many transfers are pending.
+    pub max_size: usize,
+    /// Flush this long after the first pending transfer.
+    pub window: VirtualTime,
+}
+
+impl BatchPolicy {
+    /// Per-transfer broadcast: every submission flushes immediately.
+    pub fn immediate() -> Self {
+        BatchPolicy {
+            max_size: 1,
+            window: VirtualTime::ZERO,
+        }
+    }
+
+    /// Batches of up to `max_size`, flushed after at most `window`.
+    pub fn windowed(max_size: usize, window: VirtualTime) -> Self {
+        assert!(max_size > 0, "batch size must be at least 1");
+        BatchPolicy { max_size, window }
+    }
+
+    /// Whether batching is effectively disabled.
+    pub fn is_immediate(&self) -> bool {
+        self.max_size <= 1
+    }
+}
+
+/// Configuration of the engine runtime at every replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of account-state shards per replica (≥ 1).
+    pub shards: usize,
+    /// Sender-side batching policy.
+    pub batch: BatchPolicy,
+}
+
+impl EngineConfig {
+    /// The unsharded, unbatched engine: one shard, per-transfer broadcast.
+    /// This matches the paper's Figure 4 deployment shape and is the
+    /// comparison baseline for the T3 experiments.
+    pub fn unsharded() -> Self {
+        EngineConfig {
+            shards: 1,
+            batch: BatchPolicy::immediate(),
+        }
+    }
+
+    /// A sharded, batched engine.
+    pub fn sharded_batched(shards: usize, batch_size: usize, window: VirtualTime) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        EngineConfig {
+            shards,
+            batch: BatchPolicy::windowed(batch_size, window),
+        }
+    }
+
+    /// The default production shape used by the scenario suite: four
+    /// shards, batches of up to eight flushed within 500µs.
+    pub fn standard() -> Self {
+        EngineConfig::sharded_batched(4, 8, VirtualTime::from_micros(500))
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_policy_has_no_window() {
+        let policy = BatchPolicy::immediate();
+        assert!(policy.is_immediate());
+        assert_eq!(policy.max_size, 1);
+    }
+
+    #[test]
+    fn windowed_policy_keeps_parameters() {
+        let policy = BatchPolicy::windowed(8, VirtualTime::from_micros(250));
+        assert!(!policy.is_immediate());
+        assert_eq!(policy.max_size, 8);
+        assert_eq!(policy.window, VirtualTime::from_micros(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_rejected() {
+        let _ = BatchPolicy::windowed(0, VirtualTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard")]
+    fn zero_shards_rejected() {
+        let _ = EngineConfig::sharded_batched(0, 1, VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(EngineConfig::unsharded().shards, 1);
+        assert_eq!(EngineConfig::default(), EngineConfig::standard());
+        assert_eq!(EngineConfig::standard().shards, 4);
+    }
+}

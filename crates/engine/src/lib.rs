@@ -1,0 +1,54 @@
+//! # at-engine — the sharded, batched payment-engine runtime
+//!
+//! The paper ("The Consensus Number of a Cryptocurrency", PODC 2019)
+//! proves asset transfer has consensus number 1: transfers debiting
+//! different accounts need no mutual ordering. This crate turns that
+//! result into a production-shaped runtime above `at-broadcast`/`at-core`
+//! and below `at-bench`, with three pillars:
+//!
+//! * **a sharded account-state engine** ([`shard`], [`replica`]) — the
+//!   ledger is partitioned by account, validation is a shard-local
+//!   balance lookup instead of a history recomputation, and submitted
+//!   transfers ship in [`at_broadcast::Batch`]es that amortize the
+//!   secure-broadcast cost;
+//! * **a scenario DSL** ([`scenario`], [`suite`]) — workloads (uniform,
+//!   hot-spot, many-to-one, mixes) composed with adversaries
+//!   (equivocating double-spenders, overspenders, silent processes) and
+//!   network faults (partitions, lossy and slow links) on top of
+//!   [`at_net::Simulation`], all fully deterministic per seed;
+//! * **an engine driver API** ([`driver`]) — the [`Engine`] trait with
+//!   [`ConsensuslessEngine`] and [`BaselineEngine`] implementations, so
+//!   benches, examples, and tests drive the same code path and produce
+//!   comparable [`ScenarioReport`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use at_engine::{ConsensuslessEngine, Engine, EngineConfig, Scenario};
+//!
+//! let scenario = Scenario::new("quick", 4).waves(2).seed(1);
+//! let engine = ConsensuslessEngine::new(EngineConfig::standard());
+//! let report = engine.run(&scenario);
+//! assert_eq!(report.completed, 8); // 4 processes × 2 waves
+//! assert_eq!(report.conflicts, 0);
+//! assert!(report.agreed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod config;
+pub mod driver;
+pub mod replica;
+pub mod scenario;
+pub mod shard;
+pub mod suite;
+
+pub use adversary::EngineActor;
+pub use config::{BatchPolicy, EngineConfig};
+pub use driver::{BaselineEngine, ConsensuslessEngine, Engine};
+pub use replica::{EngineEvent, EngineMsg, ShardedReplica};
+pub use scenario::{Adversary, Fault, NetProfile, Scenario, ScenarioReport, Workload};
+pub use shard::{ShardError, ShardMap, ShardStats, ShardedLedger};
+pub use suite::{format_reports, run_suite, standard_suite};

@@ -186,7 +186,6 @@ impl Checker<'_> {
 mod tests {
     use super::*;
     use crate::ids::{AccountId, Amount, ProcessId};
-    use crate::owner::OwnerMap;
 
     fn a(i: u32) -> AccountId {
         AccountId::new(i)

@@ -266,7 +266,10 @@ impl Recorder {
 
     /// Records an invocation; see [`History::invoke`].
     pub fn invoke(&self, process: ProcessId, op: Operation) -> OpId {
-        self.inner.lock().expect("recorder poisoned").invoke(process, op)
+        self.inner
+            .lock()
+            .expect("recorder poisoned")
+            .invoke(process, op)
     }
 
     /// Records a response; see [`History::respond`].

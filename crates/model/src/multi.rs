@@ -278,10 +278,7 @@ mod tests {
     #[test]
     fn foreign_source_rejected() {
         let mut l = ledger();
-        let tx = MultiTransfer::new(
-            [(a(0), amt(1)), (a(2), amt(1))],
-            [(a(3), amt(2))],
-        );
+        let tx = MultiTransfer::new([(a(0), amt(1)), (a(2), amt(1))], [(a(3), amt(2))]);
         let err = tx.apply(p(0), &mut l).unwrap_err();
         assert!(matches!(err, TransferError::NotOwner { account, .. } if account == a(2)));
         assert_eq!(l.total_supply(), amt(22));
@@ -302,10 +299,7 @@ mod tests {
         let mut l = ledger();
         // Two legs of 6 from account 0 (balance 10): individually fine,
         // aggregated they overdraw.
-        let tx = MultiTransfer::new(
-            [(a(0), amt(6)), (a(0), amt(6))],
-            [(a(3), amt(12))],
-        );
+        let tx = MultiTransfer::new([(a(0), amt(6)), (a(0), amt(6))], [(a(3), amt(12))]);
         let err = tx.apply(p(0), &mut l).unwrap_err();
         assert!(matches!(
             err,
@@ -344,10 +338,7 @@ mod tests {
     fn overlapping_debit_and_credit_nets_out() {
         let mut l = ledger();
         // Debit 5 from account 0 while crediting 2 back to it.
-        let tx = MultiTransfer::new(
-            [(a(0), amt(5))],
-            [(a(0), amt(2)), (a(3), amt(3))],
-        );
+        let tx = MultiTransfer::new([(a(0), amt(5))], [(a(0), amt(2)), (a(3), amt(3))]);
         tx.apply(p(0), &mut l).unwrap();
         assert_eq!(l.read(a(0)), amt(7));
         assert_eq!(l.read(a(3)), amt(3));
@@ -356,10 +347,7 @@ mod tests {
 
     #[test]
     fn codec_roundtrip() {
-        let tx = MultiTransfer::new(
-            [(a(0), amt(10)), (a(1), amt(5))],
-            [(a(3), amt(15))],
-        );
+        let tx = MultiTransfer::new([(a(0), amt(10)), (a(1), amt(5))], [(a(3), amt(15))]);
         let bytes = crate::codec::encode(&tx);
         let back: MultiTransfer = crate::codec::decode(&bytes).unwrap();
         assert_eq!(tx, back);

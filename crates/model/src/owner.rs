@@ -62,9 +62,7 @@ impl OwnerMap {
     /// Convenience constructor for the common benchmark topology: `n`
     /// processes, one account each, account `i` owned by process `i`.
     pub fn one_account_per_process(n: usize) -> Self {
-        OwnerMap::single_owner(
-            (0..n as u32).map(|i| (AccountId::new(i), ProcessId::new(i))),
-        )
+        OwnerMap::single_owner((0..n as u32).map(|i| (AccountId::new(i), ProcessId::new(i))))
     }
 
     /// Adds `process` as an owner of `account`.

@@ -333,10 +333,7 @@ mod tests {
 
     #[test]
     fn self_transfer_is_noop() {
-        let mut l = Ledger::new(
-            [(a(0), amt(10))],
-            OwnerMap::single_owner([(a(0), p(0))]),
-        );
+        let mut l = Ledger::new([(a(0), amt(10))], OwnerMap::single_owner([(a(0), p(0))]));
         l.transfer(p(0), a(0), a(0), amt(7)).unwrap();
         assert_eq!(l.read(a(0)), amt(10));
         // But still requires sufficient balance per Δ: q(a) ≥ x.

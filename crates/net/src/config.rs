@@ -179,9 +179,6 @@ mod tests {
         assert_eq!(config.latency.jitter, VirtualTime::ZERO);
         assert_eq!(config.seed, 3);
         assert_eq!(NetConfig::default().latency, LatencyModel::lan());
-        assert_eq!(
-            NetConfig::instant(0).processing_cost,
-            VirtualTime::ZERO
-        );
+        assert_eq!(NetConfig::instant(0).processing_cost, VirtualTime::ZERO);
     }
 }

@@ -17,7 +17,7 @@ use at_model::ProcessId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 
 /// A deterministic single-threaded protocol participant.
 pub trait Actor {
@@ -105,12 +105,8 @@ impl<M: Clone, E> Context<'_, M, E> {
 
 /// A scheduled command: a one-shot closure run on an actor, modelling a
 /// client request arriving at a replica.
-type Command<A> = Box<
-    dyn for<'a> FnOnce(
-        &mut A,
-        &mut Context<'a, <A as Actor>::Msg, <A as Actor>::Event>,
-    ),
->;
+type Command<A> =
+    Box<dyn for<'a> FnOnce(&mut A, &mut Context<'a, <A as Actor>::Msg, <A as Actor>::Event>)>;
 
 enum Entry<A: Actor> {
     Start,
@@ -126,10 +122,41 @@ pub struct SimStats {
     pub messages_sent: u64,
     /// Messages delivered to (live) actors.
     pub messages_delivered: u64,
-    /// Messages dropped by partitions.
+    /// Messages dropped by partitions or injected link faults.
     pub messages_dropped: u64,
     /// Events processed in total.
     pub events_processed: u64,
+}
+
+/// Injected behaviour of one directed link, beyond the latency model.
+/// Installed with [`Simulation::inject_link_fault`]; used by the scenario
+/// subsystem to model lossy and degraded links deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Drop the next this-many messages sent on the link (decremented per
+    /// dropped message; the partition mechanism is separate and takes
+    /// precedence).
+    pub drop_next: u64,
+    /// Extra one-way latency added to every message on the link.
+    pub extra_delay: VirtualTime,
+}
+
+impl LinkFault {
+    /// A fault dropping the next `count` messages.
+    pub fn drop(count: u64) -> Self {
+        LinkFault {
+            drop_next: count,
+            extra_delay: VirtualTime::ZERO,
+        }
+    }
+
+    /// A fault adding `extra` latency to every message.
+    pub fn delay(extra: VirtualTime) -> Self {
+        LinkFault {
+            drop_next: 0,
+            extra_delay: extra,
+        }
+    }
 }
 
 struct QueueItem<A: Actor> {
@@ -173,6 +200,8 @@ pub struct Simulation<A: Actor> {
     stats: SimStats,
     /// Directed links currently cut by a partition.
     blocked_links: HashSet<(ProcessId, ProcessId)>,
+    /// Injected per-link faults (drops, extra delay).
+    link_faults: BTreeMap<(ProcessId, ProcessId), LinkFault>,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -192,6 +221,7 @@ impl<A: Actor> Simulation<A> {
             events: Vec::new(),
             stats: SimStats::default(),
             blocked_links: HashSet::new(),
+            link_faults: BTreeMap::new(),
         };
         for i in 0..n {
             sim.push(VirtualTime::ZERO, ProcessId::new(i as u32), Entry::Start);
@@ -260,6 +290,24 @@ impl<A: Actor> Simulation<A> {
     /// Whether the directed link `from → to` is currently cut.
     pub fn is_link_blocked(&self, from: ProcessId, to: ProcessId) -> bool {
         self.blocked_links.contains(&(from, to))
+    }
+
+    /// Installs (or replaces) an injected fault on the directed link
+    /// `from → to`: message drops and/or extra delay. Unlike partitions,
+    /// faults are per-link and compose with the latency model; drops are
+    /// counted in [`SimStats::messages_dropped`].
+    pub fn inject_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: LinkFault) {
+        self.link_faults.insert((from, to), fault);
+    }
+
+    /// The currently injected fault on `from → to`, if any.
+    pub fn link_fault(&self, from: ProcessId, to: ProcessId) -> Option<LinkFault> {
+        self.link_faults.get(&(from, to)).copied()
+    }
+
+    /// Removes every injected link fault (partitions are unaffected).
+    pub fn clear_link_faults(&mut self) {
+        self.link_faults.clear();
     }
 
     /// Schedules `command` to run on `process` at absolute time `at`
@@ -336,9 +384,8 @@ impl<A: Actor> Simulation<A> {
 
         // The handler completes after the configured processing cost plus
         // per-message transmission work.
-        let send_work = VirtualTime::from_micros(
-            self.config.send_cost.as_micros() * outbox.len() as u64,
-        );
+        let send_work =
+            VirtualTime::from_micros(self.config.send_cost.as_micros() * outbox.len() as u64);
         let done = start + self.config.processing_cost + extra_cost + send_work;
         self.busy_until[index] = done;
 
@@ -348,7 +395,16 @@ impl<A: Actor> Simulation<A> {
                 self.stats.messages_dropped += 1;
                 continue;
             }
-            let latency = self.config.latency.sample(&mut self.rng);
+            let mut extra_delay = VirtualTime::ZERO;
+            if let Some(fault) = self.link_faults.get_mut(&(process, to)) {
+                if fault.drop_next > 0 {
+                    fault.drop_next -= 1;
+                    self.stats.messages_dropped += 1;
+                    continue;
+                }
+                extra_delay = fault.extra_delay;
+            }
+            let latency = self.config.latency.sample(&mut self.rng) + extra_delay;
             self.push(done + latency, to, Entry::Deliver { from: process, msg });
         }
         for (delay, timer) in timers {
@@ -619,6 +675,66 @@ mod tests {
         sim.run_until_quiet(1_000);
         // Ping (2ms send work) + pong (2ms) dominate the 1µs latency.
         assert!(sim.now() >= VirtualTime::from_millis(4));
+    }
+
+    #[test]
+    fn link_fault_drops_next_messages() {
+        let mut sim = ping_pong_sim(11);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        // Drop the first ping; the exchange never starts.
+        sim.inject_link_fault(p0, p1, LinkFault::drop(1));
+        assert_eq!(sim.link_fault(p0, p1), Some(LinkFault::drop(1)));
+        assert!(sim.run_until_quiet(1_000));
+        assert_eq!(sim.actor(p0).completed, 0);
+        assert_eq!(sim.stats().messages_dropped, 1);
+        // The fault is spent: a re-injected ping goes through.
+        sim.schedule(sim.now(), p0, |_actor, ctx| {
+            ctx.send(ProcessId::new(1), Msg::Ping(1));
+        });
+        assert!(sim.run_until_quiet(1_000));
+        assert_eq!(sim.actor(p0).completed, 5);
+    }
+
+    #[test]
+    fn link_fault_delay_slows_the_link() {
+        let config = NetConfig {
+            latency: LatencyModel::fixed(VirtualTime::from_millis(1)),
+            processing_cost: VirtualTime::ZERO,
+            send_cost: VirtualTime::ZERO,
+            seed: 0,
+        };
+        let make = || {
+            vec![
+                PingPong {
+                    rounds: 1,
+                    completed: 0,
+                },
+                PingPong {
+                    rounds: 1,
+                    completed: 0,
+                },
+            ]
+        };
+        let mut plain = Simulation::new(make(), config.clone());
+        plain.run_until_quiet(1_000);
+
+        let mut slowed = Simulation::new(make(), config);
+        slowed.inject_link_fault(
+            ProcessId::new(0),
+            ProcessId::new(1),
+            LinkFault::delay(VirtualTime::from_millis(9)),
+        );
+        slowed.run_until_quiet(1_000);
+        // One hop delayed by 9ms.
+        assert_eq!(slowed.now(), plain.now() + VirtualTime::from_millis(9));
+        assert_eq!(slowed.actor(ProcessId::new(0)).completed, 1);
+
+        slowed.clear_link_faults();
+        assert_eq!(
+            slowed.link_fault(ProcessId::new(0), ProcessId::new(1)),
+            None
+        );
     }
 
     #[test]

@@ -141,11 +141,7 @@ impl<S: AtomicSnapshot<Ops>> SnapshotAssetTransfer<S> {
 
     /// `balance(a, S)` of Figure 1 over a snapshot `S`.
     fn balance(&self, account: AccountId, view: &[Ops]) -> Amount {
-        let initial = self
-            .initial
-            .get(&account)
-            .copied()
-            .unwrap_or(Amount::ZERO);
+        let initial = self.initial.get(&account).copied().unwrap_or(Amount::ZERO);
         balance_from_transfers(account, initial, view.iter().flat_map(|ops| ops.iter()))
             .expect("figure 1 maintains non-negative balances")
     }

@@ -173,8 +173,7 @@ mod tests {
     fn concurrent_agreement_validity_termination() {
         for trial in 0..30 {
             let k = 6;
-            let consensus =
-                Arc::new(TransferConsensus::new(k, MutexAssetTransfer::new));
+            let consensus = Arc::new(TransferConsensus::new(k, MutexAssetTransfer::new));
             let handles: Vec<_> = (0..k as u32)
                 .map(|i| {
                     let consensus = Arc::clone(&consensus);
@@ -185,7 +184,10 @@ mod tests {
             let unique: HashSet<_> = decisions.iter().copied().collect();
             assert_eq!(unique.len(), 1, "trial {trial}: disagreement {decisions:?}");
             let decided = decisions[0];
-            assert!(decided % 10 == 0 && decided < k as u32 * 10, "validity");
+            assert!(
+                decided.is_multiple_of(10) && decided < k as u32 * 10,
+                "validity"
+            );
         }
     }
 

@@ -136,11 +136,7 @@ impl KSharedAssetTransfer {
     /// incoming minus successful outgoing over the union of published
     /// hist sets.
     fn balance(&self, account: AccountId, view: &[Hist]) -> Amount {
-        let initial = self
-            .initial
-            .get(&account)
-            .copied()
-            .unwrap_or(Amount::ZERO);
+        let initial = self.initial.get(&account).copied().unwrap_or(Amount::ZERO);
         // The same decided transfer may appear in several hist slots; the
         // union must be deduplicated before summation.
         let unioned: BTreeSet<&DecidedTransfer> = view.iter().flat_map(|h| h.iter()).collect();
@@ -218,7 +214,7 @@ impl SharedAssetTransfer for KSharedAssetTransfer {
         // transfer exactly when its decision is observed.)
         while my_result.is_none() {
             debug_assert!(
-                collected.iter().any(|t| *t == my_announcement),
+                collected.contains(&my_announcement),
                 "announced transfer disappeared without a decision"
             );
             // Line 7: the oldest collected transfer (round, then pid).
@@ -414,13 +410,17 @@ mod tests {
         let t0 = {
             let object = Arc::clone(&object);
             thread::spawn(move || {
-                (0..50).filter(|_| object.transfer(p(0), a(0), a(1), amt(1))).count()
+                (0..50)
+                    .filter(|_| object.transfer(p(0), a(0), a(1), amt(1)))
+                    .count()
             })
         };
         let t1 = {
             let object = Arc::clone(&object);
             thread::spawn(move || {
-                (0..50).filter(|_| object.transfer(p(1), a(0), a(1), amt(1))).count()
+                (0..50)
+                    .filter(|_| object.transfer(p(1), a(0), a(1), amt(1)))
+                    .count()
             })
         };
         assert_eq!(t0.join().unwrap() + t1.join().unwrap(), 100);

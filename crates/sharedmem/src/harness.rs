@@ -67,7 +67,7 @@ where
                 let process = ProcessId::new(i as u32);
                 let mut rng = StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37));
                 for _ in 0..config.ops_per_process {
-                    if rng.gen_range(0..100) < config.read_percent {
+                    if rng.gen_range(0..100u8) < config.read_percent {
                         let account = AccountId::new(rng.gen_range(0..n) as u32);
                         let id = recorder.invoke(process, Operation::Read { account });
                         let balance = object.read(account);
@@ -120,10 +120,7 @@ where
         owners.add_owner(shared, process);
     }
     owners.add_unowned(sink);
-    let initial = Ledger::new(
-        [(shared, initial_balance), (sink, Amount::ZERO)],
-        owners,
-    );
+    let initial = Ledger::new([(shared, initial_balance), (sink, Amount::ZERO)], owners);
     let recorder = Recorder::new();
 
     let threads: Vec<_> = (0..k)

@@ -128,7 +128,10 @@ mod tests {
     fn concurrent_usage_preserves_supply() {
         use std::sync::Arc;
         use std::thread;
-        let object = Arc::new(MutexAssetTransfer::new(Ledger::uniform(4, Amount::new(100))));
+        let object = Arc::new(MutexAssetTransfer::new(Ledger::uniform(
+            4,
+            Amount::new(100),
+        )));
         let handles: Vec<_> = (0..4u32)
             .map(|i| {
                 let object = Arc::clone(&object);

@@ -81,9 +81,7 @@ impl<T: Clone + Send> RegisterArray<T> {
     /// Creates `n` registers, all initially `⊥` (`None`).
     pub fn new(n: usize) -> Self {
         RegisterArray {
-            registers: (0..n)
-                .map(|_| Arc::new(MutexRegister::new(None)))
-                .collect(),
+            registers: (0..n).map(|_| Arc::new(MutexRegister::new(None))).collect(),
         }
     }
 

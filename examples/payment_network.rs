@@ -21,7 +21,11 @@ fn main() {
     let actors: Vec<Participant> = (0..N as u32)
         .map(|i| {
             if i == EVE {
-                Participant::Equivocator(MaliciousReplica::new(ProcessId::new(i), N, Amount::new(50)))
+                Participant::Equivocator(MaliciousReplica::new(
+                    ProcessId::new(i),
+                    N,
+                    Amount::new(50),
+                ))
             } else {
                 Participant::honest(ProcessId::new(i), N, Amount::new(50))
             }
@@ -67,7 +71,9 @@ fn main() {
         }
     }
     println!("honest transfers completed: {honest_completed}/8");
-    println!("legs of Eve's double spend applied anywhere: {eve_applied} (2 would be a double spend)");
+    println!(
+        "legs of Eve's double spend applied anywhere: {eve_applied} (2 would be a double spend)"
+    );
     let observer = sim.actor(ProcessId::new(0));
     println!(
         "acct0={}, acct1={}, Eve's acct9={}",

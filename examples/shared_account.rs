@@ -26,17 +26,29 @@ fn main() {
         .chain((1..N).map(|i| (AccountId::new(i as u32), Amount::new(100))))
         .collect();
     let replicas = (0..N as u32)
-        .map(|i| KSharedReplica::new(ProcessId::new(i), N, initial.clone(), owners.clone(), NoAuth))
+        .map(|i| {
+            KSharedReplica::new(
+                ProcessId::new(i),
+                N,
+                initial.clone(),
+                owners.clone(),
+                NoAuth,
+            )
+        })
         .collect();
     let mut sim = Simulation::new(replicas, NetConfig::lan(7));
 
     // All three owners submit payouts concurrently; the owners' BFT group
     // sequences them, and everyone applies them in account order.
     for (owner, amount) in [(0u32, 400u64), (1, 400), (2, 400)] {
-        sim.schedule(VirtualTime::ZERO, ProcessId::new(owner), move |replica, ctx| {
-            let dest = AccountId::new(owner % (N as u32 - 1) + 1);
-            replica.submit(AccountId::new(0), dest, Amount::new(amount), ctx);
-        });
+        sim.schedule(
+            VirtualTime::ZERO,
+            ProcessId::new(owner),
+            move |replica, ctx| {
+                let dest = AccountId::new(owner % (N as u32 - 1) + 1);
+                replica.submit(AccountId::new(0), dest, Amount::new(amount), ctx);
+            },
+        );
     }
     sim.run_until_quiet(10_000_000);
 
@@ -47,7 +59,11 @@ fn main() {
                 "[{at}] {} -> {}: {}",
                 transfer.originator,
                 transfer.destination,
-                if success { "SUCCESS" } else { "FAILED (insufficient at its sequence position)" }
+                if success {
+                    "SUCCESS"
+                } else {
+                    "FAILED (insufficient at its sequence position)"
+                }
             );
         }
     }

@@ -1,0 +1,219 @@
+//! Integration tests of the `at-engine` scenario subsystem: Byzantine
+//! double-spend rejection through the scenario DSL, fault-schedule
+//! behaviour, and cross-engine agreement on the standard suite.
+
+use at_engine::{
+    Adversary, ConsensuslessEngine, Engine, EngineActor, EngineConfig, EngineEvent, Fault,
+    NetProfile, Scenario, Workload,
+};
+use at_model::{AccountId, Amount, ProcessId, Transfer};
+use at_net::{NetConfig, Simulation, VirtualTime};
+use std::collections::BTreeSet;
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn a(i: u32) -> AccountId {
+    AccountId::new(i)
+}
+
+/// The satellite requirement: an equivocating sender scenario, built with
+/// the DSL, in which no correct replica applies both conflicting
+/// transfers — on the unsharded and the sharded+batched engine alike.
+#[test]
+fn equivocating_sender_cannot_double_spend() {
+    let scenario = Scenario::new("double-spend", 8)
+        .waves(4)
+        .seed(33)
+        .adversary(p(0), Adversary::Equivocate);
+
+    for config in [EngineConfig::unsharded(), EngineConfig::standard()] {
+        let report = ConsensuslessEngine::new(config).run(&scenario);
+        // No (source, seq) pair resolved to two different transfers at
+        // two correct replicas — the double spend never lands.
+        assert_eq!(report.conflicts, 0, "{config:?}");
+        assert!(report.agreed, "{config:?}: correct replicas diverged");
+        assert!(report.supply_ok, "{config:?}: supply violated");
+        // The seven correct processes make full progress regardless.
+        assert_eq!(report.completed, 7 * scenario.waves, "{config:?}");
+    }
+}
+
+/// The same attack, inspected replica-by-replica: every correct replica
+/// ends with an *empty* applied set for the equivocator (neither half of
+/// the split broadcast can gather an echo quorum), and whatever any
+/// replica applies per (source, seq) is unique across the system.
+#[test]
+fn equivocation_applied_sets_are_conflict_free() {
+    let n = 8;
+    let initial = Amount::new(100);
+    let scenario = Scenario::new("inspect", n)
+        .seed(5)
+        .adversary(p(0), Adversary::Equivocate);
+
+    let actors: Vec<EngineActor> = (0..n as u32)
+        .map(|i| match scenario.adversary_of(p(i)) {
+            Some(Adversary::Equivocate) => {
+                EngineActor::equivocator(p(i), n, initial, EngineConfig::unsharded())
+            }
+            _ => EngineActor::honest(p(i), n, initial, EngineConfig::unsharded()),
+        })
+        .collect();
+    let mut sim = Simulation::new(actors, scenario.net.config(scenario.seed));
+    for wave in 0..3 {
+        sim.schedule(sim.now(), p(0), move |actor, ctx| actor.attack(wave, ctx));
+        assert!(sim.run_until_quiet(10_000_000));
+    }
+
+    let mut union: BTreeSet<Transfer> = BTreeSet::new();
+    for i in 1..n as u32 {
+        let replica = sim.actor(p(i)).as_honest().expect("correct");
+        let applied = replica.applied_from(p(0));
+        assert!(
+            applied.is_empty(),
+            "replica {i} applied {} equivocated transfers",
+            applied.len()
+        );
+        union.extend(applied.values().copied());
+        // Funds never moved.
+        let total: Amount = (0..n as u32).map(|j| replica.balance(a(j))).sum();
+        assert_eq!(total, Amount::new(100 * n as u64));
+    }
+    assert!(union.is_empty());
+}
+
+/// An overspender is delivered everywhere but validates nowhere.
+#[test]
+fn overspender_scenario_rejected_by_every_replica() {
+    let scenario = Scenario::new("overspend", 6)
+        .waves(3)
+        .seed(8)
+        .adversary(p(2), Adversary::Overspend);
+    let report = ConsensuslessEngine::new(EngineConfig::standard()).run(&scenario);
+    assert_eq!(report.conflicts, 0);
+    assert!(report.agreed && report.supply_ok);
+    assert_eq!(report.completed, 5 * scenario.waves);
+}
+
+/// Link faults from the DSL reach the simulator: dropped messages are
+/// counted, and a delayed link stretches the run.
+#[test]
+fn link_faults_shape_the_run() {
+    let benign = Scenario::new("benign", 5)
+        .waves(2)
+        .seed(4)
+        .net(NetProfile::Instant);
+    let lossy = benign
+        .clone()
+        .fault(Fault::DropLink {
+            from: p(0),
+            to: p(1),
+            count: 2,
+        })
+        .fault(Fault::DelayLink {
+            from: p(1),
+            to: p(2),
+            extra_micros: 40_000,
+        })
+        // Composes with the DropLink on the same directed link: the
+        // first two messages drop, the survivors are delayed.
+        .fault(Fault::DelayLink {
+            from: p(0),
+            to: p(1),
+            extra_micros: 40_000,
+        });
+
+    let engine = ConsensuslessEngine::new(EngineConfig::unsharded());
+    let clean = engine.run(&benign);
+    let faulted = engine.run(&lossy);
+    assert_eq!(clean.messages_dropped, 0);
+    assert_eq!(faulted.messages_dropped, 2);
+    assert!(faulted.duration_us > clean.duration_us);
+    // Bracha masks two dropped messages: everyone still completes.
+    assert_eq!(faulted.completed, clean.completed);
+    assert!(faulted.agreed && faulted.supply_ok);
+}
+
+/// A healed partition lets later waves complete even though in-window
+/// broadcasts to the isolated process are lost (no retransmission).
+#[test]
+fn partitioned_minority_misses_traffic_but_majority_progresses() {
+    let scenario = Scenario::new("partition", 7)
+        .waves(4)
+        .seed(10)
+        .fault(Fault::Partition {
+            groups: vec![vec![p(6)], (0..6).map(p).collect()],
+            from_wave: 1,
+            heal_wave: 3,
+        });
+    let report = ConsensuslessEngine::new(EngineConfig::unsharded()).run(&scenario);
+    assert!(report.messages_dropped > 0);
+    assert_eq!(report.conflicts, 0);
+    assert!(report.supply_ok);
+    // The six-process majority keeps completing its transfers in the
+    // partition window; p6's own submissions in that window cannot.
+    assert!(report.completed >= 6 * scenario.waves);
+}
+
+/// Benign scenarios complete identically across both engines (same
+/// workload coins, same closed-loop count), and reports are reproducible.
+#[test]
+fn engines_agree_on_benign_workload_counts() {
+    let scenario = Scenario::new("hotspot", 6)
+        .waves(3)
+        .seed(19)
+        .workload(Workload::HotSpot {
+            hot: a(1),
+            percent_hot: 50,
+        });
+    let consensusless = ConsensuslessEngine::new(EngineConfig::standard()).run(&scenario);
+    let baseline = at_engine::BaselineEngine::new(8).run(&scenario);
+    assert_eq!(consensusless.completed, 6 * scenario.waves);
+    assert_eq!(baseline.completed, 6 * scenario.waves);
+    assert!(consensusless.agreed && baseline.agreed);
+    assert_eq!(
+        ConsensuslessEngine::new(EngineConfig::standard()).run(&scenario),
+        consensusless
+    );
+}
+
+/// Batch windows interact correctly with wave boundaries: a window wider
+/// than a wave still flushes everything by quiescence.
+#[test]
+fn wide_batch_window_still_drains() {
+    let scenario = Scenario::new("wide-window", 4)
+        .waves(2)
+        .transfers_per_wave(3)
+        .seed(2);
+    let config = EngineConfig::sharded_batched(2, 64, VirtualTime::from_millis(5));
+    let report = ConsensuslessEngine::new(config).run(&scenario);
+    assert_eq!(report.completed, 4 * 2 * 3);
+    assert!(report.agreed && report.supply_ok);
+}
+
+/// Smoke check used by the event plumbing: completion events carry the
+/// original transfer.
+#[test]
+fn completion_events_carry_transfers() {
+    let n = 3;
+    let actors: Vec<EngineActor> = (0..n as u32)
+        .map(|i| EngineActor::honest(p(i), n, Amount::new(50), EngineConfig::unsharded()))
+        .collect();
+    let mut sim = Simulation::new(actors, NetConfig::lan(1));
+    sim.schedule(VirtualTime::ZERO, p(0), |actor, ctx| {
+        actor.submit(a(2), Amount::new(7), ctx);
+    });
+    assert!(sim.run_until_quiet(1_000_000));
+    let completed: Vec<Transfer> = sim
+        .take_events()
+        .into_iter()
+        .filter_map(|(_, _, e)| match e {
+            EngineEvent::Completed { transfer } => Some(transfer),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(completed.len(), 1);
+    assert_eq!(completed[0].amount, Amount::new(7));
+    assert_eq!(completed[0].destination, a(2));
+}

@@ -2,13 +2,15 @@
 //! the shared-memory objects, and the broadcast layer under randomized
 //! inputs and schedules.
 
+// Index-driven loops here mirror the per-process state arrays.
+#![allow(clippy::needless_range_loop)]
+
 use at_broadcast::bracha::{BrachaBroadcast, BrachaMsg};
 use at_broadcast::types::Step;
 use at_model::codec::{decode, encode};
 use at_model::{AccountId, Amount, Ledger, OwnerMap, ProcessId, SeqNo, Transfer};
 use at_sharedmem::figure1::SnapshotAssetTransfer;
 use at_sharedmem::harness::{assert_linearizable, run_uniform_workload, WorkloadConfig};
-use at_sharedmem::object::SharedAssetTransfer;
 use proptest::prelude::*;
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};

@@ -111,11 +111,7 @@ fn figure3_linearizable_across_seeds() {
             owners.add_owner(shared, process);
         }
         owners.add_unowned(sink);
-        let object = Arc::new(KSharedAssetTransfer::new(
-            k,
-            [(shared, amt(20))],
-            owners,
-        ));
+        let object = Arc::new(KSharedAssetTransfer::new(k, [(shared, amt(20))], owners));
         let (history, initial) = run_shared_account_workload(object, k, 6, amt(20), seed);
         assert_linearizable(&history, &initial);
     }
