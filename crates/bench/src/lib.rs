@@ -33,7 +33,8 @@ use at_core::figure4::TransferMsg;
 use at_core::kshared::{KEvent, KSharedReplica};
 use at_core::replica::{ConsensuslessReplica, TransferBroadcast, TransferEvent};
 use at_engine::{
-    BaselineEngine, ConsensuslessEngine, Engine, EngineConfig, Scenario, ScenarioReport,
+    AuthMode, BaselineEngine, BroadcastBackend, ConsensuslessEngine, Engine, EngineConfig,
+    Scenario, ScenarioReport,
 };
 use at_model::{AccountId, Amount, Ledger, OwnerMap, ProcessId};
 use at_net::{LatencyModel, NetConfig, Simulation, VirtualTime};
@@ -350,6 +351,108 @@ pub fn eval_t3(scenario: &Scenario) -> Vec<ScenarioReport> {
         .collect()
 }
 
+/// T4: the closed-loop workload of the broadcast-backend ablation —
+/// unsharded and unbatched, so the per-transfer message count is the
+/// protocol's own cost, not amortized away by batching.
+pub fn t4_scenario(n: usize, waves: usize, transfers_per_wave: usize, seed: u64) -> Scenario {
+    Scenario::new(format!("t4-n{n}"), n)
+        .waves(waves)
+        .transfers_per_wave(transfers_per_wave)
+        .seed(seed)
+        .initial(Amount::new(1_000_000))
+}
+
+/// The backend line-up of the T4 table. All senders are honest, so
+/// certificate forwarding is disabled on the signed backends (same
+/// rationale as ablation A1): the table measures each protocol's
+/// intrinsic cost. `sig_cost_us` charges modelled CPU per signature
+/// operation on the signed backends, making the "signature CPU for
+/// message complexity" trade visible in virtual time; `include_ed` adds
+/// a row with *real* Ed25519 signing and certificate verification
+/// end-to-end (slow in wall-clock, identical in virtual metrics to the
+/// cost-modelled row's message counts).
+pub fn t4_backends(sig_cost_us: u64, include_ed: bool) -> Vec<EngineConfig> {
+    let base = EngineConfig::unsharded();
+    let mut configs = vec![
+        base,
+        base.with_backend(BroadcastBackend::SignedEcho {
+            auth: AuthMode::None,
+            forward_final: false,
+        })
+        .with_sig_cost_us(sig_cost_us),
+        base.with_backend(BroadcastBackend::AccountOrder {
+            auth: AuthMode::None,
+            forward_final: false,
+        })
+        .with_sig_cost_us(sig_cost_us),
+    ];
+    if include_ed {
+        configs.push(
+            base.with_backend(BroadcastBackend::SignedEcho {
+                auth: AuthMode::Ed25519,
+                forward_final: false,
+            })
+            .with_sig_cost_us(sig_cost_us),
+        );
+    }
+    configs
+}
+
+/// Runs the T4 backend line-up on one scenario.
+pub fn eval_t4(scenario: &Scenario, sig_cost_us: u64, include_ed: bool) -> Vec<ScenarioReport> {
+    t4_backends(sig_cost_us, include_ed)
+        .into_iter()
+        .map(|config| ConsensuslessEngine::new(config).run(scenario))
+        .collect()
+}
+
+/// Messages sent per completed transfer — the headline scaling metric of
+/// the backend comparison.
+pub fn messages_per_transfer(report: &ScenarioReport) -> f64 {
+    report.messages_sent as f64 / (report.completed as f64).max(1.0)
+}
+
+/// Renders T4 reports (grouped by system size) as machine-readable JSON
+/// for `BENCH_t4.json`. Hand-rolled: the workspace builds offline, with
+/// no serde.
+pub fn t4_json(seed: u64, sig_cost_us: u64, groups: &[(usize, Vec<ScenarioReport>)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"T4 broadcast-backend ablation\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"sig_cost_us\": {sig_cost_us},\n"));
+    out.push_str(
+        "  \"workload\": \"uniform closed loop, unsharded/unbatched, certificate forwarding off\",\n",
+    );
+    out.push_str("  \"results\": [\n");
+    let mut first = true;
+    for (n, reports) in groups {
+        for report in reports {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"n\": {n}, \"engine\": \"{}\", \"completed\": {}, \"messages\": {}, \
+                 \"messages_per_transfer\": {:.2}, \"throughput_tps\": {:.1}, \
+                 \"latency_p50_us\": {}, \"latency_p99_us\": {}, \"agreed\": {}, \
+                 \"conflicts\": {}}}",
+                report.engine,
+                report.completed,
+                report.messages_sent,
+                messages_per_transfer(report),
+                report.throughput_tps,
+                report.latency_p50_us,
+                report.latency_p99_us,
+                report.agreed,
+                report.conflicts,
+            ));
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 /// Formats one table row (markdown).
 pub fn format_row(label: &str, result: &EvalResult) -> String {
     format!(
@@ -450,6 +553,68 @@ mod tests {
     fn t3_runs_are_deterministic() {
         let scenario = t3_scenario(8, 2, 2, 9);
         assert_eq!(eval_t3(&scenario), eval_t3(&scenario));
+    }
+
+    #[test]
+    fn t4_signed_echo_halves_brachas_message_count_at_16() {
+        // The acceptance bar of the backend ablation: at n ≥ 16 the
+        // signed-echo backend spends at most half of Bracha's messages
+        // per transfer (O(n) sender cost vs O(n²)).
+        let scenario = t4_scenario(16, 2, 1, 21);
+        let reports = eval_t4(&scenario, 0, false);
+        assert_eq!(reports.len(), 3);
+        let bracha = &reports[0];
+        let echo = &reports[1];
+        let account = &reports[2];
+        assert_eq!(bracha.engine, "consensusless");
+        assert_eq!(echo.engine, "consensusless-echo");
+        assert_eq!(account.engine, "consensusless-acctorder");
+        for report in &reports {
+            assert_eq!(report.completed, 32, "{}", report.engine);
+            assert!(report.agreed, "{}", report.engine);
+            assert_eq!(report.conflicts, 0, "{}", report.engine);
+        }
+        assert!(
+            messages_per_transfer(echo) * 2.0 <= messages_per_transfer(bracha),
+            "echo {:.1} vs bracha {:.1} msgs/transfer",
+            messages_per_transfer(echo),
+            messages_per_transfer(bracha)
+        );
+        assert!(
+            messages_per_transfer(account) * 2.0 <= messages_per_transfer(bracha),
+            "account-order {:.1} vs bracha {:.1} msgs/transfer",
+            messages_per_transfer(account),
+            messages_per_transfer(bracha)
+        );
+    }
+
+    #[test]
+    fn t4_sig_cost_slows_only_the_signed_backends() {
+        let scenario = t4_scenario(8, 2, 1, 5);
+        let free = eval_t4(&scenario, 0, false);
+        let costly = eval_t4(&scenario, 200, false);
+        // Bracha is signature-free: identical duration either way.
+        assert_eq!(free[0].duration_us, costly[0].duration_us);
+        // The signed backends pay the modelled CPU in virtual time.
+        assert!(costly[1].latency_p50_us > free[1].latency_p50_us);
+        assert!(costly[2].latency_p50_us > free[2].latency_p50_us);
+    }
+
+    #[test]
+    fn t4_json_is_well_formed() {
+        let scenario = t4_scenario(4, 1, 1, 3);
+        let reports = eval_t4(&scenario, 0, false);
+        let json = t4_json(3, 0, &[(4, reports)]);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"experiment\": \"T4 broadcast-backend ablation\""));
+        assert!(json.contains("\"engine\": \"consensusless-echo\""));
+        assert!(json.contains("\"messages_per_transfer\""));
+        // Balanced braces (cheap structural sanity without a parser).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
     }
 
     #[test]

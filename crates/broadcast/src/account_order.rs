@@ -20,7 +20,7 @@
 //!   never double-spend.
 
 use crate::auth::Authenticator;
-use crate::types::Step;
+use crate::types::{CryptoOps, Step};
 use at_model::codec::{encode, Writer};
 use at_model::{AccountId, Encode, ProcessId, SeqNo};
 use std::collections::{BTreeMap, HashMap};
@@ -112,6 +112,12 @@ pub struct AccountOrderBroadcast<P, A: Authenticator> {
     /// Deliveries ready for the caller.
     ready: Vec<AccountDelivery<P>>,
     forward_final: bool,
+    /// When set, a `SEND` for account `a` is only acknowledged if it comes
+    /// from the process with the same index — the paper's base topology
+    /// where account `i` belongs to process `i`. Off by default (Section 6
+    /// `k`-shared accounts have several legitimate senders).
+    sole_owner: bool,
+    ops: CryptoOps,
 }
 
 impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
@@ -130,7 +136,31 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
             sending: HashMap::new(),
             ready: Vec::new(),
             forward_final: true,
+            sole_owner: false,
+            ops: CryptoOps::default(),
         }
+    }
+
+    /// The fault threshold `f`.
+    pub fn fault_threshold(&self) -> usize {
+        self.f
+    }
+
+    /// Enables/disables the sole-owner admission rule: acknowledge a
+    /// `SEND` for account `a` only when it comes from process `a` (the
+    /// single-owner topology of Sections 2–5). Off by default.
+    pub fn set_sole_owner(&mut self, on: bool) {
+        self.sole_owner = on;
+    }
+
+    /// Number of `(account, seq)` slots with acknowledgement state.
+    pub fn instance_count(&self) -> usize {
+        self.acked.len()
+    }
+
+    /// Cumulative signature operations performed by this endpoint.
+    pub fn crypto_ops(&self) -> CryptoOps {
+        self.ops
     }
 
     /// The ack quorum `⌈(n+f+1)/2⌉` ("more than two thirds" in the
@@ -159,6 +189,7 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
         step: &mut Step<AccountOrderMsg<P, A::Sig>, AccountDelivery<P>>,
     ) {
         let digest = payload_digest(&payload);
+        self.ops.signs += 1;
         let sig = self.auth.sign(self.me, &send_bytes(account, seq, digest));
         self.sending.insert(
             (account, seq.value()),
@@ -179,6 +210,62 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
         );
     }
 
+    /// *Byzantine harness only*: signs and sends conflicting `SEND`s for
+    /// `(account, seq)` — `left` to the lower half of the system, `right`
+    /// to the upper half. The attacker keeps live sender-side state, so a
+    /// quorum of acks for the left payload *would* produce a certificate;
+    /// the acknowledgement rule (one digest per `(account, seq)`) is what
+    /// denies the quorum to both payloads.
+    pub fn broadcast_split(
+        &mut self,
+        account: AccountId,
+        seq: SeqNo,
+        left: P,
+        right: P,
+        step: &mut Step<AccountOrderMsg<P, A::Sig>, AccountDelivery<P>>,
+    ) {
+        let left_digest = payload_digest(&left);
+        self.sending.insert(
+            (account, seq.value()),
+            Sending {
+                digest: left_digest,
+                shares: BTreeMap::new(),
+                finalized: false,
+            },
+        );
+        self.pending_sends
+            .entry(account)
+            .or_default()
+            .entry(seq.value())
+            .or_insert(PendingSend {
+                sender: self.me,
+                payload: left.clone(),
+            });
+        self.ops.signs += 2;
+        let left_sig = self
+            .auth
+            .sign(self.me, &send_bytes(account, seq, left_digest));
+        let right_sig = self
+            .auth
+            .sign(self.me, &send_bytes(account, seq, payload_digest(&right)));
+        for i in 0..self.n {
+            let (payload, sig) = if i < self.n / 2 {
+                (left.clone(), left_sig.clone())
+            } else {
+                (right.clone(), right_sig.clone())
+            };
+            step.send(
+                ProcessId::new(i as u32),
+                AccountOrderMsg::Send {
+                    account,
+                    seq,
+                    payload,
+                    sig,
+                },
+            );
+        }
+    }
+
     /// Handles a protocol message from `from`.
     pub fn on_message(
         &mut self,
@@ -193,6 +280,10 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
                 payload,
                 sig,
             } => {
+                if self.sole_owner && from.index() != account.index() {
+                    return; // not the account's owner: never acknowledged
+                }
+                self.ops.verifies += 1;
                 if !self.auth.verify(
                     from,
                     &send_bytes(account, seq, payload_digest(&payload)),
@@ -246,6 +337,7 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
         if *acked != digest {
             return; // a conflicting message was already acknowledged
         }
+        self.ops.signs += 1;
         let share = self
             .auth
             .sign(self.me, &ack_bytes(account, SeqNo::new(expected), digest));
@@ -269,6 +361,7 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
         share: A::Sig,
         step: &mut Step<AccountOrderMsg<P, A::Sig>, AccountDelivery<P>>,
     ) {
+        self.ops.verifies += 1;
         if !self
             .auth
             .verify(from, &ack_bytes(account, seq, digest), &share)
@@ -325,6 +418,7 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
         let digest = payload_digest(&payload);
         let mut signers = BTreeMap::new();
         for (signer, share) in &certificate {
+            self.ops.verifies += 1;
             if self
                 .auth
                 .verify(*signer, &ack_bytes(account, seq, digest), share)

@@ -122,7 +122,7 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
     }
 
     /// `⌈(n+f+1)/2⌉` matching echoes trigger READY.
-    fn echo_quorum(&self) -> usize {
+    pub fn echo_quorum(&self) -> usize {
         (self.n + self.f) / 2 + 1
     }
 
@@ -279,6 +279,39 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
     /// Number of broadcast instances with protocol state.
     pub fn instance_count(&self) -> usize {
         self.instances.len()
+    }
+
+    /// Number of instances this endpoint has delivered.
+    pub fn delivered_count(&self) -> usize {
+        self.instances
+            .values()
+            .filter(|instance| instance.delivered)
+            .count()
+    }
+
+    /// *Byzantine harness only*: opens one broadcast instance but sends
+    /// `INIT(left)` to the lower half of the system and `INIT(right)` to
+    /// the upper half — the classic equivocation attempt. A correct
+    /// process never calls this; the adversarial engine actors do, and
+    /// the protocol's echo quorum ensures at most one of the two payloads
+    /// can ever be delivered.
+    pub fn broadcast_split(
+        &mut self,
+        left: P,
+        right: P,
+        step: &mut Step<BrachaMsg<P>, P>,
+    ) -> SeqNo {
+        self.next_seq = self.next_seq.next();
+        let seq = self.next_seq;
+        for i in 0..self.n {
+            let payload = if i < self.n / 2 {
+                left.clone()
+            } else {
+                right.clone()
+            };
+            step.send(ProcessId::new(i as u32), BrachaMsg::Init { seq, payload });
+        }
+        seq
     }
 }
 

@@ -16,7 +16,7 @@
 //! spending.
 
 use crate::auth::Authenticator;
-use crate::types::{SourceOrderBuffer, Step};
+use crate::types::{CryptoOps, SourceOrderBuffer, Step};
 use at_model::codec::{encode, Writer};
 use at_model::{Encode, ProcessId, SeqNo};
 use std::collections::{BTreeMap, HashMap};
@@ -82,6 +82,7 @@ pub struct EchoBroadcast<P, A: Authenticator> {
     delivered: HashMap<(ProcessId, SeqNo), ()>,
     order: SourceOrderBuffer<P>,
     forward_final: bool,
+    ops: CryptoOps,
 }
 
 impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
@@ -100,7 +101,24 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
             delivered: HashMap::new(),
             order: SourceOrderBuffer::new(),
             forward_final: true,
+            ops: CryptoOps::default(),
         }
+    }
+
+    /// The fault threshold `f`.
+    pub fn fault_threshold(&self) -> usize {
+        self.f
+    }
+
+    /// Number of broadcast instances with local protocol state (one entry
+    /// per `(source, seq)` this endpoint echoed).
+    pub fn instance_count(&self) -> usize {
+        self.echoed.len()
+    }
+
+    /// Cumulative signature operations performed by this endpoint.
+    pub fn crypto_ops(&self) -> CryptoOps {
+        self.ops
     }
 
     /// Enables/disables certificate forwarding on delivery (totality for
@@ -119,6 +137,7 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
         self.next_seq = self.next_seq.next();
         let seq = self.next_seq;
         let digest = payload_digest(&payload);
+        self.ops.signs += 1;
         let sig = self.auth.sign(self.me, &send_bytes(self.me, seq, digest));
         self.sending.insert(
             seq,
@@ -132,6 +151,59 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
             ),
         );
         step.send_all(self.n, EchoMsg::Send { seq, payload, sig });
+        seq
+    }
+
+    /// *Byzantine harness only*: signs and sends conflicting `SEND`s for
+    /// one instance — `left` to the lower half of the system, `right` to
+    /// the upper half. The attacker owns its key, so both signatures are
+    /// genuine, and it keeps live sender-side state for the instance: if
+    /// either digest ever reached the echo quorum, the attacker *would*
+    /// assemble and broadcast a certificate. The anti-equivocation rule
+    /// (a benign process echoes one digest per instance) is therefore
+    /// what actually denies the quorum — tests on this path exercise the
+    /// defense, not a dead sender.
+    pub fn broadcast_split(
+        &mut self,
+        left: P,
+        right: P,
+        step: &mut Step<EchoMsg<P, A::Sig>, P>,
+    ) -> SeqNo {
+        self.next_seq = self.next_seq.next();
+        let seq = self.next_seq;
+        let left_digest = payload_digest(&left);
+        self.ops.signs += 2;
+        let left_sig = self
+            .auth
+            .sign(self.me, &send_bytes(self.me, seq, left_digest));
+        let right_sig = self
+            .auth
+            .sign(self.me, &send_bytes(self.me, seq, payload_digest(&right)));
+        // Collect echo shares for the left payload (half the system sees
+        // it, which is always below the quorum ⌈(n+f+1)/2⌉ — any two
+        // quorums intersect in a benign process).
+        self.sending.insert(
+            seq,
+            (
+                left.clone(),
+                SendState {
+                    digest: left_digest,
+                    shares: BTreeMap::new(),
+                    finalized: false,
+                },
+            ),
+        );
+        for i in 0..self.n {
+            let (payload, sig) = if i < self.n / 2 {
+                (left.clone(), left_sig.clone())
+            } else {
+                (right.clone(), right_sig.clone())
+            };
+            step.send(
+                ProcessId::new(i as u32),
+                EchoMsg::Send { seq, payload, sig },
+            );
+        }
         seq
     }
 
@@ -169,6 +241,7 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
         step: &mut Step<EchoMsg<P, A::Sig>, P>,
     ) {
         let digest = payload_digest(&payload);
+        self.ops.verifies += 1;
         if !self.auth.verify(from, &send_bytes(from, seq, digest), &sig) {
             return; // forged SEND
         }
@@ -185,6 +258,7 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
                 entry.or_insert(digest);
             }
         }
+        self.ops.signs += 1;
         let share = self.auth.sign(self.me, &echo_bytes(from, seq, digest));
         step.send(
             from,
@@ -209,6 +283,7 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
         if source != self.me {
             return; // echoes are addressed to the instance's sender
         }
+        self.ops.verifies += 1;
         if !self
             .auth
             .verify(from, &echo_bytes(source, seq, digest), &share)
@@ -232,6 +307,7 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
                 .iter()
                 .map(|(process, sig)| (*process, sig.clone()))
                 .collect();
+            self.ops.signs += 1;
             let sig = self.auth.sign(me, &send_bytes(me, seq, digest));
             step.send_all(
                 n,
@@ -259,6 +335,7 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
             return;
         }
         let digest = payload_digest(&payload);
+        self.ops.verifies += 1;
         if !self
             .auth
             .verify(source, &send_bytes(source, seq, digest), &sig)
@@ -268,6 +345,7 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
         // Validate the certificate: distinct signers, valid shares, quorum.
         let mut signers = BTreeMap::new();
         for (signer, share) in &certificate {
+            self.ops.verifies += 1;
             if self
                 .auth
                 .verify(*signer, &echo_bytes(source, seq, digest), share)

@@ -18,7 +18,11 @@
 //!   compromised shared accounts;
 //! * [`auth`] — pluggable signing ([`EdAuth`] real Ed25519 /
 //!   [`NoAuth`] authenticated-channels model);
-//! * [`types`] — delivery/step plumbing and the source-order buffer.
+//! * [`secure`] — the [`SecureBroadcast`] trait unifying the three
+//!   protocols behind one interface (the engine runtime is generic over
+//!   it), plus the [`AccountOrderBackend`] adapter;
+//! * [`types`] — delivery/step plumbing, the source-order buffer, and
+//!   the [`CryptoOps`] signature-work counters.
 //!
 //! # Example
 //!
@@ -42,6 +46,7 @@ pub mod auth;
 pub mod batch;
 pub mod bracha;
 pub mod echo;
+pub mod secure;
 pub mod types;
 
 pub use account_order::{AccountDelivery, AccountOrderBroadcast, AccountOrderMsg};
@@ -49,4 +54,5 @@ pub use auth::{Authenticator, EdAuth, NoAuth};
 pub use batch::{Batch, Batcher};
 pub use bracha::{BrachaBroadcast, BrachaMsg};
 pub use echo::{EchoBroadcast, EchoMsg};
-pub use types::{Delivery, Outgoing, SourceOrderBuffer, Step};
+pub use secure::{AccountOrderBackend, SecureBroadcast};
+pub use types::{CryptoOps, Delivery, Outgoing, SourceOrderBuffer, Step};

@@ -1,13 +1,17 @@
-//! Adversarial engine participants.
+//! Adversarial engine participants, generic over the broadcast backend.
 //!
 //! The scenario subsystem composes workloads with Byzantine behaviours;
 //! this module provides the attacker actors, all speaking the engine's
-//! wire format ([`EngineMsg`]) so they can sit in the same simulation:
+//! wire format (`B::Msg`) so they can sit in the same simulation as
+//! honest replicas on any backend:
 //!
 //! * [`EngineActor::Equivocator`] — the classic double spend: two
-//!   conflicting batches sent as `INIT` of the *same* broadcast instance
-//!   to different halves of the system (defeated by Bracha's echo
-//!   quorum: at most one of the two can gather `2f+1` echoes);
+//!   conflicting batches sent in the *same* broadcast instance to
+//!   different halves of the system, via the backend's own
+//!   [`SecureBroadcast::broadcast_split`]. Every backend defeats it:
+//!   Bracha's echo quorum, the signed-echo anti-equivocation rule, and
+//!   the account-order acknowledgement rule each let at most one of the
+//!   two payloads certify;
 //! * [`EngineActor::Overspender`] — a protocol-conformant broadcast of a
 //!   transfer the attacker cannot fund (defeated by every correct
 //!   replica's balance validation);
@@ -16,31 +20,34 @@
 //!
 //! The equivocator and overspender embed an honest [`ShardedReplica`]
 //! and relay everyone *else's* traffic through it — keeping the honest
-//! quorums intact makes the attacks maximally sharp.
+//! quorums intact makes the attacks maximally sharp. Both attacks go
+//! through the embedded replica's backend, so broadcast-instance
+//! sequencing and equivocation state live in exactly one place (the
+//! backend); the attacker keeps only its *transfer*-level sequence
+//! counter, which is application state the broadcast layer never sees.
 
 use crate::config::EngineConfig;
-use crate::replica::{EngineEvent, EngineMsg, ShardedReplica};
-use at_broadcast::bracha::BrachaMsg;
+use crate::replica::{EngineEvent, EnginePayload, ShardedReplica};
+use at_broadcast::secure::SecureBroadcast;
 use at_broadcast::Batch;
 use at_core::figure4::TransferMsg;
 use at_model::{AccountId, Amount, ProcessId, SeqNo, Transfer};
 use at_net::{Actor, Context};
 
 /// Internal state shared by the attacking variants.
-pub struct AttackerState {
-    /// The honest engine used to relay other processes' traffic.
-    inner: ShardedReplica,
-    /// Broadcast-instance counter for self-initiated attacks.
-    attack_broadcast_seq: SeqNo,
-    /// Transfer sequence counter for crafted transfers.
+pub struct AttackerState<B: SecureBroadcast<EnginePayload>> {
+    /// The honest engine used to relay other processes' traffic and to
+    /// reach the backend's broadcast state machine.
+    inner: ShardedReplica<B>,
+    /// Transfer sequence counter for crafted transfers (application
+    /// state; broadcast sequencing belongs to the backend).
     attack_transfer_seq: SeqNo,
 }
 
-impl AttackerState {
-    fn new(me: ProcessId, n: usize, initial: Amount, config: EngineConfig) -> Self {
+impl<B: SecureBroadcast<EnginePayload>> AttackerState<B> {
+    fn new(me: ProcessId, n: usize, initial: Amount, config: EngineConfig, backend: B) -> Self {
         AttackerState {
-            inner: ShardedReplica::new(me, n, initial, config),
-            attack_broadcast_seq: SeqNo::ZERO,
+            inner: ShardedReplica::with_backend(me, n, initial, config, backend),
             attack_transfer_seq: SeqNo::ZERO,
         }
     }
@@ -66,30 +73,19 @@ impl AttackerState {
         }
     }
 
-    /// Sends `INIT` with batch `left` to the lower half of the system and
-    /// batch `right` to the upper half, both for the same broadcast
-    /// sequence number and the same transfer sequence number — the
-    /// double-spend attempt.
+    /// Sends batch `left` to the lower half of the system and batch
+    /// `right` to the upper half, both in the same broadcast instance and
+    /// with the same transfer sequence number — the double-spend attempt.
     fn equivocate(
         &mut self,
         left: (AccountId, Amount),
         right: (AccountId, Amount),
-        ctx: &mut Context<'_, EngineMsg, EngineEvent>,
+        ctx: &mut Context<'_, B::Msg, EngineEvent>,
     ) {
-        self.attack_broadcast_seq = self.attack_broadcast_seq.next();
         self.attack_transfer_seq = self.attack_transfer_seq.next();
-        let seq = self.attack_broadcast_seq;
         let payload_left = Batch::single(self.craft(left.0, left.1));
         let payload_right = Batch::single(self.craft(right.0, right.1));
-        let n = ctx.n();
-        for i in 0..n {
-            let payload = if i < n / 2 {
-                payload_left.clone()
-            } else {
-                payload_right.clone()
-            };
-            ctx.send(ProcessId::new(i as u32), BrachaMsg::Init { seq, payload });
-        }
+        self.inner.broadcast_split(payload_left, payload_right, ctx);
     }
 
     /// Broadcasts (fully protocol-conformant at the broadcast layer) a
@@ -98,7 +94,7 @@ impl AttackerState {
         &mut self,
         destination: AccountId,
         amount: Amount,
-        ctx: &mut Context<'_, EngineMsg, EngineEvent>,
+        ctx: &mut Context<'_, B::Msg, EngineEvent>,
     ) {
         self.attack_transfer_seq = self.attack_transfer_seq.next();
         let batch = Batch::single(self.craft(destination, amount));
@@ -108,31 +104,51 @@ impl AttackerState {
 
 /// A participant of an engine scenario: honest, or one of the attack
 /// variants.
-pub enum EngineActor {
+pub enum EngineActor<B: SecureBroadcast<EnginePayload> = crate::replica::DefaultEngineBroadcast> {
     /// A correct sharded, batched replica.
-    Honest(ShardedReplica),
+    Honest(ShardedReplica<B>),
     /// Double-spends by equivocating at the broadcast layer.
-    Equivocator(AttackerState),
+    Equivocator(AttackerState<B>),
     /// Broadcasts transfers it cannot fund.
-    Overspender(AttackerState),
+    Overspender(AttackerState<B>),
     /// Sends nothing, ever.
     Silent,
 }
 
-impl EngineActor {
-    /// A correct participant.
-    pub fn honest(me: ProcessId, n: usize, initial: Amount, config: EngineConfig) -> Self {
-        EngineActor::Honest(ShardedReplica::new(me, n, initial, config))
+impl<B: SecureBroadcast<EnginePayload>> EngineActor<B> {
+    /// A correct participant over `backend`.
+    pub fn honest(
+        me: ProcessId,
+        n: usize,
+        initial: Amount,
+        config: EngineConfig,
+        backend: B,
+    ) -> Self {
+        EngineActor::Honest(ShardedReplica::with_backend(
+            me, n, initial, config, backend,
+        ))
     }
 
-    /// An equivocating participant.
-    pub fn equivocator(me: ProcessId, n: usize, initial: Amount, config: EngineConfig) -> Self {
-        EngineActor::Equivocator(AttackerState::new(me, n, initial, config))
+    /// An equivocating participant over `backend`.
+    pub fn equivocator(
+        me: ProcessId,
+        n: usize,
+        initial: Amount,
+        config: EngineConfig,
+        backend: B,
+    ) -> Self {
+        EngineActor::Equivocator(AttackerState::new(me, n, initial, config, backend))
     }
 
-    /// An overspending participant.
-    pub fn overspender(me: ProcessId, n: usize, initial: Amount, config: EngineConfig) -> Self {
-        EngineActor::Overspender(AttackerState::new(me, n, initial, config))
+    /// An overspending participant over `backend`.
+    pub fn overspender(
+        me: ProcessId,
+        n: usize,
+        initial: Amount,
+        config: EngineConfig,
+        backend: B,
+    ) -> Self {
+        EngineActor::Overspender(AttackerState::new(me, n, initial, config, backend))
     }
 
     /// Whether this participant follows the protocol.
@@ -141,7 +157,7 @@ impl EngineActor {
     }
 
     /// The honest replica inside, when this participant is honest.
-    pub fn as_honest(&self) -> Option<&ShardedReplica> {
+    pub fn as_honest(&self) -> Option<&ShardedReplica<B>> {
         match self {
             EngineActor::Honest(replica) => Some(replica),
             _ => None,
@@ -154,7 +170,7 @@ impl EngineActor {
         &mut self,
         destination: AccountId,
         amount: Amount,
-        ctx: &mut Context<'_, EngineMsg, EngineEvent>,
+        ctx: &mut Context<'_, B::Msg, EngineEvent>,
     ) {
         if let EngineActor::Honest(replica) = self {
             replica.submit(destination, amount, ctx);
@@ -163,7 +179,7 @@ impl EngineActor {
 
     /// Launches this participant's attack for one wave. `wave` varies the
     /// crafted destinations so repeated attacks stay distinct.
-    pub fn attack(&mut self, wave: usize, ctx: &mut Context<'_, EngineMsg, EngineEvent>) {
+    pub fn attack(&mut self, wave: usize, ctx: &mut Context<'_, B::Msg, EngineEvent>) {
         let n = ctx.n();
         match self {
             EngineActor::Honest(_) | EngineActor::Silent => {}
@@ -183,8 +199,8 @@ impl EngineActor {
     }
 }
 
-impl Actor for EngineActor {
-    type Msg = EngineMsg;
+impl<B: SecureBroadcast<EnginePayload>> Actor for EngineActor<B> {
+    type Msg = B::Msg;
     type Event = EngineEvent;
 
     fn on_message(
@@ -216,6 +232,10 @@ impl Actor for EngineActor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use at_broadcast::auth::NoAuth;
+    use at_broadcast::bracha::BrachaBroadcast;
+    use at_broadcast::echo::EchoBroadcast;
+    use at_broadcast::secure::AccountOrderBackend;
     use at_net::{NetConfig, Simulation, VirtualTime};
 
     fn p(i: u32) -> ProcessId {
@@ -230,45 +250,97 @@ mod tests {
         Amount::new(x)
     }
 
-    fn mixed_system(
+    fn mixed_system<B, F>(
         n: usize,
         byzantine: u32,
-        make: fn(ProcessId, usize) -> EngineActor,
-    ) -> Simulation<EngineActor> {
+        make_backend: F,
+        make_attacker: fn(ProcessId, usize, Amount, EngineConfig, B) -> EngineActor<B>,
+    ) -> Simulation<EngineActor<B>>
+    where
+        B: SecureBroadcast<EnginePayload> + 'static,
+        F: Fn(ProcessId) -> B,
+    {
         let actors = (0..n as u32)
             .map(|i| {
                 if i == byzantine {
-                    make(p(i), n)
+                    make_attacker(
+                        p(i),
+                        n,
+                        amt(100),
+                        EngineConfig::unsharded(),
+                        make_backend(p(i)),
+                    )
                 } else {
-                    EngineActor::honest(p(i), n, amt(100), EngineConfig::unsharded())
+                    EngineActor::honest(
+                        p(i),
+                        n,
+                        amt(100),
+                        EngineConfig::unsharded(),
+                        make_backend(p(i)),
+                    )
                 }
             })
             .collect();
         Simulation::new(actors, NetConfig::lan(9))
     }
 
-    #[test]
-    fn equivocation_never_double_applies() {
-        let mut sim = mixed_system(4, 0, |me, n| {
-            EngineActor::equivocator(me, n, amt(100), EngineConfig::unsharded())
+    fn assert_no_double_spend<B: SecureBroadcast<EnginePayload> + 'static>(
+        sim: &mut Simulation<EngineActor<B>>,
+        byzantine: u32,
+        n: usize,
+    ) {
+        sim.schedule(VirtualTime::ZERO, p(byzantine), |actor, ctx| {
+            actor.attack(0, ctx)
         });
-        sim.schedule(VirtualTime::ZERO, p(0), |actor, ctx| actor.attack(0, ctx));
         assert!(sim.run_until_quiet(1_000_000));
         // No correct replica applied anything from the equivocator: the
-        // split INIT cannot gather an echo quorum for either value.
-        for i in 1..4 {
+        // split instance cannot certify either payload on any backend.
+        for i in 0..n as u32 {
+            if i == byzantine {
+                continue;
+            }
             let replica = sim.actor(p(i)).as_honest().unwrap();
-            assert_eq!(replica.applied_from(p(0)).len(), 0, "replica {i}");
-            let total: Amount = (0..4).map(|j| replica.balance(a(j))).sum();
-            assert_eq!(total, amt(400));
+            assert_eq!(replica.applied_from(p(byzantine)).len(), 0, "replica {i}");
+            let total: Amount = (0..n as u32).map(|j| replica.balance(a(j))).sum();
+            assert_eq!(total, amt(100 * n as u64));
         }
     }
 
     #[test]
+    fn equivocation_never_double_applies_on_any_backend() {
+        let n = 4;
+        let mut sim = mixed_system(
+            n,
+            0,
+            |me| BrachaBroadcast::new(me, n),
+            EngineActor::equivocator,
+        );
+        assert_no_double_spend(&mut sim, 0, n);
+        let mut sim = mixed_system(
+            n,
+            0,
+            |me| EchoBroadcast::new(me, n, NoAuth),
+            EngineActor::equivocator,
+        );
+        assert_no_double_spend(&mut sim, 0, n);
+        let mut sim = mixed_system(
+            n,
+            0,
+            |me| AccountOrderBackend::new(me, n, NoAuth),
+            EngineActor::equivocator,
+        );
+        assert_no_double_spend(&mut sim, 0, n);
+    }
+
+    #[test]
     fn overspend_is_delivered_but_never_validates() {
-        let mut sim = mixed_system(4, 1, |me, n| {
-            EngineActor::overspender(me, n, amt(100), EngineConfig::unsharded())
-        });
+        let n = 4;
+        let mut sim = mixed_system(
+            n,
+            1,
+            |me| BrachaBroadcast::new(me, n),
+            EngineActor::overspender,
+        );
         sim.schedule(VirtualTime::ZERO, p(1), |actor, ctx| actor.attack(0, ctx));
         assert!(sim.run_until_quiet(1_000_000));
         for i in [0usize, 2, 3] {
@@ -286,7 +358,13 @@ mod tests {
                 if i == 3 {
                     EngineActor::Silent
                 } else {
-                    EngineActor::honest(p(i), n, amt(100), EngineConfig::unsharded())
+                    EngineActor::honest(
+                        p(i),
+                        n,
+                        amt(100),
+                        EngineConfig::unsharded(),
+                        BrachaBroadcast::new(p(i), n),
+                    )
                 }
             })
             .collect();
@@ -308,14 +386,20 @@ mod tests {
 
     #[test]
     fn attack_on_honest_actor_is_a_no_op() {
-        let mut actor = EngineActor::honest(p(0), 3, amt(10), EngineConfig::unsharded());
+        let mut actor = EngineActor::honest(
+            p(0),
+            3,
+            amt(10),
+            EngineConfig::unsharded(),
+            BrachaBroadcast::new(p(0), 3),
+        );
         assert!(actor.is_honest());
         assert!(actor.as_honest().is_some());
-        let silent = EngineActor::Silent;
+        let silent = EngineActor::<BrachaBroadcast<EnginePayload>>::Silent;
         assert!(!silent.is_honest());
         assert!(silent.as_honest().is_none());
         // Submitting on a silent actor does nothing (and must not panic).
-        let actors = vec![EngineActor::Silent, EngineActor::Silent];
+        let actors: Vec<EngineActor> = vec![EngineActor::Silent, EngineActor::Silent];
         let mut sim = Simulation::new(actors, NetConfig::instant(0));
         sim.schedule(VirtualTime::ZERO, p(0), |actor, ctx| {
             actor.submit(a(1), amt(1), ctx);

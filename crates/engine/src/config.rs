@@ -1,6 +1,108 @@
-//! Engine runtime configuration: sharding and batching knobs.
+//! Engine runtime configuration: broadcast backend, sharding, and
+//! batching knobs.
 
 use at_net::VirtualTime;
+
+/// How the signed broadcast backends authenticate messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuthMode {
+    /// The authenticated-channels model ([`at_broadcast::NoAuth`]):
+    /// signatures carry no information; the simulator conveys the true
+    /// sender. Used by the performance experiments, whose results depend
+    /// on message and round complexity.
+    None,
+    /// Real Ed25519 ([`at_broadcast::EdAuth`]): per-process keys from
+    /// `EdAuth::deterministic(n, seed)`, certificate verification on
+    /// delivery. Used wherever forged or tampered messages must actually
+    /// be rejected by cryptography.
+    Ed25519,
+}
+
+/// The secure-broadcast protocol carrying the engine's batches — the
+/// paper's Section 5 observation that the broadcast layer is swappable,
+/// as a runtime knob.
+///
+/// | backend | rounds | messages/instance | signatures |
+/// |---|---|---|---|
+/// | `Bracha` | 3 one-way delays | `O(n²)` | none |
+/// | `SignedEcho` | 2 round trips | `O(n)` (+`O(n²)` optional forwarding) | sender + echo quorum |
+/// | `AccountOrder` | 2 round trips | `O(n)` (+`O(n²)` optional forwarding) | sender + ack quorum |
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BroadcastBackend {
+    /// Bracha's reliable broadcast — the paper's deployed "naive
+    /// quadratic" implementation. Signature-free, `O(n²)` messages.
+    #[default]
+    Bracha,
+    /// Malkhi–Reiter-style signed echo: `O(n)` sender cost plus quorum
+    /// certificates.
+    SignedEcho {
+        /// Signing scheme.
+        auth: AuthMode,
+        /// Forward certificates on delivery (totality against Byzantine
+        /// senders, `O(n²)` extra messages). Disable for honest-sender
+        /// cost measurements.
+        forward_final: bool,
+    },
+    /// The Section 6 account-order broadcast specialised to the base
+    /// topology (account `i` owned by process `i`).
+    AccountOrder {
+        /// Signing scheme.
+        auth: AuthMode,
+        /// Forward certificates on delivery (see
+        /// [`BroadcastBackend::SignedEcho::forward_final`]).
+        forward_final: bool,
+    },
+}
+
+impl BroadcastBackend {
+    /// Signed echo under authenticated channels, forwarding on.
+    pub fn signed_echo() -> Self {
+        BroadcastBackend::SignedEcho {
+            auth: AuthMode::None,
+            forward_final: true,
+        }
+    }
+
+    /// Signed echo with real Ed25519 signatures, forwarding on.
+    pub fn signed_echo_ed() -> Self {
+        BroadcastBackend::SignedEcho {
+            auth: AuthMode::Ed25519,
+            forward_final: true,
+        }
+    }
+
+    /// Account-order broadcast under authenticated channels, forwarding
+    /// on.
+    pub fn account_order() -> Self {
+        BroadcastBackend::AccountOrder {
+            auth: AuthMode::None,
+            forward_final: true,
+        }
+    }
+
+    /// A short label for report keys and bench tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BroadcastBackend::Bracha => "bracha",
+            BroadcastBackend::SignedEcho {
+                auth: AuthMode::None,
+                ..
+            } => "echo",
+            BroadcastBackend::SignedEcho {
+                auth: AuthMode::Ed25519,
+                ..
+            } => "echo-ed25519",
+            BroadcastBackend::AccountOrder {
+                auth: AuthMode::None,
+                ..
+            } => "acctorder",
+            BroadcastBackend::AccountOrder {
+                auth: AuthMode::Ed25519,
+                ..
+            } => "acctorder-ed25519",
+        }
+    }
+}
 
 /// Transfer-batching policy of an engine replica.
 ///
@@ -44,6 +146,14 @@ pub struct EngineConfig {
     pub shards: usize,
     /// Sender-side batching policy.
     pub batch: BatchPolicy,
+    /// The secure-broadcast protocol carrying the batches.
+    pub backend: BroadcastBackend,
+    /// Modelled CPU cost, in virtual µs, charged per signature operation
+    /// the backend performs (sign or verify). Zero leaves signature work
+    /// free — the message/round-complexity-only regime. Non-zero makes
+    /// the signed backends' "CPU for messages" trade visible in virtual
+    /// time without real cryptography on the hot path.
+    pub sig_cost_us: u64,
 }
 
 impl EngineConfig {
@@ -54,6 +164,8 @@ impl EngineConfig {
         EngineConfig {
             shards: 1,
             batch: BatchPolicy::immediate(),
+            backend: BroadcastBackend::Bracha,
+            sig_cost_us: 0,
         }
     }
 
@@ -63,6 +175,8 @@ impl EngineConfig {
         EngineConfig {
             shards,
             batch: BatchPolicy::windowed(batch_size, window),
+            backend: BroadcastBackend::Bracha,
+            sig_cost_us: 0,
         }
     }
 
@@ -70,6 +184,18 @@ impl EngineConfig {
     /// shards, batches of up to eight flushed within 500µs.
     pub fn standard() -> Self {
         EngineConfig::sharded_batched(4, 8, VirtualTime::from_micros(500))
+    }
+
+    /// Replaces the broadcast backend.
+    pub fn with_backend(mut self, backend: BroadcastBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the modelled per-signature-operation CPU cost (virtual µs).
+    pub fn with_sig_cost_us(mut self, sig_cost_us: u64) -> Self {
+        self.sig_cost_us = sig_cost_us;
+        self
     }
 }
 
@@ -115,5 +241,27 @@ mod tests {
         assert_eq!(EngineConfig::unsharded().shards, 1);
         assert_eq!(EngineConfig::default(), EngineConfig::standard());
         assert_eq!(EngineConfig::standard().shards, 4);
+        assert_eq!(EngineConfig::standard().backend, BroadcastBackend::Bracha);
+        assert_eq!(EngineConfig::standard().sig_cost_us, 0);
+    }
+
+    #[test]
+    fn backend_builders_and_labels() {
+        assert_eq!(BroadcastBackend::default().label(), "bracha");
+        assert_eq!(BroadcastBackend::signed_echo().label(), "echo");
+        assert_eq!(BroadcastBackend::signed_echo_ed().label(), "echo-ed25519");
+        assert_eq!(BroadcastBackend::account_order().label(), "acctorder");
+        let config = EngineConfig::standard()
+            .with_backend(BroadcastBackend::signed_echo())
+            .with_sig_cost_us(25);
+        assert_eq!(config.backend, BroadcastBackend::signed_echo());
+        assert_eq!(config.sig_cost_us, 25);
+        assert!(matches!(
+            BroadcastBackend::signed_echo_ed(),
+            BroadcastBackend::SignedEcho {
+                auth: AuthMode::Ed25519,
+                forward_final: true,
+            }
+        ));
     }
 }

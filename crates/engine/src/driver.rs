@@ -15,9 +15,13 @@
 //!   availability contrast the paper draws.
 
 use crate::adversary::EngineActor;
-use crate::config::EngineConfig;
-use crate::replica::EngineEvent;
+use crate::config::{AuthMode, BroadcastBackend, EngineConfig};
+use crate::replica::{EngineEvent, EnginePayload};
 use crate::scenario::{percentiles, Adversary, Fault, Scenario, ScenarioReport};
+use at_broadcast::auth::{EdAuth, NoAuth};
+use at_broadcast::bracha::BrachaBroadcast;
+use at_broadcast::echo::EchoBroadcast;
+use at_broadcast::secure::{AccountOrderBackend, SecureBroadcast};
 use at_consensus::transfer_system::{BaselineEvent, BaselineReplica};
 use at_model::{AccountId, Amount, Ledger, ProcessId, SeqNo, Transfer};
 use at_net::{LinkFault, Simulation, VirtualTime};
@@ -74,7 +78,12 @@ fn apply_partitions<A: at_net::Actor>(sim: &mut Simulation<A>, scenario: &Scenar
             if wave == *from_wave {
                 let group_refs: Vec<&[ProcessId]> =
                     groups.iter().map(|group| group.as_slice()).collect();
-                sim.set_partition(&group_refs);
+                // Buffered: the paper assumes reliable authenticated
+                // channels, so a partition delays cross-group messages
+                // rather than destroying them — they are re-injected at
+                // heal time and the protocols converge without their own
+                // retransmission. (Injected `DropLink` faults stay lossy.)
+                sim.set_partition_buffered(&group_refs);
             } else if wave == *heal_wave {
                 sim.heal_partition();
             }
@@ -82,10 +91,70 @@ fn apply_partitions<A: at_net::Actor>(sim: &mut Simulation<A>, scenario: &Scenar
     }
 }
 
-/// The broadcast-based engine (no consensus anywhere).
+/// Folds one batch of engine events into the run counters.
+/// `latency_anchor` is the submitting wave's start; pass `None` for the
+/// end-of-run drain, where the submitting wave is no longer known —
+/// those completions are counted but contribute no latency sample
+/// (anchoring them to the last wave would understate the very delays
+/// the buffered-partition model introduces).
+fn tally_engine_events(
+    events: Vec<(VirtualTime, ProcessId, EngineEvent)>,
+    scenario: &Scenario,
+    latency_anchor: Option<VirtualTime>,
+    completed: &mut usize,
+    rejected: &mut usize,
+    applied_total: &mut u64,
+    latencies: &mut Vec<u64>,
+) {
+    for (at, from, event) in events {
+        if !scenario.is_correct(from) {
+            continue;
+        }
+        match event {
+            EngineEvent::Completed { .. } => {
+                *completed += 1;
+                if let Some(anchor) = latency_anchor {
+                    latencies.push(at.saturating_sub(anchor).as_micros());
+                }
+            }
+            EngineEvent::Rejected { .. } => *rejected += 1,
+            EngineEvent::Applied { .. } => *applied_total += 1,
+            EngineEvent::BatchBroadcast { .. } => {}
+        }
+    }
+}
+
+/// [`tally_engine_events`]'s counterpart for the PBFT baseline.
+fn tally_baseline_events(
+    events: Vec<(VirtualTime, ProcessId, BaselineEvent)>,
+    scenario: &Scenario,
+    latency_anchor: Option<VirtualTime>,
+    completed: &mut usize,
+    rejected: &mut usize,
+    latencies: &mut Vec<u64>,
+) {
+    for (at, from, event) in events {
+        if !scenario.is_correct(from) {
+            continue;
+        }
+        let BaselineEvent::Completed { success, .. } = event;
+        if success {
+            *completed += 1;
+            if let Some(anchor) = latency_anchor {
+                latencies.push(at.saturating_sub(anchor).as_micros());
+            }
+        } else {
+            *rejected += 1;
+        }
+    }
+}
+
+/// The broadcast-based engine (no consensus anywhere), over the
+/// secure-broadcast backend selected by
+/// [`EngineConfig::backend`](crate::config::EngineConfig).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ConsensuslessEngine {
-    /// Sharding and batching configuration of every replica.
+    /// Backend, sharding, and batching configuration of every replica.
     pub config: EngineConfig,
 }
 
@@ -94,31 +163,25 @@ impl ConsensuslessEngine {
     pub fn new(config: EngineConfig) -> Self {
         ConsensuslessEngine { config }
     }
-}
 
-impl Engine for ConsensuslessEngine {
-    fn name(&self) -> String {
-        if self.config.batch.is_immediate() && self.config.shards == 1 {
-            "consensusless".into()
-        } else {
-            format!(
-                "consensusless-s{}b{}",
-                self.config.shards, self.config.batch.max_size
-            )
-        }
-    }
-
-    fn run(&self, scenario: &Scenario) -> ScenarioReport {
+    /// The scenario loop, generic over the broadcast backend; `make`
+    /// builds each process's endpoint (sharing key stores etc. as the
+    /// backend requires).
+    fn run_backend<B, F>(&self, scenario: &Scenario, make: F) -> ScenarioReport
+    where
+        B: SecureBroadcast<EnginePayload> + 'static,
+        F: Fn(ProcessId) -> B,
+    {
         let n = scenario.n;
         let config = self.config;
-        let actors: Vec<EngineActor> = ProcessId::all(n)
+        let actors: Vec<EngineActor<B>> = ProcessId::all(n)
             .map(|p| match scenario.adversary_of(p) {
-                None => EngineActor::honest(p, n, scenario.initial, config),
+                None => EngineActor::honest(p, n, scenario.initial, config, make(p)),
                 Some(Adversary::Equivocate) => {
-                    EngineActor::equivocator(p, n, scenario.initial, config)
+                    EngineActor::equivocator(p, n, scenario.initial, config, make(p))
                 }
                 Some(Adversary::Overspend) => {
-                    EngineActor::overspender(p, n, scenario.initial, config)
+                    EngineActor::overspender(p, n, scenario.initial, config, make(p))
                 }
                 Some(Adversary::Silent) => EngineActor::Silent,
             })
@@ -165,21 +228,33 @@ impl Engine for ConsensuslessEngine {
                 }
             }
             sim.run_until_quiet(u64::MAX);
-            for (at, from, event) in sim.take_events() {
-                if !scenario.is_correct(from) {
-                    continue;
-                }
-                match event {
-                    EngineEvent::Completed { .. } => {
-                        completed += 1;
-                        latencies.push(at.saturating_sub(wave_start).as_micros());
-                    }
-                    EngineEvent::Rejected { .. } => rejected += 1,
-                    EngineEvent::Applied { .. } => applied_total += 1,
-                    EngineEvent::BatchBroadcast { .. } => {}
-                }
-            }
+            tally_engine_events(
+                sim.take_events(),
+                scenario,
+                Some(wave_start),
+                &mut completed,
+                &mut rejected,
+                &mut applied_total,
+                &mut latencies,
+            );
         }
+
+        // Reliable channels hold to the end of the run: a partition whose
+        // heal wave lies beyond the last wave still releases its parked
+        // traffic before the report is cut — buffered messages are
+        // delayed, never lost. (A no-op when everything already healed.)
+        sim.heal_partition();
+        sim.run_until_quiet(u64::MAX);
+        tally_engine_events(
+            sim.take_events(),
+            scenario,
+            None,
+            &mut completed,
+            &mut rejected,
+            &mut applied_total,
+            &mut latencies,
+        );
+        debug_assert_eq!(sim.parked_count(), 0, "parked messages at end of run");
 
         // Convergence, conflicts, conservation over the correct replicas.
         let correct: Vec<ProcessId> = scenario.correct_processes().collect();
@@ -230,6 +305,73 @@ impl Engine for ConsensuslessEngine {
             conflicts,
             supply_ok,
             balance_digest: digests.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Engine for ConsensuslessEngine {
+    fn name(&self) -> String {
+        let base = match self.config.backend {
+            BroadcastBackend::Bracha => "consensusless".to_string(),
+            backend => format!("consensusless-{}", backend.label()),
+        };
+        if self.config.batch.is_immediate() && self.config.shards == 1 {
+            base
+        } else {
+            format!(
+                "{base}-s{}b{}",
+                self.config.shards, self.config.batch.max_size
+            )
+        }
+    }
+
+    fn run(&self, scenario: &Scenario) -> ScenarioReport {
+        let n = scenario.n;
+        match self.config.backend {
+            BroadcastBackend::Bracha => {
+                self.run_backend(scenario, |me| BrachaBroadcast::new(me, n))
+            }
+            BroadcastBackend::SignedEcho {
+                auth: AuthMode::None,
+                forward_final,
+            } => self.run_backend(scenario, |me| {
+                let mut backend = EchoBroadcast::new(me, n, NoAuth);
+                backend.set_forward_final(forward_final);
+                backend
+            }),
+            BroadcastBackend::SignedEcho {
+                auth: AuthMode::Ed25519,
+                forward_final,
+            } => {
+                // One deterministic key store per run, shared by every
+                // process — each signs with its own key, verifies with
+                // everyone's public keys.
+                let auth = EdAuth::deterministic(n, scenario.seed);
+                self.run_backend(scenario, move |me| {
+                    let mut backend = EchoBroadcast::new(me, n, auth.clone());
+                    backend.set_forward_final(forward_final);
+                    backend
+                })
+            }
+            BroadcastBackend::AccountOrder {
+                auth: AuthMode::None,
+                forward_final,
+            } => self.run_backend(scenario, |me| {
+                let mut backend = AccountOrderBackend::new(me, n, NoAuth);
+                backend.set_forward_final(forward_final);
+                backend
+            }),
+            BroadcastBackend::AccountOrder {
+                auth: AuthMode::Ed25519,
+                forward_final,
+            } => {
+                let auth = EdAuth::deterministic(n, scenario.seed);
+                self.run_backend(scenario, move |me| {
+                    let mut backend = AccountOrderBackend::new(me, n, auth.clone());
+                    backend.set_forward_final(forward_final);
+                    backend
+                })
+            }
         }
     }
 }
@@ -327,19 +469,28 @@ impl Engine for BaselineEngine {
                 }
             }
             sim.run_until_quiet(u64::MAX);
-            for (at, from, event) in sim.take_events() {
-                if !scenario.is_correct(from) {
-                    continue;
-                }
-                let BaselineEvent::Completed { success, .. } = event;
-                if success {
-                    completed += 1;
-                    latencies.push(at.saturating_sub(wave_start).as_micros());
-                } else {
-                    rejected += 1;
-                }
-            }
+            tally_baseline_events(
+                sim.take_events(),
+                scenario,
+                Some(wave_start),
+                &mut completed,
+                &mut rejected,
+                &mut latencies,
+            );
         }
+
+        // Release any still-parked partition traffic before reporting
+        // (see the consensusless engine's end-of-run drain).
+        sim.heal_partition();
+        sim.run_until_quiet(u64::MAX);
+        tally_baseline_events(
+            sim.take_events(),
+            scenario,
+            None,
+            &mut completed,
+            &mut rejected,
+            &mut latencies,
+        );
 
         let correct: Vec<ProcessId> = scenario.correct_processes().collect();
         let digests: Vec<u64> = correct
@@ -453,13 +604,109 @@ mod tests {
     }
 
     #[test]
-    fn equivocation_scenario_yields_zero_conflicts() {
+    fn equivocation_scenario_yields_zero_conflicts_on_every_backend() {
         let scenario = uniform("equivocate", 4).adversary(ProcessId::new(0), Adversary::Equivocate);
-        let report = ConsensuslessEngine::new(EngineConfig::standard()).run(&scenario);
-        assert_eq!(report.conflicts, 0);
+        for backend in [
+            BroadcastBackend::Bracha,
+            BroadcastBackend::signed_echo(),
+            BroadcastBackend::account_order(),
+        ] {
+            let report = ConsensuslessEngine::new(EngineConfig::standard().with_backend(backend))
+                .run(&scenario);
+            assert_eq!(report.conflicts, 0, "{backend:?}");
+            assert!(report.supply_ok, "{backend:?}");
+            assert!(report.agreed, "{backend:?}");
+            // The three correct processes still complete their transfers.
+            assert_eq!(report.completed, 3 * scenario.waves, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn unhealed_partition_still_drains_at_end_of_run() {
+        // heal_wave beyond the last wave: the end-of-run drain must
+        // release the parked traffic anyway — buffered partitions delay
+        // messages, never lose them.
+        let scenario = uniform("unhealed", 5).fault(Fault::Partition {
+            groups: vec![
+                vec![ProcessId::new(4)],
+                (0..4).map(ProcessId::new).collect(),
+            ],
+            from_wave: 1,
+            heal_wave: 99,
+        });
+        let report = ConsensuslessEngine::new(EngineConfig::unsharded()).run(&scenario);
+        assert_eq!(report.completed, 5 * scenario.waves);
+        assert!(report.agreed, "diverged despite end-of-run drain");
+        assert_eq!(report.messages_dropped, 0);
         assert!(report.supply_ok);
-        assert!(report.agreed);
-        // The three correct processes still complete their transfers.
-        assert_eq!(report.completed, 3 * scenario.waves);
+    }
+
+    #[test]
+    fn signed_backends_match_bracha_balances() {
+        let scenario = uniform("uniform", 5);
+        let reference = ConsensuslessEngine::new(EngineConfig::unsharded()).run(&scenario);
+        for backend in [
+            BroadcastBackend::signed_echo(),
+            BroadcastBackend::account_order(),
+        ] {
+            let report = ConsensuslessEngine::new(EngineConfig::unsharded().with_backend(backend))
+                .run(&scenario);
+            assert_eq!(report.completed, reference.completed, "{backend:?}");
+            assert_eq!(
+                report.balance_digest, reference.balance_digest,
+                "{backend:?}: backends disagree on final balances"
+            );
+            assert!(report.agreed && report.supply_ok, "{backend:?}");
+            assert_eq!(report.conflicts, 0, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn signed_echo_without_forwarding_is_linear_in_messages() {
+        let scenario = uniform("uniform", 16);
+        let bracha = ConsensuslessEngine::new(EngineConfig::unsharded()).run(&scenario);
+        let echo_config = EngineConfig::unsharded().with_backend(BroadcastBackend::SignedEcho {
+            auth: AuthMode::None,
+            forward_final: false,
+        });
+        let echo = ConsensuslessEngine::new(echo_config).run(&scenario);
+        assert_eq!(echo.completed, bracha.completed);
+        assert!(
+            echo.messages_sent * 2 <= bracha.messages_sent,
+            "echo {} vs bracha {}",
+            echo.messages_sent,
+            bracha.messages_sent
+        );
+    }
+
+    #[test]
+    fn ed25519_backend_round_trips_certificates() {
+        // Small on purpose: the vendored Ed25519 is slow in debug builds.
+        let scenario = Scenario::new("ed", 3).waves(1).seed(2);
+        let engine = ConsensuslessEngine::new(
+            EngineConfig::unsharded().with_backend(BroadcastBackend::signed_echo_ed()),
+        );
+        assert_eq!(engine.name(), "consensusless-echo-ed25519");
+        let report = engine.run(&scenario);
+        assert_eq!(report.completed, 3);
+        assert!(report.agreed && report.supply_ok);
+        assert_eq!(report.conflicts, 0);
+    }
+
+    #[test]
+    fn engine_names_key_the_backend() {
+        let tuned = EngineConfig::standard();
+        assert_eq!(ConsensuslessEngine::new(tuned).name(), "consensusless-s4b8");
+        assert_eq!(
+            ConsensuslessEngine::new(tuned.with_backend(BroadcastBackend::signed_echo())).name(),
+            "consensusless-echo-s4b8"
+        );
+        assert_eq!(
+            ConsensuslessEngine::new(
+                EngineConfig::unsharded().with_backend(BroadcastBackend::account_order())
+            )
+            .name(),
+            "consensusless-acctorder"
+        );
     }
 }

@@ -6,11 +6,16 @@
 //! result into a production-shaped runtime above `at-broadcast`/`at-core`
 //! and below `at-bench`, with three pillars:
 //!
-//! * **a sharded account-state engine** ([`shard`], [`replica`]) — the
-//!   ledger is partitioned by account, validation is a shard-local
-//!   balance lookup instead of a history recomputation, and submitted
-//!   transfers ship in [`at_broadcast::Batch`]es that amortize the
-//!   secure-broadcast cost;
+//! * **a sharded account-state engine over pluggable broadcast
+//!   backends** ([`shard`], [`replica`], [`config`]) — the ledger is
+//!   partitioned by account, validation is a shard-local balance lookup
+//!   instead of a history recomputation, submitted transfers ship in
+//!   [`at_broadcast::Batch`]es that amortize the secure-broadcast cost,
+//!   and the broadcast itself is selectable per Section 5's observation
+//!   that the abstraction, not the implementation, carries the result:
+//!   Bracha (`O(n²)`, signature-free), signed echo (`O(n)` sender cost,
+//!   optionally with real Ed25519 certificates), or the Section 6
+//!   account-order broadcast — see [`BroadcastBackend`];
 //! * **a scenario DSL** ([`scenario`], [`suite`]) — workloads (uniform,
 //!   hot-spot, many-to-one, mixes) composed with adversaries
 //!   (equivocating double-spenders, overspenders, silent processes) and
@@ -23,15 +28,28 @@
 //!
 //! # Example
 //!
+//! The same scenario runs unchanged on every broadcast backend; only the
+//! cost profile moves:
+//!
 //! ```
-//! use at_engine::{ConsensuslessEngine, Engine, EngineConfig, Scenario};
+//! use at_engine::{BroadcastBackend, ConsensuslessEngine, Engine, EngineConfig, Scenario};
 //!
 //! let scenario = Scenario::new("quick", 4).waves(2).seed(1);
-//! let engine = ConsensuslessEngine::new(EngineConfig::standard());
-//! let report = engine.run(&scenario);
-//! assert_eq!(report.completed, 8); // 4 processes × 2 waves
-//! assert_eq!(report.conflicts, 0);
-//! assert!(report.agreed);
+//! let mut digests = Vec::new();
+//! for backend in [
+//!     BroadcastBackend::Bracha,          // 3 delays, O(n²) msgs, no signatures
+//!     BroadcastBackend::signed_echo(),   // 2 round trips, O(n) sender msgs
+//!     BroadcastBackend::account_order(), // Section 6, per-account sequencing
+//! ] {
+//!     let engine = ConsensuslessEngine::new(EngineConfig::standard().with_backend(backend));
+//!     let report = engine.run(&scenario);
+//!     assert_eq!(report.completed, 8); // 4 processes × 2 waves
+//!     assert_eq!(report.conflicts, 0);
+//!     assert!(report.agreed);
+//!     digests.push(report.balance_digest);
+//! }
+//! // All backends converge to the same balances.
+//! assert!(digests.windows(2).all(|w| w[0] == w[1]));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,9 +64,9 @@ pub mod shard;
 pub mod suite;
 
 pub use adversary::EngineActor;
-pub use config::{BatchPolicy, EngineConfig};
+pub use config::{AuthMode, BatchPolicy, BroadcastBackend, EngineConfig};
 pub use driver::{BaselineEngine, ConsensuslessEngine, Engine};
-pub use replica::{EngineEvent, EngineMsg, ShardedReplica};
+pub use replica::{DefaultEngineBroadcast, EngineEvent, EngineMsg, EnginePayload, ShardedReplica};
 pub use scenario::{Adversary, Fault, NetProfile, Scenario, ScenarioReport, Workload};
 pub use shard::{ShardError, ShardMap, ShardStats, ShardedLedger};
 pub use suite::{format_reports, run_suite, standard_suite};

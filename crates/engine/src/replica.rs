@@ -1,8 +1,8 @@
-//! The engine replica: sharded account state over a batched secure
-//! broadcast.
+//! The engine replica: sharded account state over a batched, pluggable
+//! secure broadcast.
 //!
-//! Semantically this is the Figure 4 protocol with two production
-//! optimisations, both justified by the paper's consensus-number-1
+//! Semantically this is the Figure 4 protocol with three production
+//! optimisations, all justified by the paper's consensus-number-1
 //! result:
 //!
 //! * **sharding** — the materialized ledger is partitioned by account
@@ -12,7 +12,21 @@
 //! * **batching** — submitted transfers accumulate in a
 //!   [`at_broadcast::Batcher`] and ship as one
 //!   [`at_broadcast::Batch`] per secure-broadcast instance, amortizing
-//!   the `O(n²)` Bracha message cost across the batch.
+//!   the per-instance message cost across the batch;
+//! * **backend choice** — the replica is generic over any
+//!   [`SecureBroadcast`] implementation (Section 5's observation that
+//!   the broadcast layer is swappable), trading signature CPU for
+//!   message complexity: Bracha's signature-free `O(n²)` protocol, the
+//!   `O(n)`-sender signed-echo broadcast, or the Section 6 account-order
+//!   broadcast. Select with [`crate::config::BroadcastBackend`].
+//!
+//! The replica relies on the backend's delivery contract (per-source
+//! FIFO, gapless, exactly-once — see [`at_broadcast::secure`]) and on
+//! the backend's own instance bookkeeping for broadcast-level dedup and
+//! equivocation suppression; it keeps no parallel "seen" state of its
+//! own. The only per-source sequencing the replica tracks is Figure 4's
+//! `rec[q]`/`seq[q]` over *transfer* sequence numbers, which live inside
+//! batch payloads and are invisible to the broadcast layer.
 //!
 //! Two deliberate semantic deviations from the literal Figure 4, recorded
 //! here as the module contract:
@@ -32,17 +46,25 @@
 
 use crate::config::{BatchPolicy, EngineConfig};
 use crate::shard::{ShardStats, ShardedLedger};
-use at_broadcast::bracha::{BrachaBroadcast, BrachaMsg};
+use at_broadcast::bracha::BrachaBroadcast;
+use at_broadcast::secure::SecureBroadcast;
 use at_broadcast::types::{Delivery, Outgoing, Step};
 use at_broadcast::{Batch, Batcher};
 use at_core::figure4::TransferMsg;
 use at_model::{AccountId, Amount, ProcessId, SeqNo, Transfer};
-use at_net::{Actor, Context};
+use at_net::{Actor, Context, VirtualTime};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// The wire message of the engine: Bracha broadcast over transfer
-/// batches.
-pub type EngineMsg = BrachaMsg<Batch<TransferMsg>>;
+/// The payload every engine backend carries: a batch of transfers.
+pub type EnginePayload = Batch<TransferMsg>;
+
+/// The default backend — Bracha reliable broadcast over transfer
+/// batches, the paper's deployed configuration.
+pub type DefaultEngineBroadcast = BrachaBroadcast<EnginePayload>;
+
+/// The wire message of the engine over backend `B` (defaults to the
+/// Bracha backend's messages).
+pub type EngineMsg<B = DefaultEngineBroadcast> = <B as SecureBroadcast<EnginePayload>>::Msg;
 
 /// Timer id used for the batch-window flush.
 const FLUSH_TIMER: u64 = 0xBA7C;
@@ -87,13 +109,18 @@ pub enum EngineEvent {
     },
 }
 
-/// One process of the sharded, batched consensusless payment engine.
-pub struct ShardedReplica {
+/// One process of the sharded, batched consensusless payment engine,
+/// generic over the secure-broadcast backend `B`.
+pub struct ShardedReplica<B: SecureBroadcast<EnginePayload> = DefaultEngineBroadcast> {
     me: ProcessId,
     n: usize,
     policy: BatchPolicy,
+    /// Virtual CPU charged per backend signature operation.
+    sig_cost: VirtualTime,
+    /// Backend signature operations already charged.
+    charged_ops: u64,
     ledger: ShardedLedger,
-    broadcast: BrachaBroadcast<Batch<TransferMsg>>,
+    broadcast: B,
     batcher: Batcher<TransferMsg>,
     flush_armed: bool,
     /// `seq[q]` of Figure 4: last *validated* outgoing sequence number
@@ -122,16 +149,47 @@ pub struct ShardedReplica {
     malformed_dropped: u64,
 }
 
-impl ShardedReplica {
-    /// A replica for process `me` of `n`, each account starting with
-    /// `initial`, configured by `config`.
+impl ShardedReplica<DefaultEngineBroadcast> {
+    /// A replica for process `me` of `n` over the default Bracha backend,
+    /// each account starting with `initial`, configured by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.backend` selects anything but
+    /// [`BroadcastBackend::Bracha`](crate::config::BroadcastBackend) —
+    /// this constructor builds the Bracha endpoint itself; other backends
+    /// need [`ShardedReplica::with_backend`] (the driver-level factory,
+    /// [`crate::driver::ConsensuslessEngine`], does this per
+    /// `config.backend`).
     pub fn new(me: ProcessId, n: usize, initial: Amount, config: EngineConfig) -> Self {
+        assert!(
+            matches!(config.backend, crate::config::BroadcastBackend::Bracha),
+            "ShardedReplica::new builds the Bracha backend; use with_backend (or the \
+             ConsensuslessEngine driver) for {:?}",
+            config.backend
+        );
+        ShardedReplica::with_backend(me, n, initial, config, BrachaBroadcast::new(me, n))
+    }
+}
+
+impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
+    /// A replica for process `me` of `n` over an explicit broadcast
+    /// backend.
+    pub fn with_backend(
+        me: ProcessId,
+        n: usize,
+        initial: Amount,
+        config: EngineConfig,
+        backend: B,
+    ) -> Self {
         ShardedReplica {
             me,
             n,
             policy: config.batch,
+            sig_cost: VirtualTime::from_micros(config.sig_cost_us),
+            charged_ops: 0,
             ledger: ShardedLedger::uniform(n, initial, config.shards),
-            broadcast: BrachaBroadcast::new(me, n),
+            broadcast: backend,
             batcher: Batcher::new(config.batch.max_size),
             flush_armed: false,
             validated_seq: vec![SeqNo::ZERO; n],
@@ -210,7 +268,7 @@ impl ShardedReplica {
         &mut self,
         destination: AccountId,
         amount: Amount,
-        ctx: &mut Context<'_, EngineMsg, EngineEvent>,
+        ctx: &mut Context<'_, B::Msg, EngineEvent>,
     ) {
         let available = self.available();
         if amount > available || !self.ledger.contains(destination) {
@@ -248,7 +306,7 @@ impl ShardedReplica {
     pub fn broadcast_batch(
         &mut self,
         batch: Batch<TransferMsg>,
-        ctx: &mut Context<'_, EngineMsg, EngineEvent>,
+        ctx: &mut Context<'_, B::Msg, EngineEvent>,
     ) {
         ctx.emit(EngineEvent::BatchBroadcast { size: batch.len() });
         let mut step = Step::new();
@@ -256,11 +314,43 @@ impl ShardedReplica {
         self.absorb(step, ctx);
     }
 
+    /// *Byzantine harness only*: hands two conflicting batches to the
+    /// backend's split-broadcast (one instance, `left` to the lower half
+    /// of the system, `right` to the upper half) — the double-spend
+    /// attempt. The backend's own equivocation state is the single source
+    /// of truth here; the replica keeps no instance counter of its own.
+    pub fn broadcast_split(
+        &mut self,
+        left: Batch<TransferMsg>,
+        right: Batch<TransferMsg>,
+        ctx: &mut Context<'_, B::Msg, EngineEvent>,
+    ) {
+        let mut step = Step::new();
+        self.broadcast.broadcast_split(left, right, &mut step);
+        self.absorb(step, ctx);
+    }
+
+    /// The secure-broadcast backend (quorum/instance/crypto
+    /// introspection).
+    pub fn backend(&self) -> &B {
+        &self.broadcast
+    }
+
     fn absorb(
         &mut self,
-        step: Step<EngineMsg, Batch<TransferMsg>>,
-        ctx: &mut Context<'_, EngineMsg, EngineEvent>,
+        step: Step<B::Msg, EnginePayload>,
+        ctx: &mut Context<'_, B::Msg, EngineEvent>,
     ) {
+        // Charge modelled CPU for the signature work the backend just
+        // performed (see `EngineConfig::sig_cost_us`).
+        if self.sig_cost > VirtualTime::ZERO {
+            let ops = self.broadcast.crypto_ops().total();
+            let delta = ops.saturating_sub(self.charged_ops);
+            if delta > 0 {
+                ctx.charge(VirtualTime::from_micros(self.sig_cost.as_micros() * delta));
+                self.charged_ops = ops;
+            }
+        }
         let Step {
             outgoing,
             deliveries,
@@ -283,7 +373,7 @@ impl ShardedReplica {
         &mut self,
         q: ProcessId,
         batch: Batch<TransferMsg>,
-        ctx: &mut Context<'_, EngineMsg, EngineEvent>,
+        ctx: &mut Context<'_, B::Msg, EngineEvent>,
     ) {
         let index = q.as_usize();
         if index >= self.n {
@@ -326,7 +416,7 @@ impl ShardedReplica {
     /// Applies every pending transfer whose validity predicate holds,
     /// repeating until a fixed point (one application can unblock
     /// others) — Figure 4 line 13.
-    fn drain(&mut self, ctx: &mut Context<'_, EngineMsg, EngineEvent>) {
+    fn drain(&mut self, ctx: &mut Context<'_, B::Msg, EngineEvent>) {
         loop {
             let position = self.pending.iter().position(|(q, msg)| self.valid(*q, msg));
             let Some(position) = position else {
@@ -358,8 +448,8 @@ impl ShardedReplica {
     }
 }
 
-impl Actor for ShardedReplica {
-    type Msg = EngineMsg;
+impl<B: SecureBroadcast<EnginePayload>> Actor for ShardedReplica<B> {
+    type Msg = B::Msg;
     type Event = EngineEvent;
 
     fn on_message(
@@ -383,7 +473,7 @@ impl Actor for ShardedReplica {
     }
 }
 
-impl std::fmt::Debug for ShardedReplica {
+impl<B: SecureBroadcast<EnginePayload>> std::fmt::Debug for ShardedReplica<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -649,6 +739,87 @@ mod tests {
             );
             assert_eq!(replica.balance(a(1)), amt(10));
         }
+    }
+
+    #[test]
+    fn transfer_completes_on_every_backend() {
+        use at_broadcast::auth::NoAuth;
+        use at_broadcast::echo::EchoBroadcast;
+        use at_broadcast::secure::AccountOrderBackend;
+
+        fn run_one<B, F>(make: F) -> u64
+        where
+            B: SecureBroadcast<EnginePayload> + 'static,
+            F: Fn(ProcessId) -> B,
+        {
+            let n = 4;
+            let config = EngineConfig::unsharded();
+            let replicas: Vec<ShardedReplica<B>> = (0..n as u32)
+                .map(|i| ShardedReplica::with_backend(p(i), n, amt(100), config, make(p(i))))
+                .collect();
+            let mut sim = Simulation::new(replicas, NetConfig::lan(3));
+            sim.schedule(VirtualTime::ZERO, p(0), |replica, ctx| {
+                replica.submit(a(1), amt(25), ctx);
+            });
+            assert!(sim.run_until_quiet(1_000_000));
+            assert_eq!(completed(&sim.take_events()).len(), 1);
+            for i in 0..4 {
+                assert_eq!(sim.actor(p(i)).balance(a(0)), amt(75));
+                assert_eq!(sim.actor(p(i)).balance(a(1)), amt(125));
+                assert_eq!(sim.actor(p(i)).backend().delivered_count(), 1);
+            }
+            sim.actor(p(0)).digest()
+        }
+
+        let bracha = run_one(|me| BrachaBroadcast::new(me, 4));
+        let echo = run_one(|me| EchoBroadcast::new(me, 4, NoAuth));
+        let account = run_one(|me| AccountOrderBackend::new(me, 4, NoAuth));
+        assert_eq!(bracha, echo);
+        assert_eq!(bracha, account);
+    }
+
+    #[test]
+    fn sig_cost_stretches_virtual_time_on_signed_backends() {
+        use at_broadcast::auth::NoAuth;
+        use at_broadcast::echo::EchoBroadcast;
+
+        fn run_one(sig_cost_us: u64) -> VirtualTime {
+            let n = 4;
+            let config = EngineConfig::unsharded().with_sig_cost_us(sig_cost_us);
+            let replicas: Vec<ShardedReplica<EchoBroadcast<EnginePayload, NoAuth>>> = (0..n as u32)
+                .map(|i| {
+                    ShardedReplica::with_backend(
+                        p(i),
+                        n,
+                        amt(100),
+                        config,
+                        EchoBroadcast::new(p(i), n, NoAuth),
+                    )
+                })
+                .collect();
+            let mut sim = Simulation::new(replicas, NetConfig::lan(3));
+            sim.schedule(VirtualTime::ZERO, p(0), |replica, ctx| {
+                replica.submit(a(1), amt(5), ctx);
+            });
+            assert!(sim.run_until_quiet(1_000_000));
+            assert_eq!(completed(&sim.take_events()).len(), 1);
+            sim.now()
+        }
+
+        let free = run_one(0);
+        let costly = run_one(400);
+        assert!(
+            costly > free,
+            "modelled signature CPU must stretch the run: {costly:?} vs {free:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "use with_backend")]
+    fn new_rejects_non_bracha_backend_selection() {
+        use crate::config::BroadcastBackend;
+        let config = EngineConfig::unsharded().with_backend(BroadcastBackend::signed_echo());
+        let _ = ShardedReplica::new(p(0), 3, amt(10), config);
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub fn format_reports(reports: &[ScenarioReport]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EngineConfig;
+    use crate::config::{BroadcastBackend, EngineConfig};
     use crate::driver::ConsensuslessEngine;
 
     #[test]
@@ -102,20 +102,44 @@ mod tests {
     }
 
     #[test]
-    fn suite_upholds_safety_on_the_standard_engine() {
-        let engine = ConsensuslessEngine::new(EngineConfig::standard());
-        let reports = run_suite(&engine, 11);
-        for report in &reports {
-            assert_eq!(report.conflicts, 0, "{}: double spend", report.scenario);
-            assert!(report.supply_ok, "{}: supply violated", report.scenario);
-            if report.scenario != "lossy-partition" {
-                assert!(report.agreed, "{}: diverged", report.scenario);
-                assert!(report.completed > 0, "{}: no progress", report.scenario);
+    fn suite_upholds_safety_on_every_backend() {
+        // All ten scenarios — including the healed partition, whose
+        // parked messages are re-injected under the reliable-channel
+        // model — must agree with zero conflicts on every backend.
+        for backend in [
+            BroadcastBackend::Bracha,
+            BroadcastBackend::signed_echo(),
+            BroadcastBackend::account_order(),
+        ] {
+            let engine = ConsensuslessEngine::new(EngineConfig::standard().with_backend(backend));
+            let reports = run_suite(&engine, 11);
+            for report in &reports {
+                assert_eq!(
+                    report.conflicts, 0,
+                    "{}: double spend on {}",
+                    report.scenario, report.engine
+                );
+                assert!(
+                    report.supply_ok,
+                    "{}: supply violated on {}",
+                    report.scenario, report.engine
+                );
+                assert!(
+                    report.agreed,
+                    "{}: diverged on {}",
+                    report.scenario, report.engine
+                );
+                assert!(
+                    report.completed > 0,
+                    "{}: no progress on {}",
+                    report.scenario,
+                    report.engine
+                );
             }
+            let table = format_reports(&reports);
+            assert!(table.contains("| equivocator |"));
+            assert!(table.lines().count() == reports.len() + 2);
         }
-        let table = format_reports(&reports);
-        assert!(table.contains("| equivocator |"));
-        assert!(table.lines().count() == reports.len() + 2);
     }
 
     #[test]

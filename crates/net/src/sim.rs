@@ -124,6 +124,9 @@ pub struct SimStats {
     pub messages_delivered: u64,
     /// Messages dropped by partitions or injected link faults.
     pub messages_dropped: u64,
+    /// Messages parked by a buffering partition (cumulative; parked
+    /// messages are re-injected when the partition heals).
+    pub messages_parked: u64,
     /// Events processed in total.
     pub events_processed: u64,
 }
@@ -200,6 +203,11 @@ pub struct Simulation<A: Actor> {
     stats: SimStats,
     /// Directed links currently cut by a partition.
     blocked_links: HashSet<(ProcessId, ProcessId)>,
+    /// Whether the current partition parks cross-group messages for
+    /// delivery at heal time instead of dropping them.
+    partition_buffers: bool,
+    /// Messages parked by a buffering partition, in send order.
+    parked: Vec<(ProcessId, ProcessId, A::Msg)>,
     /// Injected per-link faults (drops, extra delay).
     link_faults: BTreeMap<(ProcessId, ProcessId), LinkFault>,
 }
@@ -221,6 +229,8 @@ impl<A: Actor> Simulation<A> {
             events: Vec::new(),
             stats: SimStats::default(),
             blocked_links: HashSet::new(),
+            partition_buffers: false,
+            parked: Vec::new(),
             link_faults: BTreeMap::new(),
         };
         for i in 0..n {
@@ -265,6 +275,22 @@ impl<A: Actor> Simulation<A> {
     /// assumption is suspended until [`Simulation::heal_partition`]).
     /// Processes absent from every group communicate freely.
     pub fn set_partition(&mut self, groups: &[&[ProcessId]]) {
+        self.partition_buffers = false;
+        self.install_partition(groups);
+    }
+
+    /// Installs a *buffering* partition: cross-group messages are parked
+    /// instead of dropped, and re-injected (with fresh link latency) when
+    /// [`Simulation::heal_partition`] runs. This models a partition under
+    /// the paper's reliable authenticated channels — messages between
+    /// correct processes are delayed arbitrarily, never lost — so
+    /// protocols converge after the heal without their own retransmission.
+    pub fn set_partition_buffered(&mut self, groups: &[&[ProcessId]]) {
+        self.partition_buffers = true;
+        self.install_partition(groups);
+    }
+
+    fn install_partition(&mut self, groups: &[&[ProcessId]]) {
         self.blocked_links.clear();
         for (gi, group_a) in groups.iter().enumerate() {
             for (gj, group_b) in groups.iter().enumerate() {
@@ -281,15 +307,57 @@ impl<A: Actor> Simulation<A> {
     }
 
     /// Removes the current partition; links are reliable again. Messages
-    /// dropped while partitioned stay lost (no retransmission — protocols
-    /// that need it must implement it).
+    /// dropped by a [`Simulation::set_partition`] partition stay lost (no
+    /// retransmission — protocols that need it must implement it);
+    /// messages parked by a [`Simulation::set_partition_buffered`]
+    /// partition are re-injected now, in send order, each with a fresh
+    /// latency sample.
     pub fn heal_partition(&mut self) {
         self.blocked_links.clear();
+        self.partition_buffers = false;
+        let now = self.now;
+        for (from, to, msg) in std::mem::take(&mut self.parked) {
+            // Released messages traverse the link for real now, so the
+            // injected per-link faults apply exactly as they would have
+            // without the partition: pending drops are consumed, extra
+            // delay is added.
+            let Some(extra_delay) = self.apply_link_fault(from, to) else {
+                continue;
+            };
+            let latency = self.config.latency.sample(&mut self.rng) + extra_delay;
+            self.push(now + latency, to, Entry::Deliver { from, msg });
+        }
+    }
+
+    /// Applies the injected fault (if any) on `from → to` to one message
+    /// about to traverse the link: consumes a pending drop (counting it
+    /// and returning `None`), or returns the extra delay to add. Shared
+    /// by the live send path and the heal-time release of parked
+    /// messages, so both behave identically.
+    fn apply_link_fault(&mut self, from: ProcessId, to: ProcessId) -> Option<VirtualTime> {
+        match self.link_faults.get_mut(&(from, to)) {
+            Some(fault) if fault.drop_next > 0 => {
+                fault.drop_next -= 1;
+                self.stats.messages_dropped += 1;
+                None
+            }
+            Some(fault) => Some(fault.extra_delay),
+            None => Some(VirtualTime::ZERO),
+        }
     }
 
     /// Whether the directed link `from → to` is currently cut.
     pub fn is_link_blocked(&self, from: ProcessId, to: ProcessId) -> bool {
         self.blocked_links.contains(&(from, to))
+    }
+
+    /// Messages currently parked by a buffering partition (released by
+    /// the next [`Simulation::heal_partition`]). Harnesses should heal
+    /// before cutting a report: parked messages are delayed, not lost,
+    /// and leaving them parked at end-of-run silently violates the
+    /// reliable-channel model.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
     }
 
     /// Installs (or replaces) an injected fault on the directed link
@@ -392,18 +460,17 @@ impl<A: Actor> Simulation<A> {
         for (to, msg) in outbox {
             self.stats.messages_sent += 1;
             if self.blocked_links.contains(&(process, to)) {
-                self.stats.messages_dropped += 1;
+                if self.partition_buffers {
+                    self.stats.messages_parked += 1;
+                    self.parked.push((process, to, msg));
+                } else {
+                    self.stats.messages_dropped += 1;
+                }
                 continue;
             }
-            let mut extra_delay = VirtualTime::ZERO;
-            if let Some(fault) = self.link_faults.get_mut(&(process, to)) {
-                if fault.drop_next > 0 {
-                    fault.drop_next -= 1;
-                    self.stats.messages_dropped += 1;
-                    continue;
-                }
-                extra_delay = fault.extra_delay;
-            }
+            let Some(extra_delay) = self.apply_link_fault(process, to) else {
+                continue;
+            };
             let latency = self.config.latency.sample(&mut self.rng) + extra_delay;
             self.push(done + latency, to, Entry::Deliver { from: process, msg });
         }
@@ -651,6 +718,44 @@ mod tests {
         assert!(sim.run_until_quiet(1_000));
         // The restarted exchange runs to completion (all 5 rounds).
         assert_eq!(sim.actor(p0).completed, 5);
+    }
+
+    #[test]
+    fn buffered_partition_releases_messages_on_heal() {
+        let mut sim = ping_pong_sim(7);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        sim.set_partition_buffered(&[&[p0], &[p1]]);
+        assert!(sim.run_until_quiet(1_000));
+        // The initial ping was parked, not dropped.
+        assert_eq!(sim.actor(p0).completed, 0);
+        assert_eq!(sim.stats().messages_dropped, 0);
+        assert_eq!(sim.stats().messages_parked, 1);
+
+        // Healing re-injects the parked ping; the exchange then runs to
+        // completion without any retransmission by the actors.
+        sim.heal_partition();
+        assert!(sim.run_until_quiet(1_000));
+        assert_eq!(sim.actor(p0).completed, 5);
+        assert_eq!(sim.stats().messages_dropped, 0);
+    }
+
+    #[test]
+    fn healed_partition_releases_through_link_faults() {
+        let mut sim = ping_pong_sim(13);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        sim.set_partition_buffered(&[&[p0], &[p1]]);
+        assert!(sim.run_until_quiet(1_000));
+        assert_eq!(sim.stats().messages_parked, 1);
+        // A drop fault injected on the parked link consumes the released
+        // message: heal applies the fault exactly as a live send would.
+        sim.inject_link_fault(p0, p1, LinkFault::drop(1));
+        sim.heal_partition();
+        assert!(sim.run_until_quiet(1_000));
+        assert_eq!(sim.actor(p0).completed, 0);
+        assert_eq!(sim.stats().messages_dropped, 1);
+        assert_eq!(sim.link_fault(p0, p1), Some(LinkFault::drop(0)));
     }
 
     #[test]

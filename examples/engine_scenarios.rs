@@ -1,13 +1,14 @@
 //! Scenario-driven engine demo: runs the standard scenario suite (six
 //! benign workloads, four adversarial) on the sharded+batched payment
-//! engine, then contrasts the unsharded engine and the PBFT baseline on
-//! one batched workload.
+//! engine, contrasts the unsharded engine and the PBFT baseline on one
+//! batched workload, then swaps the secure-broadcast backend under the
+//! same scenario to show the message-complexity trade of Section 5.
 //!
 //! Run with `cargo run -p at-examples --example engine_scenarios --release`.
 
 use at_engine::{
-    format_reports, run_suite, BaselineEngine, ConsensuslessEngine, Engine, EngineConfig, Scenario,
-    ScenarioReport,
+    format_reports, run_suite, BaselineEngine, BroadcastBackend, ConsensuslessEngine, Engine,
+    EngineConfig, Scenario, ScenarioReport,
 };
 use at_examples::banner;
 use at_net::VirtualTime;
@@ -55,5 +56,32 @@ fn main() {
     println!(
         "Same protocol, same workload: batching transfers into shared broadcast \
          instances is what moves the message count — no consensus anywhere."
+    );
+
+    banner("broadcast backends · same scenario, swapped secure broadcast");
+    let scenario = Scenario::new("backends-12", 12).waves(3).seed(42);
+    println!("{}", ScenarioReport::table_header());
+    let mut digests = Vec::new();
+    for backend in [
+        BroadcastBackend::Bracha,
+        BroadcastBackend::signed_echo(),
+        BroadcastBackend::account_order(),
+    ] {
+        let engine = ConsensuslessEngine::new(EngineConfig::standard().with_backend(backend));
+        let report = engine.run(&scenario);
+        digests.push(report.balance_digest);
+        println!("{}", report.table_row());
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "backends must converge to the same balances"
+    );
+    println!();
+    println!(
+        "The broadcast layer is swappable (Section 5): Bracha pays O(n²) messages \
+         with zero signatures; signed echo and account-order pay O(n) sender \
+         messages plus certificate signatures. Same workload, same final \
+         balances, different cost profile — run `ablation_backend` for the \
+         full T4 table."
     );
 }

@@ -111,6 +111,173 @@ fn signature_forgery_is_rejected() {
     assert_eq!(victim_endpoint.delivered_count(), 0);
 }
 
+/// Runs a real signed-echo broadcast among `n` endpoints and returns the
+/// sender's genuine FINAL message (payload + echo-quorum certificate) —
+/// the raw material for the certificate-tampering tests below.
+fn genuine_final(n: usize, auth: &EdAuth, payload: u64) -> EchoMsg<u64, at_crypto::Signature> {
+    let mut endpoints: Vec<EchoBroadcast<u64, EdAuth>> = (0..n as u32)
+        .map(|i| EchoBroadcast::new(p(i), n, auth.clone()))
+        .collect();
+    let mut step = Step::new();
+    endpoints[0].broadcast(payload, &mut step);
+    let sends: Vec<_> = step.outgoing;
+    // Deliver the SENDs; route the echo shares back to the sender until
+    // its FINAL materialises.
+    let mut echoes = Vec::new();
+    for out in sends {
+        let mut reply = Step::new();
+        endpoints[out.to.as_usize()].on_message(p(0), out.msg, &mut reply);
+        echoes.extend(reply.outgoing.into_iter().map(|e| (out.to, e)));
+    }
+    for (from, echo) in echoes {
+        let mut reply = Step::new();
+        endpoints[0].on_message(from, echo.msg, &mut reply);
+        for out in reply.outgoing {
+            if matches!(out.msg, EchoMsg::Final { .. }) {
+                return out.msg;
+            }
+        }
+    }
+    panic!("quorum of genuine echoes must produce a FINAL");
+}
+
+/// The satellite requirement: a forged or truncated echo-quorum
+/// certificate — flipped share bits, a reattributed signer, a sub-quorum
+/// or duplicate-padded certificate, a swapped payload — must be rejected
+/// by `EchoBroadcast` delivery under real Ed25519 authentication, while
+/// the untampered certificate delivers.
+#[test]
+fn tampered_echo_quorum_certificates_are_rejected() {
+    let n = 4;
+    let auth = EdAuth::deterministic(n, 7);
+    let EchoMsg::Final {
+        source,
+        seq,
+        payload,
+        sig,
+        certificate,
+    } = genuine_final(n, &auth, 424_242)
+    else {
+        panic!("genuine_final returns a FINAL");
+    };
+    assert!(certificate.len() >= 3, "quorum certificate collected");
+
+    // Each tampering attempt is delivered to a fresh victim endpoint; a
+    // delivery (or any state change) means the forgery landed.
+    let attempt = |label: &str, msg: EchoMsg<u64, at_crypto::Signature>| -> usize {
+        let mut victim: EchoBroadcast<u64, EdAuth> = EchoBroadcast::new(p(1), n, auth.clone());
+        let mut step = Step::new();
+        victim.on_message(p(0), msg, &mut step);
+        assert_eq!(
+            victim.delivered_count(),
+            step.deliveries.len(),
+            "{label}: inconsistent delivery bookkeeping"
+        );
+        step.deliveries.len()
+    };
+
+    // Flipped share: corrupt one bit of the first share's signature.
+    let mut flipped = certificate.clone();
+    let mut bytes = flipped[0].1.to_bytes();
+    bytes[17] ^= 0x40;
+    flipped[0].1 = at_crypto::Signature::from_bytes(&bytes);
+    assert_eq!(
+        attempt(
+            "flipped share",
+            EchoMsg::Final {
+                source,
+                seq,
+                payload,
+                sig,
+                certificate: flipped,
+            }
+        ),
+        0
+    );
+
+    // Wrong signer: reattribute a genuine share to a different process.
+    let mut reattributed = certificate.clone();
+    let stolen = reattributed[0].1;
+    let victim_signer = reattributed[1].0;
+    reattributed[0] = (victim_signer, stolen);
+    assert_eq!(
+        attempt(
+            "wrong signer",
+            EchoMsg::Final {
+                source,
+                seq,
+                payload,
+                sig,
+                certificate: reattributed,
+            }
+        ),
+        0
+    );
+
+    // Sub-quorum: truncate below the echo quorum.
+    let truncated: Vec<_> = certificate.iter().take(2).cloned().collect();
+    assert_eq!(
+        attempt(
+            "truncated certificate",
+            EchoMsg::Final {
+                source,
+                seq,
+                payload,
+                sig,
+                certificate: truncated,
+            }
+        ),
+        0
+    );
+
+    // Sub-quorum padded with duplicates of one genuine share: distinct
+    // signers still fall short.
+    let padded = vec![certificate[0], certificate[0], certificate[0]];
+    assert_eq!(
+        attempt(
+            "duplicate-padded certificate",
+            EchoMsg::Final {
+                source,
+                seq,
+                payload,
+                sig,
+                certificate: padded,
+            }
+        ),
+        0
+    );
+
+    // Swapped payload: the certificate covers the original digest only.
+    assert_eq!(
+        attempt(
+            "swapped payload",
+            EchoMsg::Final {
+                source,
+                seq,
+                payload: payload + 1,
+                sig,
+                certificate: certificate.clone(),
+            }
+        ),
+        0
+    );
+
+    // Control: the intact FINAL delivers exactly once.
+    assert_eq!(
+        attempt(
+            "intact certificate",
+            EchoMsg::Final {
+                source,
+                seq,
+                payload,
+                sig,
+                certificate,
+            }
+        ),
+        1
+    );
+}
+
 /// Replayed SENDs (valid signature, old sequence number) do not cause
 /// double application: the Figure 4 well-formedness check (line 10)
 /// accepts each sequence number exactly once.

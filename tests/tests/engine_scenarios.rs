@@ -2,12 +2,14 @@
 //! double-spend rejection through the scenario DSL, fault-schedule
 //! behaviour, and cross-engine agreement on the standard suite.
 
+use at_broadcast::bracha::BrachaBroadcast;
 use at_engine::{
-    Adversary, ConsensuslessEngine, Engine, EngineActor, EngineConfig, EngineEvent, Fault,
-    NetProfile, Scenario, Workload,
+    Adversary, BroadcastBackend, ConsensuslessEngine, Engine, EngineActor, EngineConfig,
+    EngineEvent, Fault, NetProfile, Scenario, Workload,
 };
 use at_model::{AccountId, Amount, ProcessId, Transfer};
 use at_net::{NetConfig, Simulation, VirtualTime};
+use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 fn p(i: u32) -> ProcessId {
@@ -54,10 +56,20 @@ fn equivocation_applied_sets_are_conflict_free() {
 
     let actors: Vec<EngineActor> = (0..n as u32)
         .map(|i| match scenario.adversary_of(p(i)) {
-            Some(Adversary::Equivocate) => {
-                EngineActor::equivocator(p(i), n, initial, EngineConfig::unsharded())
-            }
-            _ => EngineActor::honest(p(i), n, initial, EngineConfig::unsharded()),
+            Some(Adversary::Equivocate) => EngineActor::equivocator(
+                p(i),
+                n,
+                initial,
+                EngineConfig::unsharded(),
+                BrachaBroadcast::new(p(i), n),
+            ),
+            _ => EngineActor::honest(
+                p(i),
+                n,
+                initial,
+                EngineConfig::unsharded(),
+                BrachaBroadcast::new(p(i), n),
+            ),
         })
         .collect();
     let mut sim = Simulation::new(actors, scenario.net.config(scenario.seed));
@@ -135,10 +147,11 @@ fn link_faults_shape_the_run() {
     assert!(faulted.agreed && faulted.supply_ok);
 }
 
-/// A healed partition lets later waves complete even though in-window
-/// broadcasts to the isolated process are lost (no retransmission).
+/// Partitions model the paper's reliable channels: cross-group messages
+/// are parked, not lost, and re-injected at heal time — so the isolated
+/// process catches up and every replica converges, with zero drops.
 #[test]
-fn partitioned_minority_misses_traffic_but_majority_progresses() {
+fn partitioned_minority_catches_up_after_heal() {
     let scenario = Scenario::new("partition", 7)
         .waves(4)
         .seed(10)
@@ -147,13 +160,18 @@ fn partitioned_minority_misses_traffic_but_majority_progresses() {
             from_wave: 1,
             heal_wave: 3,
         });
-    let report = ConsensuslessEngine::new(EngineConfig::unsharded()).run(&scenario);
-    assert!(report.messages_dropped > 0);
-    assert_eq!(report.conflicts, 0);
-    assert!(report.supply_ok);
-    // The six-process majority keeps completing its transfers in the
-    // partition window; p6's own submissions in that window cannot.
-    assert!(report.completed >= 6 * scenario.waves);
+    for backend in [BroadcastBackend::Bracha, BroadcastBackend::signed_echo()] {
+        let report = ConsensuslessEngine::new(EngineConfig::unsharded().with_backend(backend))
+            .run(&scenario);
+        assert_eq!(report.messages_dropped, 0, "{backend:?}");
+        assert_eq!(report.conflicts, 0, "{backend:?}");
+        assert!(report.supply_ok, "{backend:?}");
+        // Everyone — including p6, whose in-window submissions stall until
+        // the heal releases the parked traffic — completes every transfer
+        // and converges.
+        assert_eq!(report.completed, 7 * scenario.waves, "{backend:?}");
+        assert!(report.agreed, "{backend:?}: diverged after heal");
+    }
 }
 
 /// Benign scenarios complete identically across both engines (same
@@ -198,7 +216,15 @@ fn wide_batch_window_still_drains() {
 fn completion_events_carry_transfers() {
     let n = 3;
     let actors: Vec<EngineActor> = (0..n as u32)
-        .map(|i| EngineActor::honest(p(i), n, Amount::new(50), EngineConfig::unsharded()))
+        .map(|i| {
+            EngineActor::honest(
+                p(i),
+                n,
+                Amount::new(50),
+                EngineConfig::unsharded(),
+                BrachaBroadcast::new(p(i), n),
+            )
+        })
         .collect();
     let mut sim = Simulation::new(actors, NetConfig::lan(1));
     sim.schedule(VirtualTime::ZERO, p(0), |actor, ctx| {
@@ -216,4 +242,57 @@ fn completion_events_carry_transfers() {
     assert_eq!(completed.len(), 1);
     assert_eq!(completed[0].amount, Amount::new(7));
     assert_eq!(completed[0].destination, a(2));
+}
+
+/// The three broadcast backends the engine supports, over the standard
+/// sharded+batched configuration.
+fn backend_lineup() -> [BroadcastBackend; 3] {
+    [
+        BroadcastBackend::Bracha,
+        BroadcastBackend::signed_echo(),
+        BroadcastBackend::account_order(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The satellite requirement — backend equivalence: for the same
+    /// seeded scenario (benign uniform and equivocating alike), all three
+    /// backends deliver the same completions and the same final balances,
+    /// with zero conflicts and full agreement.
+    #[test]
+    fn backends_are_equivalent_on_seeded_scenarios(
+        n in 4usize..7,
+        waves in 1usize..3,
+        seed in 0u64..1_000,
+        equivocate in 0u32..2,
+    ) {
+        let mut scenario = Scenario::new("equiv", n).waves(waves).seed(seed);
+        if equivocate == 1 {
+            scenario = scenario.adversary(p(0), Adversary::Equivocate);
+        }
+        let mut reference: Option<at_engine::ScenarioReport> = None;
+        for backend in backend_lineup() {
+            let report = ConsensuslessEngine::new(
+                EngineConfig::standard().with_backend(backend),
+            )
+            .run(&scenario);
+            prop_assert_eq!(report.conflicts, 0, "{:?}", backend);
+            prop_assert!(report.agreed, "{:?} diverged", backend);
+            prop_assert!(report.supply_ok, "{:?} supply", backend);
+            if let Some(reference) = &reference {
+                prop_assert_eq!(
+                    report.completed, reference.completed,
+                    "{:?} vs bracha completions", backend
+                );
+                prop_assert_eq!(
+                    report.balance_digest, reference.balance_digest,
+                    "{:?} vs bracha balances", backend
+                );
+            } else {
+                reference = Some(report);
+            }
+        }
+    }
 }
