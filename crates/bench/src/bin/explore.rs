@@ -1,0 +1,184 @@
+//! The **at-check** schedule-exploration run: model-checks the engine
+//! against the asset-transfer specification across many delivery
+//! interleavings, then proves the harness has teeth by running the same
+//! explorer against two seeded mutations it must catch.
+//!
+//! Per `(scenario, backend)` pair the explorer samples seeded random-walk
+//! schedules and enumerates a bounded DFS (sleep-set pruned), checking
+//! after every execution that the history linearizes, the backends
+//! upheld their FIFO-exactly-once delivery contract, and correct
+//! replicas converged (see `at_check::harness`).
+//!
+//! Run with `cargo run -p at-bench --bin explore --release`. Pass
+//! `--smoke` for the CI budget: ≥ 500 distinct schedules across the
+//! standard scenarios × 3 backends plus the mutation-catch assertions.
+//! On failure, every counterexample (a replayable seed + schedule trace)
+//! is written to `EXPLORE_counterexample.txt` for the CI artifact upload.
+
+use at_check::{explore, standard_check_scenarios, CheckBackend, ExplorationReport, ExploreBudget};
+
+/// Where counterexample traces land for the CI failure artifact.
+const TRACE_PATH: &str = "EXPLORE_counterexample.txt";
+
+fn dump_counterexamples(reports: &[ExplorationReport]) {
+    let mut dump = String::new();
+    for report in reports {
+        for counterexample in &report.violations {
+            dump.push_str(&counterexample.to_string());
+            dump.push_str("\n\n");
+        }
+    }
+    if !dump.is_empty() {
+        std::fs::write(TRACE_PATH, &dump).expect("write counterexample trace");
+        eprintln!("wrote {TRACE_PATH} ({} bytes)", dump.len());
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let budget = if smoke {
+        ExploreBudget::smoke()
+    } else {
+        ExploreBudget {
+            random_schedules: 120,
+            random_seed: 0xA7,
+            dfs_depth: 4,
+            dfs_schedules: 64,
+            max_steps: 50_000,
+            check_nodes: 500_000,
+        }
+    };
+
+    println!("# at-check — schedule exploration against the AT specification");
+    println!();
+    println!(
+        "{} random walks + DFS(depth {}, cap {}) per (scenario, backend); every execution \
+         checked for linearizability, the FIFO-exactly-once broadcast contract, replica \
+         convergence, and supply conservation",
+        budget.random_schedules, budget.dfs_depth, budget.dfs_schedules
+    );
+    println!();
+    println!("{}", ExplorationReport::table_header());
+
+    let scenarios = standard_check_scenarios();
+    let mut reports = Vec::new();
+    for scenario in &scenarios {
+        for backend in CheckBackend::all() {
+            let report = explore(scenario, backend, &budget);
+            println!("{}", report.table_row());
+            reports.push(report);
+        }
+    }
+
+    let distinct_total: usize = reports.iter().map(|r| r.distinct_schedules).sum();
+    let unknown_total: usize = reports.iter().map(|r| r.unknown).sum();
+    let violation_total: usize = reports.iter().map(|r| r.violations.len()).sum();
+    println!();
+    println!(
+        "{} scenarios x {} backends: {} distinct schedules, {} unknown, {} violations",
+        scenarios.len(),
+        CheckBackend::all().len(),
+        distinct_total,
+        unknown_total,
+        violation_total
+    );
+
+    dump_counterexamples(&reports);
+    assert!(
+        violation_total == 0,
+        "schedule exploration found {violation_total} violations (trace in {TRACE_PATH})"
+    );
+    assert_eq!(unknown_total, 0, "linearizability checks ran out of budget");
+    assert!(
+        scenarios.len() >= 3,
+        "need at least three scenarios, have {}",
+        scenarios.len()
+    );
+    assert!(
+        distinct_total >= 500,
+        "only {distinct_total} distinct schedules — the CI gate requires at least 500"
+    );
+
+    mutation_catch(&scenarios, &budget);
+}
+
+/// The explorer's proof of its own teeth: the seeded `broken` mutations
+/// must be detected. Compiled only with `--features broken` so default
+/// builds (and every performance bench) stay free of the deliberately
+/// defective protocol hooks; CI enables the feature for this gate.
+#[cfg(feature = "broken")]
+fn mutation_catch(scenarios: &[at_check::CheckScenario], budget: &ExploreBudget) {
+    use at_check::{CheckScenario, FailureKind};
+
+    println!();
+    println!("## mutation catch (seeded broken backends)");
+    println!();
+
+    // Quorum off-by-one: equivocation can certify both sides; detection
+    // needs a schedule where two replicas order the two FINALs
+    // differently — precisely what the explorer is for.
+    let equivocator = scenarios
+        .iter()
+        .find(|s| s.name == "equivocator")
+        .expect("equivocator scenario");
+    let quorum_report = explore(equivocator, CheckBackend::BrokenQuorum, budget);
+    println!("{}", quorum_report.table_row());
+    assert!(
+        !quorum_report.violations.is_empty(),
+        "the quorum off-by-one mutation escaped {} schedules",
+        quorum_report.distinct_schedules
+    );
+    assert!(
+        quorum_report.violations.iter().all(|c| matches!(
+            c.failure.kind,
+            FailureKind::Conflict | FailureKind::Divergence | FailureKind::NotLinearizable
+        )),
+        "unexpected failure kinds: {:?}",
+        quorum_report
+            .violations
+            .iter()
+            .map(|c| c.failure.kind)
+            .collect::<Vec<_>>()
+    );
+
+    // FIFO violation: any source broadcasting twice exposes the swap.
+    let double_sender = CheckScenario::new(
+        "double-sender",
+        3,
+        10,
+        vec![(0, 1, 1), (0, 2, 1), (1, 2, 2)],
+    );
+    let fifo_report = explore(&double_sender, CheckBackend::BrokenFifo, budget);
+    println!("{}", fifo_report.table_row());
+    assert!(
+        fifo_report
+            .violations
+            .iter()
+            .any(|c| c.failure.kind == FailureKind::Contract),
+        "the FIFO-violation mutation escaped {} schedules",
+        fifo_report.distinct_schedules
+    );
+
+    let example = quorum_report
+        .violations
+        .first()
+        .expect("asserted non-empty");
+    println!();
+    println!("sample counterexample from the quorum mutation:");
+    println!("{example}");
+    println!();
+    println!(
+        "ok: clean schedules verified, both seeded mutations detected ({} + {} counterexamples)",
+        quorum_report.violations.len(),
+        fifo_report.violations.len()
+    );
+}
+
+#[cfg(not(feature = "broken"))]
+fn mutation_catch(_scenarios: &[at_check::CheckScenario], _budget: &ExploreBudget) {
+    println!();
+    println!(
+        "mutation catch skipped: rebuild with `--features broken` to run the seeded \
+         broken-backend detection gate (CI does)"
+    );
+}

@@ -199,6 +199,18 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
                 finalized: false,
             },
         );
+        // Retain our own payload immediately: the ack quorum can complete
+        // before our self-addressed SEND is delivered (the network orders
+        // the two independently), and certificate assembly recovers the
+        // payload from here.
+        self.pending_sends
+            .entry(account)
+            .or_default()
+            .entry(seq.value())
+            .or_insert(PendingSend {
+                sender: self.me,
+                payload: payload.clone(),
+            });
         step.send_all(
             self.n,
             AccountOrderMsg::Send {

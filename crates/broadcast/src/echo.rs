@@ -75,6 +75,14 @@ pub struct EchoBroadcast<P, A: Authenticator> {
     next_seq: SeqNo,
     /// Sender-side state for our own broadcasts.
     sending: HashMap<SeqNo, (P, SendState<A::Sig>)>,
+    /// Sender-side state for the *second* payload of a split broadcast
+    /// ([`EchoBroadcast::broadcast_split`]): the strongest attacker
+    /// collects shares for both sides and would certify either the moment
+    /// a quorum formed. With the correct quorum `⌈(n+f+1)/2⌉` this state
+    /// never finalizes (quorum intersection), so keeping it live makes
+    /// the tests exercise the defense — and makes a broken quorum
+    /// (`broken` feature) actually observable as a double certificate.
+    split_shadow: HashMap<SeqNo, (P, SendState<A::Sig>)>,
     /// Receiver-side: the digest we echoed per instance (one per
     /// instance — the anti-equivocation rule).
     echoed: HashMap<(ProcessId, SeqNo), [u8; 32]>,
@@ -83,6 +91,9 @@ pub struct EchoBroadcast<P, A: Authenticator> {
     order: SourceOrderBuffer<P>,
     forward_final: bool,
     ops: CryptoOps,
+    /// Mutation-testing hook: overrides [`EchoBroadcast::quorum`].
+    #[cfg(feature = "broken")]
+    quorum_override: Option<usize>,
 }
 
 impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
@@ -97,11 +108,14 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
             auth,
             next_seq: SeqNo::ZERO,
             sending: HashMap::new(),
+            split_shadow: HashMap::new(),
             echoed: HashMap::new(),
             delivered: HashMap::new(),
             order: SourceOrderBuffer::new(),
             forward_final: true,
             ops: CryptoOps::default(),
+            #[cfg(feature = "broken")]
+            quorum_override: None,
         }
     }
 
@@ -129,7 +143,25 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
 
     /// The echo quorum `⌈(n+f+1)/2⌉`.
     pub fn quorum(&self) -> usize {
+        #[cfg(feature = "broken")]
+        if let Some(quorum) = self.quorum_override {
+            return quorum;
+        }
         (self.n + self.f) / 2 + 1
+    }
+
+    /// **Mutation-testing hook** (`broken` feature only): replaces the
+    /// echo quorum with `quorum` on this endpoint — both for forming
+    /// certificates as a sender and for accepting them as a receiver. An
+    /// off-by-one below `⌈(n+f+1)/2⌉` breaks quorum intersection, which
+    /// lets an equivocating sender certify *both* sides of a split
+    /// broadcast; whether correct replicas then diverge depends on the
+    /// delivery schedule — exactly the class of bug the `at-check`
+    /// explorer exists to catch, and the seeded mutation CI requires it
+    /// to keep catching.
+    #[cfg(feature = "broken")]
+    pub fn set_quorum_override(&mut self, quorum: usize) {
+        self.quorum_override = Some(quorum);
     }
 
     /// Starts broadcasting `payload`; returns the sequence number used.
@@ -179,15 +211,29 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
         let right_sig = self
             .auth
             .sign(self.me, &send_bytes(self.me, seq, payload_digest(&right)));
-        // Collect echo shares for the left payload (half the system sees
-        // it, which is always below the quorum ⌈(n+f+1)/2⌉ — any two
-        // quorums intersect in a benign process).
+        // Collect echo shares for *both* payloads: the strongest attacker
+        // would certify whichever side ever reached a quorum. With the
+        // correct quorum ⌈(n+f+1)/2⌉ neither can (each half of the system
+        // is below it, and any two quorums intersect in a benign
+        // process), so this state is inert — unless the quorum itself is
+        // broken, which is what the mutation tests seed.
         self.sending.insert(
             seq,
             (
                 left.clone(),
                 SendState {
                     digest: left_digest,
+                    shares: BTreeMap::new(),
+                    finalized: false,
+                },
+            ),
+        );
+        self.split_shadow.insert(
+            seq,
+            (
+                right.clone(),
+                SendState {
+                    digest: payload_digest(&right),
                     shares: BTreeMap::new(),
                     finalized: false,
                 },
@@ -293,10 +339,23 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
         let quorum = self.quorum();
         let n = self.n;
         let me = self.me;
-        let Some((payload, state)) = self.sending.get_mut(&seq) else {
+        // The share may be for our primary payload or, after a split
+        // broadcast, for the shadow side — each accumulates separately.
+        let primary_matches = self
+            .sending
+            .get(&seq)
+            .is_some_and(|(_, state)| state.digest == digest);
+        let slot = if primary_matches {
+            self.sending.get_mut(&seq)
+        } else {
+            self.split_shadow
+                .get_mut(&seq)
+                .filter(|(_, state)| state.digest == digest)
+        };
+        let Some((payload, state)) = slot else {
             return; // echo for an unknown/finished broadcast
         };
-        if state.digest != digest || state.finalized {
+        if state.finalized {
             return;
         }
         state.shares.insert(from, share);
@@ -633,6 +692,70 @@ mod tests {
             delivered[to.as_usize()] += step.deliveries.len();
         }
         assert_eq!(delivered, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn split_shadow_collects_but_never_finalizes_at_correct_quorum() {
+        // Echoes for both sides of a split reach the attacker; with the
+        // correct quorum neither side certifies, so no FINAL leaves.
+        let n = 4;
+        let mut endpoints: Vec<EchoBroadcast<u64, NoAuth>> = (0..n)
+            .map(|i| EchoBroadcast::new(p(i as u32), n, NoAuth))
+            .collect();
+        let mut step = Step::new();
+        endpoints[0].broadcast_split(1, 2, &mut step);
+        let mut finals = 0;
+        for out in step.outgoing {
+            let mut reply = Step::new();
+            let from = p(0);
+            endpoints[out.to.as_usize()].on_message(from, out.msg, &mut reply);
+            // Feed every echo straight back to the attacker.
+            for echo in reply.outgoing {
+                assert_eq!(echo.to, p(0));
+                let mut reaction = Step::new();
+                endpoints[0].on_message(out.to, echo.msg, &mut reaction);
+                finals += reaction.outgoing.len();
+            }
+        }
+        assert_eq!(finals, 0, "a split side certified at the correct quorum");
+    }
+
+    #[cfg(feature = "broken")]
+    #[test]
+    fn broken_quorum_lets_a_split_certify_both_sides() {
+        // With the quorum forced one below the intersection threshold,
+        // the attacker assembles certificates for BOTH split payloads —
+        // the seeded safety bug the schedule explorer must catch.
+        let n = 4;
+        let mut endpoints: Vec<EchoBroadcast<u64, NoAuth>> = (0..n)
+            .map(|i| {
+                let mut endpoint = EchoBroadcast::new(p(i as u32), n, NoAuth);
+                endpoint.set_quorum_override(2);
+                endpoint
+            })
+            .collect();
+        assert_eq!(endpoints[0].quorum(), 2);
+        let mut step = Step::new();
+        endpoints[0].broadcast_split(1, 2, &mut step);
+        let mut final_payloads = std::collections::BTreeSet::new();
+        for out in step.outgoing {
+            let mut reply = Step::new();
+            endpoints[out.to.as_usize()].on_message(p(0), out.msg, &mut reply);
+            for echo in reply.outgoing {
+                let mut reaction = Step::new();
+                endpoints[0].on_message(out.to, echo.msg, &mut reaction);
+                for fin in reaction.outgoing {
+                    if let EchoMsg::Final { payload, .. } = fin.msg {
+                        final_payloads.insert(payload);
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            final_payloads.into_iter().collect::<Vec<_>>(),
+            vec![1, 2],
+            "both sides must certify under the broken quorum"
+        );
     }
 
     #[test]

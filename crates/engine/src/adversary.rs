@@ -177,6 +177,15 @@ impl<B: SecureBroadcast<EnginePayload>> EngineActor<B> {
         }
     }
 
+    /// Records a local balance read on an honest participant (no-op on
+    /// the others — attackers and silent processes have no meaningful
+    /// local view to observe). See [`ShardedReplica::read_op`].
+    pub fn read_op(&self, account: AccountId, ctx: &mut Context<'_, B::Msg, EngineEvent>) {
+        if let EngineActor::Honest(replica) = self {
+            replica.read_op(account, ctx);
+        }
+    }
+
     /// Launches this participant's attack for one wave. `wave` varies the
     /// crafted destinations so repeated attacks stay distinct.
     pub fn attack(&mut self, wave: usize, ctx: &mut Context<'_, B::Msg, EngineEvent>) {

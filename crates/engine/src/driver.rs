@@ -119,7 +119,10 @@ fn tally_engine_events(
             }
             EngineEvent::Rejected { .. } => *rejected += 1,
             EngineEvent::Applied { .. } => *applied_total += 1,
-            EngineEvent::BatchBroadcast { .. } => {}
+            EngineEvent::BatchBroadcast { .. }
+            | EngineEvent::Submitted { .. }
+            | EngineEvent::BackendDelivery { .. }
+            | EngineEvent::ReadObserved { .. } => {}
         }
     }
 }

@@ -58,6 +58,7 @@
 pub mod adversary;
 pub mod config;
 pub mod driver;
+pub mod probe;
 pub mod replica;
 pub mod scenario;
 pub mod shard;
@@ -66,6 +67,10 @@ pub mod suite;
 pub use adversary::EngineActor;
 pub use config::{AuthMode, BatchPolicy, BroadcastBackend, EngineConfig};
 pub use driver::{BaselineEngine, ConsensuslessEngine, Engine};
+pub use probe::{
+    check_fifo_contract, history_from_events, rejections_locally_justified, ContractViolation,
+    TimedEvent,
+};
 pub use replica::{DefaultEngineBroadcast, EngineEvent, EngineMsg, EnginePayload, ShardedReplica};
 pub use scenario::{Adversary, Fault, NetProfile, Scenario, ScenarioReport, Workload};
 pub use shard::{ShardError, ShardMap, ShardStats, ShardedLedger};

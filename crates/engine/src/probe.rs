@@ -1,0 +1,350 @@
+//! Explorer-visible invariant probes: turning an engine event stream
+//! into checkable artifacts.
+//!
+//! The schedule-exploration harness (`at-check`) runs many executions of
+//! the engine and needs, per execution: (a) an [`at_model::History`] of
+//! client invocations and responses to feed the linearizability checker,
+//! and (b) a verdict on whether the secure-broadcast backend upheld its
+//! per-source FIFO-exactly-once delivery contract. Both are derived
+//! purely from the `(time, process, event)` stream a simulation emits —
+//! the probes never reach into replica internals, so they observe the
+//! same executions any other harness does.
+//!
+//! # History reconstruction
+//!
+//! The event stream is in execution order, which is a valid real-time
+//! order for the history:
+//!
+//! * [`EngineEvent::Submitted`] opens a transfer operation's interval;
+//!   the matching [`EngineEvent::Completed`] (same `(originator, seq)`)
+//!   closes it with `true`;
+//! * [`EngineEvent::Rejected`] does **not** enter the history. A negative
+//!   response is Figure 4's line-2 admission check against the replica's
+//!   *local* balance, and that local view may lag a credit that already
+//!   completed at its sender — so a rejection is justified by a prefix of
+//!   the linearization, not by the real-time point of its invocation.
+//!   (The schedule explorer demonstrably reaches such executions; this is
+//!   a documented property of the paper's protocol, not a bug.)
+//!   Rejections are instead checked structurally:
+//!   [`rejections_locally_justified`] asserts each one was genuinely
+//!   short of funds in the rejecting replica's view;
+//! * [`EngineEvent::ReadObserved`] is an instantaneous read;
+//! * an [`EngineEvent::Applied`] whose transfer originates at a process
+//!   *outside* the correct set records a Byzantine process's transfer
+//!   taking effect. It enters the history as a **pending** operation at
+//!   its first application: the paper's completion construction lets the
+//!   checker linearize it wherever the correct processes' observations
+//!   require — or drop it if it never mattered. Leaving it pending (and
+//!   not pinning a response) is deliberate: different replicas apply it
+//!   at different times, so any closed interval we invented could be
+//!   contradicted by a correct process's read.
+
+use crate::replica::EngineEvent;
+use at_model::history::{History, OpId, Operation, Response};
+use at_model::{ProcessId, Transfer};
+use at_net::VirtualTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One engine event as a simulation surfaces it.
+pub type TimedEvent = (VirtualTime, ProcessId, EngineEvent);
+
+/// Reconstructs the concurrent history of the correct processes from an
+/// engine event stream (see the [module docs](self)).
+///
+/// `is_correct` decides whose operations enter the history; events of
+/// other processes are ignored except for their transfers' applications
+/// at correct replicas, which enter as pending operations.
+pub fn history_from_events(
+    events: &[TimedEvent],
+    is_correct: impl Fn(ProcessId) -> bool,
+) -> History {
+    let mut history = History::new();
+    let mut open: BTreeMap<(ProcessId, u64), OpId> = BTreeMap::new();
+    let mut byzantine_seen: BTreeMap<Transfer, OpId> = BTreeMap::new();
+    for (_, process, event) in events {
+        match event {
+            EngineEvent::Submitted { transfer } if is_correct(*process) => {
+                let id = history.invoke(
+                    *process,
+                    Operation::Transfer {
+                        source: transfer.source,
+                        destination: transfer.destination,
+                        amount: transfer.amount,
+                    },
+                );
+                open.insert((transfer.originator, transfer.seq.value()), id);
+            }
+            EngineEvent::Completed { transfer } if is_correct(*process) => {
+                if let Some(id) = open.remove(&(transfer.originator, transfer.seq.value())) {
+                    history.respond(id, Response::Transfer(true));
+                }
+            }
+            EngineEvent::ReadObserved { account, balance } if is_correct(*process) => {
+                let id = history.invoke(*process, Operation::Read { account: *account });
+                history.respond(id, Response::Read(*balance));
+            }
+            EngineEvent::Applied { transfer }
+                if is_correct(*process) && !is_correct(transfer.originator) =>
+            {
+                byzantine_seen.entry(*transfer).or_insert_with(|| {
+                    history.invoke(
+                        transfer.originator,
+                        Operation::Transfer {
+                            source: transfer.source,
+                            destination: transfer.destination,
+                            amount: transfer.amount,
+                        },
+                    )
+                });
+            }
+            _ => {}
+        }
+    }
+    history
+}
+
+/// Checks every [`EngineEvent::Rejected`] of an accepted observer for
+/// local justification, mirroring both admission conditions of
+/// [`crate::replica::ShardedReplica::submit`]: the requested amount
+/// exceeded the available balance the replica reported at rejection
+/// time, *or* the destination does not exist per `account_exists` (the
+/// harness's knowledge of the ledger topology). This is the
+/// rejection-side probe complementing [`history_from_events`] (which
+/// keeps negative responses *out* of the real-time history — see the
+/// [module docs](self)). Returns the offending event on failure.
+pub fn rejections_locally_justified(
+    events: &[TimedEvent],
+    include_observer: impl Fn(ProcessId) -> bool,
+    account_exists: impl Fn(at_model::AccountId) -> bool,
+) -> Result<(), TimedEvent> {
+    for event in events {
+        if let (
+            _,
+            observer,
+            EngineEvent::Rejected {
+                destination,
+                amount,
+                available,
+            },
+        ) = event
+        {
+            if include_observer(*observer) && amount <= available && account_exists(*destination) {
+                return Err(event.clone());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A violation of the secure-broadcast delivery contract, as observed at
+/// one replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContractViolation {
+    /// The replica that observed the bad delivery.
+    pub observer: ProcessId,
+    /// The broadcast source whose stream broke.
+    pub source: ProcessId,
+    /// The sequence number the contract required next.
+    pub expected: u64,
+    /// The sequence number actually delivered.
+    pub got: u64,
+}
+
+impl fmt::Display for ContractViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replica {} saw seq {} from {} where the FIFO-exactly-once contract requires {}",
+            self.observer, self.got, self.source, self.expected
+        )
+    }
+}
+
+/// Checks the per-source FIFO-exactly-once delivery contract
+/// ([`at_broadcast::secure`]) over the [`EngineEvent::BackendDelivery`]
+/// events of every observer accepted by `include_observer`: at each
+/// observer, each source's delivered sequence numbers must read exactly
+/// `1, 2, 3, …` — gapless, in order, without repetition. (A *shorter*
+/// prefix is fine: lossy links may keep later instances from completing.)
+pub fn check_fifo_contract(
+    events: &[TimedEvent],
+    include_observer: impl Fn(ProcessId) -> bool,
+) -> Result<(), ContractViolation> {
+    let mut next: BTreeMap<(ProcessId, ProcessId), u64> = BTreeMap::new();
+    for (_, observer, event) in events {
+        if let EngineEvent::BackendDelivery { source, seq } = event {
+            if !include_observer(*observer) {
+                continue;
+            }
+            let slot = next.entry((*observer, *source)).or_insert(1);
+            if seq.value() != *slot {
+                return Err(ContractViolation {
+                    observer: *observer,
+                    source: *source,
+                    expected: *slot,
+                    got: seq.value(),
+                });
+            }
+            *slot += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::replica::ShardedReplica;
+    use at_model::{linearizable, AccountId, Amount, Ledger, SeqNo};
+    use at_net::{NetConfig, Simulation};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn a(i: u32) -> AccountId {
+        AccountId::new(i)
+    }
+
+    fn amt(x: u64) -> Amount {
+        Amount::new(x)
+    }
+
+    fn run_events(n: usize, submit: Vec<(u32, u32, u64)>) -> Vec<TimedEvent> {
+        let replicas = (0..n as u32)
+            .map(|i| ShardedReplica::new(p(i), n, amt(100), EngineConfig::unsharded()))
+            .collect();
+        let mut sim = Simulation::new(replicas, NetConfig::instant(1));
+        for (from, to, amount) in submit {
+            sim.schedule(VirtualTime::ZERO, p(from), move |replica, ctx| {
+                replica.submit(a(to), amt(amount), ctx);
+            });
+        }
+        assert!(sim.run_until_quiet(1_000_000));
+        for i in 0..n as u32 {
+            sim.schedule(sim.now(), p(0), move |replica, ctx| {
+                replica.read_op(a(i), ctx);
+            });
+        }
+        assert!(sim.run_until_quiet(1_000));
+        sim.take_events()
+    }
+
+    #[test]
+    fn reconstructed_history_linearizes() {
+        let events = run_events(3, vec![(0, 1, 30), (1, 2, 10), (2, 0, 5)]);
+        let history = history_from_events(&events, |_| true);
+        // 3 transfers + 3 final reads, all complete.
+        assert_eq!(history.op_count(), 6);
+        assert!(history.is_complete());
+        let initial = Ledger::uniform(3, amt(100));
+        assert!(linearizable(&history, &initial).is_linearizable());
+    }
+
+    #[test]
+    fn rejections_stay_out_of_the_history_but_are_justified() {
+        let events = run_events(2, vec![(0, 1, 1_000)]);
+        // The overdraft never entered the history (negative responses are
+        // local-prefix-justified, not real-time linearizable)…
+        let history = history_from_events(&events, |_| true);
+        assert!(history
+            .records()
+            .iter()
+            .all(|r| r.response != Some(Response::Transfer(false))));
+        // …but the rejection event exists and is locally justified.
+        assert!(events
+            .iter()
+            .any(|(_, _, e)| matches!(e, EngineEvent::Rejected { .. })));
+        assert!(rejections_locally_justified(&events, |_| true, |a| a.index() < 2).is_ok());
+        let initial = Ledger::uniform(2, amt(100));
+        assert!(linearizable(&history, &initial).is_linearizable());
+    }
+
+    #[test]
+    fn unjustified_rejection_is_flagged() {
+        // A hand-built Rejected event claiming rejection despite
+        // sufficient available funds and a real destination.
+        let events: Vec<TimedEvent> = vec![(
+            VirtualTime::ZERO,
+            p(0),
+            EngineEvent::Rejected {
+                destination: a(1),
+                amount: amt(5),
+                available: amt(50),
+            },
+        )];
+        let exists = |account: AccountId| account.index() < 3;
+        assert!(rejections_locally_justified(&events, |_| true, exists).is_err());
+        assert!(rejections_locally_justified(&events, |q| q != p(0), exists).is_ok());
+        // The same event justified by a nonexistent destination: the
+        // replica's second admission condition, not a violation.
+        assert!(rejections_locally_justified(&events, |_| true, |a| a.index() != 1).is_ok());
+    }
+
+    #[test]
+    fn byzantine_applications_enter_as_pending_ops() {
+        // Hand-built stream: p1 (Byzantine by fiat of the filter) has a
+        // transfer applied at the two correct replicas.
+        let t = Transfer::new(a(1), a(0), amt(5), p(1), SeqNo::new(1));
+        let events: Vec<TimedEvent> = vec![
+            (
+                VirtualTime::ZERO,
+                p(0),
+                EngineEvent::Applied { transfer: t },
+            ),
+            (
+                VirtualTime::ZERO,
+                p(2),
+                EngineEvent::Applied { transfer: t },
+            ),
+        ];
+        let history = history_from_events(&events, |q| q != p(1));
+        // Applied twice, invoked once, never responded.
+        assert_eq!(history.op_count(), 1);
+        assert!(!history.is_complete());
+        let initial = Ledger::uniform(3, amt(100));
+        assert!(linearizable(&history, &initial).is_linearizable());
+    }
+
+    #[test]
+    fn fifo_contract_holds_on_a_clean_run() {
+        let events = run_events(3, vec![(0, 1, 1), (0, 2, 1), (1, 0, 1)]);
+        assert_eq!(check_fifo_contract(&events, |_| true), Ok(()));
+        // Deliveries actually happened (the probe is not vacuous).
+        let deliveries = events
+            .iter()
+            .filter(|(_, _, e)| matches!(e, EngineEvent::BackendDelivery { .. }))
+            .count();
+        assert!(deliveries >= 9, "deliveries: {deliveries}");
+    }
+
+    #[test]
+    fn fifo_contract_flags_gaps_reorders_and_duplicates() {
+        let delivery = |observer: u32, source: u32, seq: u64| -> TimedEvent {
+            (
+                VirtualTime::ZERO,
+                p(observer),
+                EngineEvent::BackendDelivery {
+                    source: p(source),
+                    seq: SeqNo::new(seq),
+                },
+            )
+        };
+        // Gap: 1 then 3.
+        let events = vec![delivery(0, 1, 1), delivery(0, 1, 3)];
+        let violation = check_fifo_contract(&events, |_| true).unwrap_err();
+        assert_eq!(violation.expected, 2);
+        assert_eq!(violation.got, 3);
+        assert!(violation.to_string().contains("FIFO-exactly-once"));
+        // Duplicate: 1 then 1.
+        let events = vec![delivery(0, 1, 1), delivery(0, 1, 1)];
+        assert!(check_fifo_contract(&events, |_| true).is_err());
+        // Reorder: 2 before 1.
+        let events = vec![delivery(0, 1, 2), delivery(0, 1, 1)];
+        assert!(check_fifo_contract(&events, |_| true).is_err());
+        // The filter exempts excluded observers.
+        assert!(check_fifo_contract(&events, |q| q != p(0)).is_ok());
+    }
+}

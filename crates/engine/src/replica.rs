@@ -80,6 +80,15 @@ const MAX_PENDING_PER_SOURCE: usize = 1_024;
 /// Events surfaced by the engine replica.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineEvent {
+    /// Our own transfer passed admission and was handed to the batcher —
+    /// the *invocation* point of the operation. Paired with the later
+    /// [`EngineEvent::Completed`] by `(originator, seq)`, this is what
+    /// lets [`crate::probe`] reconstruct an `at_model::History` from the
+    /// event stream.
+    Submitted {
+        /// The transfer.
+        transfer: Transfer,
+    },
     /// Our own transfer validated everywhere it needs to (locally) — the
     /// `return true` of Figure 4.
     Completed {
@@ -106,6 +115,27 @@ pub enum EngineEvent {
     BatchBroadcast {
         /// Number of transfers in the batch.
         size: usize,
+    },
+    /// The secure-broadcast backend delivered one payload to this
+    /// replica. Emitted *before* well-formedness filtering, so the
+    /// stream of these events per `(observer, source)` is exactly the
+    /// backend's delivery sequence — the probe that checks the
+    /// per-source FIFO-exactly-once contract ([`at_broadcast::secure`])
+    /// reads it directly.
+    BackendDelivery {
+        /// The broadcast instance's source.
+        source: ProcessId,
+        /// The source's broadcast sequence number.
+        seq: SeqNo,
+    },
+    /// A harness-injected read observed a balance
+    /// ([`ShardedReplica::read_op`]) — an instantaneous read operation
+    /// for history reconstruction.
+    ReadObserved {
+        /// The account read.
+        account: AccountId,
+        /// The balance observed.
+        balance: Amount,
     },
 }
 
@@ -287,6 +317,9 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
             self.me,
             self.next_own_seq,
         );
+        // Invocation point: emitted before any broadcast effect, so in
+        // the reconstructed history the operation's interval opens here.
+        ctx.emit(EngineEvent::Submitted { transfer });
         let deps: Vec<Transfer> = self.deps_buffer.iter().copied().collect();
         self.deps_buffer.clear();
         self.reserved = self.reserved.saturating_add(amount);
@@ -359,11 +392,25 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
             ctx.send(to, msg);
         }
         for Delivery {
-            source, payload, ..
+            source,
+            seq,
+            payload,
         } in deliveries
         {
+            ctx.emit(EngineEvent::BackendDelivery { source, seq });
             self.on_batch(source, payload, ctx);
         }
+    }
+
+    /// *Harness hook*: records the current local balance of `account` as
+    /// an instantaneous read operation ([`EngineEvent::ReadObserved`]).
+    /// Reads in this engine are local (Figure 4's `read`), so the
+    /// observation is complete the moment it is made.
+    pub fn read_op(&self, account: AccountId, ctx: &mut Context<'_, B::Msg, EngineEvent>) {
+        ctx.emit(EngineEvent::ReadObserved {
+            account,
+            balance: self.ledger.balance(account),
+        });
     }
 
     /// Processes one delivered batch: per-item well-formedness (Figure 4

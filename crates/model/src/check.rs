@@ -39,6 +39,63 @@ impl CheckOutcome {
     }
 }
 
+/// A node budget for [`linearizable_bounded`].
+///
+/// The exhaustive search is exponential in the worst case; harnesses that
+/// check thousands of machine-generated histories (the `at-check`
+/// schedule explorer) bound it so one pathological history cannot stall a
+/// whole exploration run. A budget of a few thousand nodes is far beyond
+/// what the explorer's small histories ever need — exhaustion signals a
+/// harness bug, not a protocol bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckBudget {
+    /// Maximum search-tree nodes to expand before giving up.
+    pub max_nodes: usize,
+}
+
+impl CheckBudget {
+    /// No bound: the search runs to completion.
+    pub const UNLIMITED: CheckBudget = CheckBudget {
+        max_nodes: usize::MAX,
+    };
+
+    /// A budget of `max_nodes` search nodes.
+    pub fn nodes(max_nodes: usize) -> Self {
+        CheckBudget { max_nodes }
+    }
+}
+
+/// The verdict of a budgeted linearizability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundedOutcome {
+    /// The history is linearizable (witness as in
+    /// [`CheckOutcome::Linearizable`]).
+    Linearizable {
+        /// A legal sequential order of the operations.
+        witness: Vec<OpId>,
+    },
+    /// No legal linearization exists — a proof of violation, never
+    /// returned merely because the budget ran out.
+    NotLinearizable,
+    /// The search hit the node budget before reaching a verdict.
+    BudgetExhausted {
+        /// Nodes expanded before giving up.
+        explored: usize,
+    },
+}
+
+impl BoundedOutcome {
+    /// Whether the verdict is positive.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, BoundedOutcome::Linearizable { .. })
+    }
+
+    /// Whether the verdict is a *proven* violation.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, BoundedOutcome::NotLinearizable)
+    }
+}
+
 /// Checks whether `history` is linearizable with respect to the sequential
 /// asset-transfer specification starting from `initial`.
 ///
@@ -65,15 +122,45 @@ impl CheckOutcome {
 /// assert!(at_model::linearizable(&h, &ledger).is_linearizable());
 /// ```
 pub fn linearizable(history: &History, initial: &Ledger) -> CheckOutcome {
+    match linearizable_bounded(history, initial, CheckBudget::UNLIMITED) {
+        BoundedOutcome::Linearizable { witness } => CheckOutcome::Linearizable { witness },
+        BoundedOutcome::NotLinearizable => CheckOutcome::NotLinearizable,
+        BoundedOutcome::BudgetExhausted { .. } => unreachable!("unlimited budget"),
+    }
+}
+
+/// [`linearizable`] with a node budget and a sequential fast path.
+///
+/// Before launching the exhaustive Wing–Gong search, the checker tries
+/// the *response-order* linearization: completed operations applied in
+/// the order their responses appear in the history (pending operations
+/// dropped). Response order always respects real-time precedence, so when
+/// it is legal — which covers the overwhelmingly common case of a benign
+/// execution — the history is linearizable without any search. This is
+/// what makes checking thousands of small explorer-generated histories
+/// cheap: the exponential search only runs on histories that are already
+/// suspicious.
+pub fn linearizable_bounded(
+    history: &History,
+    initial: &Ledger,
+    budget: CheckBudget,
+) -> BoundedOutcome {
     let records = history.records();
     let n = records.len();
     assert!(n <= 128, "checker supports at most 128 operations");
+
+    if let Some(witness) = response_order_witness(&records, initial) {
+        return BoundedOutcome::Linearizable { witness };
+    }
 
     let mut checker = Checker {
         records: &records,
         initial,
         visited: HashSet::new(),
         witness: Vec::with_capacity(n),
+        nodes: 0,
+        max_nodes: budget.max_nodes,
+        exhausted: false,
     };
     let complete_mask: u128 = records
         .iter()
@@ -82,12 +169,32 @@ pub fn linearizable(history: &History, initial: &Ledger) -> CheckOutcome {
         .fold(0, |mask, (i, _)| mask | (1u128 << i));
 
     if checker.search(0, initial.clone(), complete_mask) {
-        CheckOutcome::Linearizable {
+        BoundedOutcome::Linearizable {
             witness: checker.witness,
         }
+    } else if checker.exhausted {
+        BoundedOutcome::BudgetExhausted {
+            explored: checker.nodes,
+        }
     } else {
-        CheckOutcome::NotLinearizable
+        BoundedOutcome::NotLinearizable
     }
+}
+
+/// The fast path: completed operations in response order, pending ones
+/// dropped. Returns the witness when that order is legal under `Δ`.
+fn response_order_witness(records: &[OpRecord], initial: &Ledger) -> Option<Vec<OpId>> {
+    let mut complete: Vec<&OpRecord> = records.iter().filter(|r| r.is_complete()).collect();
+    complete.sort_by_key(|r| r.returned_at.expect("complete"));
+    let mut state = initial.clone();
+    let mut witness = Vec::with_capacity(complete.len());
+    for record in complete {
+        if !Checker::apply(record, &mut state) {
+            return None;
+        }
+        witness.push(record.id);
+    }
+    Some(witness)
 }
 
 struct Checker<'a> {
@@ -96,6 +203,12 @@ struct Checker<'a> {
     /// Visited `(linearized-set, state-fingerprint)` configurations.
     visited: HashSet<(u128, Vec<u64>)>,
     witness: Vec<OpId>,
+    /// Nodes expanded so far.
+    nodes: usize,
+    /// Node budget ([`CheckBudget::max_nodes`]).
+    max_nodes: usize,
+    /// Whether the budget cut the search short.
+    exhausted: bool,
 }
 
 impl Checker<'_> {
@@ -110,6 +223,12 @@ impl Checker<'_> {
         if done & complete_mask == complete_mask {
             return true;
         }
+
+        if self.nodes >= self.max_nodes {
+            self.exhausted = true;
+            return false;
+        }
+        self.nodes += 1;
 
         let fingerprint: Vec<u64> = state.iter().map(|(_, x)| x.units()).collect();
         if !self.visited.insert((done, fingerprint)) {
@@ -377,6 +496,70 @@ mod tests {
             }
             CheckOutcome::NotLinearizable => panic!("expected linearizable"),
         }
+    }
+
+    #[test]
+    fn fast_path_handles_sequential_histories_without_search() {
+        // A long, strictly sequential history: the response-order fast
+        // path must certify it even under a zero-node search budget.
+        let mut h = History::new();
+        for i in 0..30 {
+            let t = h.invoke(p(i % 2), transfer(i % 2, (i + 1) % 2, 1));
+            h.respond(t, Response::Transfer(true));
+        }
+        let outcome = linearizable_bounded(&h, &ledger(), CheckBudget::nodes(0));
+        assert!(outcome.is_linearizable(), "{outcome:?}");
+        if let BoundedOutcome::Linearizable { witness } = outcome {
+            assert_eq!(witness.len(), 30);
+        }
+    }
+
+    #[test]
+    fn bounded_check_reports_exhaustion_not_violation() {
+        // A read that returns *before* the overlapping transfer it
+        // observed: response order is illegal (the fast path fails), so
+        // the search runs — and a one-node budget cannot finish it. The
+        // verdict must be BudgetExhausted, never a spurious
+        // NotLinearizable.
+        let mut h = History::new();
+        let t = h.invoke(p(0), transfer(0, 1, 4));
+        let r = h.invoke(p(1), read(0));
+        h.respond(r, Response::Read(amt(6)));
+        h.respond(t, Response::Transfer(true));
+        let outcome = linearizable_bounded(&h, &ledger(), CheckBudget::nodes(1));
+        assert!(matches!(
+            outcome,
+            BoundedOutcome::BudgetExhausted { explored: 1 }
+        ));
+        assert!(!outcome.is_violation());
+        // With room to search, the same history verifies.
+        let outcome = linearizable_bounded(&h, &ledger(), CheckBudget::nodes(10_000));
+        assert!(outcome.is_linearizable());
+    }
+
+    #[test]
+    fn bounded_check_agrees_with_exhaustive_on_violations() {
+        let mut h = History::new();
+        let t1 = h.invoke(p(0), transfer(0, 1, 8));
+        h.respond(t1, Response::Transfer(true));
+        let t2 = h.invoke(p(0), transfer(0, 1, 8));
+        h.respond(t2, Response::Transfer(true));
+        let outcome = linearizable_bounded(&h, &ledger(), CheckBudget::nodes(100_000));
+        assert_eq!(outcome, BoundedOutcome::NotLinearizable);
+        assert!(outcome.is_violation());
+    }
+
+    #[test]
+    fn fast_path_is_real_time_sound() {
+        // Response order would be unsound if it ignored a pending op
+        // whose effect was observed: the fast path must fail over to the
+        // full search here (read sees the pending transfer's debit).
+        let mut h = History::new();
+        let _pending = h.invoke(p(0), transfer(0, 1, 4));
+        let r = h.invoke(p(1), read(0));
+        h.respond(r, Response::Read(amt(6)));
+        let outcome = linearizable_bounded(&h, &ledger(), CheckBudget::UNLIMITED);
+        assert!(outcome.is_linearizable());
     }
 
     #[test]

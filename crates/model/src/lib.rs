@@ -55,7 +55,7 @@ pub mod owner;
 pub mod spec;
 pub mod transfer;
 
-pub use check::{linearizable, CheckOutcome};
+pub use check::{linearizable, linearizable_bounded, BoundedOutcome, CheckBudget, CheckOutcome};
 pub use codec::{Decode, Encode, Reader, Writer};
 pub use error::{CodecError, TransferError};
 pub use history::{Event, History, OpId, Operation, Response};

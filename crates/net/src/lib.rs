@@ -52,5 +52,5 @@ pub mod sim;
 pub mod time;
 
 pub use config::{LatencyModel, NetConfig};
-pub use sim::{Actor, Context, LinkFault, SimStats, Simulation};
+pub use sim::{Actor, Context, EntryKind, LinkFault, PendingEntry, SimStats, Simulation};
 pub use time::VirtualTime;

@@ -16,8 +16,7 @@ use crate::time::VirtualTime;
 use at_model::ProcessId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// A deterministic single-threaded protocol participant.
 pub trait Actor {
@@ -162,31 +161,42 @@ impl LinkFault {
     }
 }
 
-struct QueueItem<A: Actor> {
-    at: VirtualTime,
-    sequence: u64,
-    to: ProcessId,
-    entry: Entry<A>,
+/// The kind of a pending queue entry, as exposed to schedule explorers
+/// via [`Simulation::pending`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    /// The one-shot `on_start` invocation of a process.
+    Start,
+    /// A message delivery from `from`.
+    Deliver {
+        /// The sending process.
+        from: ProcessId,
+    },
+    /// A timer expiry.
+    Timer {
+        /// The timer id.
+        timer: u64,
+    },
+    /// An injected command ([`Simulation::schedule`]).
+    Command,
 }
 
-impl<A: Actor> PartialEq for QueueItem<A> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.sequence == other.sequence
-    }
-}
-
-impl<A: Actor> Eq for QueueItem<A> {}
-
-impl<A: Actor> PartialOrd for QueueItem<A> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<A: Actor> Ord for QueueItem<A> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.sequence).cmp(&(other.at, other.sequence))
-    }
+/// One entry of the pending-event frontier ([`Simulation::pending`]).
+///
+/// `sequence` is the entry's stable identity: it is assigned at enqueue
+/// time, never reused, and survives unrelated steps — a schedule recorded
+/// as a list of sequence numbers replays exactly on a fresh simulation
+/// built from the same inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingEntry {
+    /// Stable entry identity (see the type docs).
+    pub sequence: u64,
+    /// The entry's scheduled time.
+    pub at: VirtualTime,
+    /// The process the entry targets.
+    pub to: ProcessId,
+    /// What the entry is.
+    pub kind: EntryKind,
 }
 
 /// The discrete-event simulation over actors of type `A`.
@@ -194,7 +204,14 @@ pub struct Simulation<A: Actor> {
     actors: Vec<A>,
     crashed: Vec<bool>,
     busy_until: Vec<VirtualTime>,
-    queue: BinaryHeap<Reverse<QueueItem<A>>>,
+    /// Pending entries keyed by `(time, sequence)` — the key order *is*
+    /// the default execution order, and arbitrary entries can be removed
+    /// by a schedule controller ([`Simulation::step_entry`]).
+    queue: BTreeMap<(VirtualTime, u64), (ProcessId, Entry<A>)>,
+    /// Side index: entry sequence number → its scheduled time, so
+    /// [`Simulation::step_entry`] resolves a sequence to its queue key in
+    /// `O(log n)` instead of scanning.
+    seq_times: BTreeMap<u64, VirtualTime>,
     sequence: u64,
     now: VirtualTime,
     rng: StdRng,
@@ -221,7 +238,8 @@ impl<A: Actor> Simulation<A> {
             crashed: vec![false; n],
             busy_until: vec![VirtualTime::ZERO; n],
             actors,
-            queue: BinaryHeap::new(),
+            queue: BTreeMap::new(),
+            seq_times: BTreeMap::new(),
             sequence: 0,
             now: VirtualTime::ZERO,
             rng,
@@ -270,6 +288,16 @@ impl<A: Actor> Simulation<A> {
         self.crashed[process.as_usize()]
     }
 
+    /// Restarts a crashed `process`: it resumes handling future entries
+    /// with its in-memory state intact (a warm restart). Entries consumed
+    /// while it was crashed stay lost — the channel model offers no
+    /// retransmission, so a restarted process may permanently miss
+    /// protocol messages; harness invariants that assume complete
+    /// delivery must exclude it.
+    pub fn restart(&mut self, process: ProcessId) {
+        self.crashed[process.as_usize()] = false;
+    }
+
     /// Installs a network partition: messages between processes in
     /// *different* groups are silently dropped (the reliable-channel
     /// assumption is suspended until [`Simulation::heal_partition`]).
@@ -316,6 +344,13 @@ impl<A: Actor> Simulation<A> {
         self.blocked_links.clear();
         self.partition_buffers = false;
         let now = self.now;
+        // Released messages must arrive in per-link FIFO order: each
+        // message's delivery time is clamped to be no earlier than the
+        // previous release on the same directed link (fresh latency
+        // samples would otherwise let a later message overtake an earlier
+        // one). Equal times fall back to enqueue order, which is the
+        // parked (send) order.
+        let mut last_release: BTreeMap<(ProcessId, ProcessId), VirtualTime> = BTreeMap::new();
         for (from, to, msg) in std::mem::take(&mut self.parked) {
             // Released messages traverse the link for real now, so the
             // injected per-link faults apply exactly as they would have
@@ -325,7 +360,13 @@ impl<A: Actor> Simulation<A> {
                 continue;
             };
             let latency = self.config.latency.sample(&mut self.rng) + extra_delay;
-            self.push(now + latency, to, Entry::Deliver { from, msg });
+            let floor = last_release
+                .get(&(from, to))
+                .copied()
+                .unwrap_or(VirtualTime::ZERO);
+            let at = (now + latency).max(floor);
+            last_release.insert((from, to), at);
+            self.push(at, to, Entry::Deliver { from, msg });
         }
     }
 
@@ -395,27 +436,77 @@ impl<A: Actor> Simulation<A> {
     }
 
     fn push(&mut self, at: VirtualTime, to: ProcessId, entry: Entry<A>) {
-        let item = QueueItem {
-            at,
-            sequence: self.sequence,
-            to,
-            entry,
-        };
+        self.queue.insert((at, self.sequence), (to, entry));
+        self.seq_times.insert(self.sequence, at);
         self.sequence += 1;
-        self.queue.push(Reverse(item));
     }
 
-    /// Processes a single queue entry. Returns `false` when the queue is
-    /// exhausted.
-    pub fn step(&mut self) -> bool {
-        let Some(Reverse(item)) = self.queue.pop() else {
+    /// Number of pending queue entries (including entries targeting
+    /// crashed processes, which are consumed as no-ops).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The pending-event frontier, in default execution order, with
+    /// entries targeting crashed processes filtered out (they would be
+    /// no-ops). This is the schedule-controller hook: a harness that
+    /// wants to explore delivery interleavings picks any entry here and
+    /// executes it with [`Simulation::step_entry`] instead of letting
+    /// [`Simulation::step`] follow the time order.
+    pub fn pending(&self) -> Vec<PendingEntry> {
+        self.queue
+            .iter()
+            .filter(|(_, (to, _))| !self.crashed[to.as_usize()])
+            .map(|(&(at, sequence), (to, entry))| PendingEntry {
+                sequence,
+                at,
+                to: *to,
+                kind: match entry {
+                    Entry::Start => EntryKind::Start,
+                    Entry::Deliver { from, .. } => EntryKind::Deliver { from: *from },
+                    Entry::Timer { timer } => EntryKind::Timer { timer: *timer },
+                    Entry::Command { .. } => EntryKind::Command,
+                },
+            })
+            .collect()
+    }
+
+    /// Executes the pending entry identified by `sequence` (as reported
+    /// by [`Simulation::pending`]), regardless of its position in the
+    /// time order. Virtual time stays monotone: executing a later entry
+    /// first advances the clock, and earlier entries then run "late" —
+    /// which is exactly the arbitrary asynchrony a schedule explorer is
+    /// meant to exercise. Returns `false` when no such entry exists.
+    pub fn step_entry(&mut self, sequence: u64) -> bool {
+        let Some(&at) = self.seq_times.get(&sequence) else {
             return false;
         };
-        self.now = self.now.max(item.at);
-        let process = item.to;
+        self.seq_times.remove(&sequence);
+        let (to, entry) = self
+            .queue
+            .remove(&(at, sequence))
+            .expect("queue and seq index in sync");
+        self.execute(at, to, entry);
+        true
+    }
+
+    /// Processes a single queue entry in default `(time, sequence)`
+    /// order. Returns `false` when the queue is exhausted.
+    pub fn step(&mut self) -> bool {
+        let Some((&key, _)) = self.queue.iter().next() else {
+            return false;
+        };
+        let (to, entry) = self.queue.remove(&key).expect("key just found");
+        self.seq_times.remove(&key.1);
+        self.execute(key.0, to, entry);
+        true
+    }
+
+    fn execute(&mut self, at: VirtualTime, process: ProcessId, entry: Entry<A>) {
+        self.now = self.now.max(at);
         let index = process.as_usize();
         if self.crashed[index] {
-            return true;
+            return;
         }
 
         // Single-threaded process model: the handler starts when the
@@ -433,7 +524,7 @@ impl<A: Actor> Simulation<A> {
             extra_cost: VirtualTime::ZERO,
         };
 
-        match item.entry {
+        match entry {
             Entry::Start => self.actors[index].on_start(&mut ctx),
             Entry::Deliver { from, msg } => {
                 self.stats.messages_delivered += 1;
@@ -477,7 +568,6 @@ impl<A: Actor> Simulation<A> {
         for (delay, timer) in timers {
             self.push(done + delay, process, Entry::Timer { timer });
         }
-        true
     }
 
     /// Runs until the queue is empty or `limit` entries were processed.
@@ -494,8 +584,8 @@ impl<A: Actor> Simulation<A> {
 
     /// Runs until virtual time exceeds `deadline` or the queue drains.
     pub fn run_until(&mut self, deadline: VirtualTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some((&(at, _), _)) = self.queue.iter().next() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -840,6 +930,138 @@ mod tests {
             slowed.link_fault(ProcessId::new(0), ProcessId::new(1)),
             None
         );
+    }
+
+    #[test]
+    fn pending_exposes_the_frontier() {
+        let sim = ping_pong_sim(0);
+        let frontier = sim.pending();
+        // Two Start entries, in (time, sequence) order.
+        assert_eq!(frontier.len(), 2);
+        assert_eq!(sim.queue_len(), 2);
+        assert!(frontier.iter().all(|e| e.kind == EntryKind::Start));
+        assert_eq!(frontier[0].to, ProcessId::new(0));
+        assert_eq!(frontier[1].to, ProcessId::new(1));
+        assert!(frontier[0].sequence < frontier[1].sequence);
+    }
+
+    #[test]
+    fn step_entry_executes_out_of_order() {
+        let mut sim = ping_pong_sim(0);
+        let frontier = sim.pending();
+        // Start p1 before p0: nothing happens at p1, then p0's start
+        // sends the first ping.
+        assert!(sim.step_entry(frontier[1].sequence));
+        assert!(sim.step_entry(frontier[0].sequence));
+        let frontier = sim.pending();
+        assert_eq!(frontier.len(), 1);
+        assert!(matches!(
+            frontier[0].kind,
+            EntryKind::Deliver { from } if from == ProcessId::new(0)
+        ));
+        // Unknown sequence numbers are rejected.
+        assert!(!sim.step_entry(u64::MAX));
+        // Driving the rest via chosen entries completes the exchange.
+        while let Some(entry) = sim.pending().first().copied() {
+            assert!(sim.step_entry(entry.sequence));
+        }
+        assert_eq!(sim.actor(ProcessId::new(0)).completed, 5);
+    }
+
+    #[test]
+    fn chosen_schedules_replay_identically() {
+        // Picking the *last* frontier entry each time is a schedule; the
+        // recorded sequence numbers replay to the same final state.
+        let run = |record: Option<&mut Vec<u64>>, replay: Option<&[u64]>| -> (u64, VirtualTime) {
+            let mut sim = ping_pong_sim(5);
+            match (record, replay) {
+                (Some(record), None) => {
+                    while let Some(entry) = sim.pending().last().copied() {
+                        record.push(entry.sequence);
+                        sim.step_entry(entry.sequence);
+                    }
+                }
+                (None, Some(schedule)) => {
+                    for &sequence in schedule {
+                        assert!(sim.step_entry(sequence));
+                    }
+                }
+                _ => unreachable!(),
+            }
+            (sim.actor(ProcessId::new(0)).completed, sim.now())
+        };
+        let mut schedule = Vec::new();
+        let first = run(Some(&mut schedule), None);
+        let second = run(None, Some(&schedule));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn restart_resumes_a_crashed_process() {
+        let mut sim = ping_pong_sim(7);
+        let p1 = ProcessId::new(1);
+        sim.crash(p1);
+        assert!(sim.run_until_quiet(1_000));
+        // The ping was consumed by the crash; pending() hides entries to
+        // crashed processes while they are down.
+        assert_eq!(sim.actor(ProcessId::new(0)).completed, 0);
+        sim.restart(p1);
+        assert!(!sim.is_crashed(p1));
+        // A re-injected ping now completes the remaining rounds: the
+        // restarted process kept its state but lost the crashed-away
+        // delivery for good.
+        sim.schedule(sim.now(), ProcessId::new(0), |_actor, ctx| {
+            ctx.send(ProcessId::new(1), Msg::Ping(1));
+        });
+        assert!(sim.run_until_quiet(1_000));
+        assert_eq!(sim.actor(ProcessId::new(0)).completed, 5);
+    }
+
+    #[test]
+    fn healed_partition_preserves_per_link_fifo_order() {
+        // High jitter would happily reorder fresh latency samples; the
+        // heal-time clamp must keep each link's parked messages in send
+        // order anyway.
+        struct Collector {
+            received: Vec<u64>,
+        }
+        impl Actor for Collector {
+            type Msg = u64;
+            type Event = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, u64, ()>) {
+                if ctx.me() == ProcessId::new(0) {
+                    for i in 0..20 {
+                        ctx.send(ProcessId::new(1), i);
+                    }
+                }
+            }
+            fn on_message(&mut self, _: ProcessId, msg: u64, _: &mut Context<'_, u64, ()>) {
+                self.received.push(msg);
+            }
+        }
+        let config = NetConfig {
+            latency: LatencyModel {
+                base: VirtualTime::from_micros(10),
+                jitter: VirtualTime::from_millis(50),
+            },
+            processing_cost: VirtualTime::ZERO,
+            send_cost: VirtualTime::ZERO,
+            seed: 23,
+        };
+        let actors = vec![
+            Collector { received: vec![] },
+            Collector { received: vec![] },
+        ];
+        let mut sim = Simulation::new(actors, config);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        sim.set_partition_buffered(&[&[p0], &[p1]]);
+        assert!(sim.run_until_quiet(1_000));
+        assert_eq!(sim.stats().messages_parked, 20);
+        sim.heal_partition();
+        assert!(sim.run_until_quiet(1_000));
+        let received = &sim.actor(p1).received;
+        assert_eq!(*received, (0..20).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -108,6 +108,38 @@ fn overspender_scenario_rejected_by_every_replica() {
     assert_eq!(report.completed, 5 * scenario.waves);
 }
 
+/// The satellite requirement — replayability: running any standard-suite
+/// scenario twice with the same seed yields *identical* `SuiteReport`s
+/// (every field, and the rendered table byte for byte), on every backend
+/// and on the PBFT baseline. This is the property the schedule explorer
+/// depends on: hidden nondeterminism (HashMap iteration order, ambient
+/// randomness) would surface here as a diff before it could corrupt a
+/// replayed counterexample.
+#[test]
+fn standard_suite_reruns_are_byte_identical() {
+    use at_engine::{format_reports, run_suite, BaselineEngine};
+    for backend in [
+        BroadcastBackend::Bracha,
+        BroadcastBackend::signed_echo(),
+        BroadcastBackend::account_order(),
+    ] {
+        let engine = ConsensuslessEngine::new(EngineConfig::standard().with_backend(backend));
+        let first = run_suite(&engine, 19);
+        let second = run_suite(&engine, 19);
+        assert_eq!(
+            first, second,
+            "{backend:?}: suite reports differ across reruns"
+        );
+        assert_eq!(
+            format_reports(&first),
+            format_reports(&second),
+            "{backend:?}: rendered suite tables differ across reruns"
+        );
+    }
+    let baseline = BaselineEngine::default();
+    assert_eq!(run_suite(&baseline, 19), run_suite(&baseline, 19));
+}
+
 /// Link faults from the DSL reach the simulator: dropped messages are
 /// counted, and a delayed link stretches the run.
 #[test]

@@ -1,0 +1,48 @@
+//! Integration tests of the `at-check` schedule explorer: the standard
+//! check scenarios survive exploration on every production backend, and
+//! exploration itself is deterministic. (The seeded-mutation catch is
+//! feature-gated — `cargo test -p at-check --features broken` and CI's
+//! `explore --smoke` gate cover it — so the deliberately broken hooks
+//! stay out of default workspace builds.)
+
+use at_check::{explore, standard_check_scenarios, CheckBackend, ExploreBudget};
+
+/// Every standard scenario × every production backend: many distinct
+/// interleavings, zero violations, zero budget-exhausted checks.
+#[test]
+fn standard_scenarios_survive_exploration_on_every_backend() {
+    let budget = ExploreBudget::quick();
+    for scenario in &standard_check_scenarios() {
+        for backend in CheckBackend::all() {
+            let report = explore(scenario, backend, &budget);
+            assert!(
+                report.violations.is_empty(),
+                "{} on {}:\n{}",
+                scenario.name,
+                backend.label(),
+                report.violations[0]
+            );
+            assert_eq!(report.unknown, 0, "{}/{}", scenario.name, backend.label());
+            assert!(
+                report.distinct_schedules >= 4,
+                "{}/{}: only {} distinct schedules",
+                scenario.name,
+                backend.label(),
+                report.distinct_schedules
+            );
+        }
+    }
+}
+
+/// Exploring the same scenario twice under the same budget yields the
+/// same schedules and the same verdicts — counterexamples replay.
+#[test]
+fn exploration_is_deterministic() {
+    let scenario = &standard_check_scenarios()[0];
+    let budget = ExploreBudget::quick();
+    let first = explore(scenario, CheckBackend::Bracha, &budget);
+    let second = explore(scenario, CheckBackend::Bracha, &budget);
+    assert_eq!(first.executions, second.executions);
+    assert_eq!(first.distinct_schedules, second.distinct_schedules);
+    assert_eq!(first.violations.len(), second.violations.len());
+}
