@@ -1,0 +1,331 @@
+//! Experiment **T5**: the real-cluster load generator.
+//!
+//! Every other experiment in this workspace measures *virtual* time in
+//! the deterministic simulator. This one boots an N-node at-node
+//! cluster on loopback TCP — real threads, real sockets, the versioned
+//! wire protocol — hammers it through pipelining TCP clients driven by
+//! the scenario subsystem's workload distributions, and reports
+//! *wall-clock* committed throughput and latency percentiles to
+//! `BENCH_t5.json`, asserting byte-identical final balances across all
+//! replicas.
+//!
+//! Run with `cargo run -p at-bench --bin loadgen --release`. Flags:
+//!
+//! * `--smoke` — CI shape: small cluster, ~2s measurement, asserts
+//!   convergence and nonzero committed throughput;
+//! * `--duration-secs N` (default 10), `--nodes N` (default 4),
+//!   `--backend echo|bracha|acctorder` (default echo),
+//!   `--batch N` (default 128), `--window-us N` (default 1000),
+//!   `--pipeline N` (default 256), `--hotspot` (mixed workload with a
+//!   hot sink instead of uniform rotation).
+
+use at_bench::{t5_json, T5Report};
+use at_broadcast::auth::NoAuth;
+use at_broadcast::bracha::BrachaBroadcast;
+use at_broadcast::echo::EchoBroadcast;
+use at_broadcast::{AccountOrderBackend, SecureBroadcast};
+use at_engine::replica::EnginePayload;
+use at_engine::{percentiles, EngineConfig, Workload};
+use at_model::codec::{Decode, Encode};
+use at_model::{AccountId, Amount, ProcessId};
+use at_net::VirtualTime;
+use at_node::{await_convergence, start_tcp_cluster, Client, NodeConfig, ResponseBody, TcpOptions};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    smoke: bool,
+    duration: Duration,
+    nodes: usize,
+    backend: String,
+    batch: usize,
+    window_us: u64,
+    pipeline: usize,
+    hotspot: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| argv.iter().any(|a| a == name);
+    let value = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    let smoke = flag("--smoke");
+    Args {
+        smoke,
+        duration: Duration::from_secs(
+            value("--duration-secs")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(if smoke { 2 } else { 10 }),
+        ),
+        nodes: value("--nodes").and_then(|v| v.parse().ok()).unwrap_or(4),
+        backend: value("--backend").unwrap_or_else(|| "echo".into()),
+        batch: value("--batch").and_then(|v| v.parse().ok()).unwrap_or(128),
+        window_us: value("--window-us")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_000),
+        pipeline: value("--pipeline")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256),
+        hotspot: flag("--hotspot"),
+    }
+}
+
+/// One client thread's tally.
+struct ClientTally {
+    submitted: u64,
+    committed: u64,
+    rejected: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Closed-loop pipelined client: keep up to `pipeline` transfers in
+/// flight, tally commit latencies, stop on signal, then drain.
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    addr: std::net::SocketAddr,
+    i: usize,
+    n: usize,
+    workload: Workload,
+    amount: Amount,
+    pipeline: usize,
+    stop: Arc<AtomicBool>,
+    seed: u64,
+) -> ClientTally {
+    let mut client = Client::connect(addr).expect("client connect");
+    let mut tally = ClientTally {
+        submitted: 0,
+        committed: 0,
+        rejected: 0,
+        latencies_us: Vec::new(),
+    };
+    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
+    let mut wave = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        // Fill the pipeline.
+        while client.outstanding() < pipeline as u64 {
+            let Some(dest) = workload.destination(seed, wave, i, n) else {
+                wave += 1;
+                continue;
+            };
+            wave += 1;
+            let id = client.submit_transfer(dest, amount).expect("submit");
+            in_flight.insert(id, Instant::now());
+            tally.submitted += 1;
+        }
+        drain(
+            &mut client,
+            &mut in_flight,
+            &mut tally,
+            Duration::from_millis(20),
+            false,
+        );
+    }
+    // Stop submitting; collect everything still in flight.
+    drain(
+        &mut client,
+        &mut in_flight,
+        &mut tally,
+        Duration::from_secs(30),
+        true,
+    );
+    tally
+}
+
+fn drain(
+    client: &mut Client,
+    in_flight: &mut HashMap<u64, Instant>,
+    tally: &mut ClientTally,
+    timeout: Duration,
+    to_empty: bool,
+) {
+    let deadline = Instant::now() + timeout;
+    while client.outstanding() > 0 {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return;
+        }
+        match client.recv_response(remaining.min(Duration::from_millis(50))) {
+            Ok(Some(response)) => {
+                match response.body {
+                    ResponseBody::Committed { .. } => {
+                        tally.committed += 1;
+                        if let Some(at) = in_flight.remove(&response.id) {
+                            tally.latencies_us.push(at.elapsed().as_micros() as u64);
+                        }
+                    }
+                    ResponseBody::Rejected { .. } => {
+                        tally.rejected += 1;
+                        in_flight.remove(&response.id);
+                    }
+                    ResponseBody::Balance { .. } => {}
+                }
+                if !to_empty {
+                    return; // freed one slot; go refill the pipeline
+                }
+            }
+            Ok(None) => {
+                if !to_empty {
+                    return;
+                }
+            }
+            Err(err) => panic!("client io error: {err}"),
+        }
+    }
+}
+
+fn run<B, F>(args: &Args, make: F) -> T5Report
+where
+    B: SecureBroadcast<EnginePayload> + 'static,
+    B::Msg: Encode + Decode + Send + 'static,
+    F: Fn(ProcessId) -> B,
+{
+    let n = args.nodes;
+    // Deep pockets so admission never starves under pipelining skew.
+    let initial = Amount::new(1_000_000_000);
+    let engine =
+        EngineConfig::sharded_batched(4, args.batch, VirtualTime::from_micros(args.window_us));
+    let config = NodeConfig::new(engine, initial);
+    let mut cluster =
+        start_tcp_cluster(n, config, TcpOptions::default(), make).expect("cluster start");
+    let workload = if args.hotspot {
+        Workload::Mixed {
+            sink: AccountId::new(0),
+            percent_sink: 30,
+        }
+    } else {
+        Workload::Uniform
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let pipeline = args.pipeline;
+    let started = Instant::now();
+    let client_threads: Vec<_> = cluster
+        .client_addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let addr = *addr;
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                client_loop(addr, i, n, workload, Amount::new(1), pipeline, stop, 42)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(args.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut submitted = 0;
+    let mut committed = 0;
+    let mut rejected = 0;
+    let mut latencies: Vec<u64> = Vec::new();
+    for thread in client_threads {
+        let tally = thread.join().expect("client thread");
+        submitted += tally.submitted;
+        committed += tally.committed;
+        rejected += tally.rejected;
+        latencies.extend(tally.latencies_us);
+    }
+    let elapsed = started.elapsed();
+
+    // Convergence: every replica reaches the same digest and balances.
+    let handles: Vec<_> = cluster.running().collect();
+    let reports = await_convergence(&handles, Duration::from_secs(60));
+    let (converged, digest, dropped) = match &reports {
+        Some(reports) => {
+            let identical = reports
+                .windows(2)
+                .all(|w| w[0].balances == w[1].balances && w[0].digest == w[1].digest);
+            let dropped = reports.iter().map(|r| r.dropped_frames).sum();
+            (identical, reports[0].digest, dropped)
+        }
+        None => (false, 0, 0),
+    };
+    drop(handles);
+    cluster.stop_all();
+
+    let (p50, p99) = percentiles(&mut latencies);
+    T5Report {
+        backend: args.backend.clone(),
+        n,
+        batch: args.batch,
+        window_us: args.window_us,
+        pipeline: args.pipeline,
+        duration_ms: elapsed.as_millis() as u64,
+        submitted,
+        committed,
+        rejected,
+        throughput_tps: committed as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        latency_p50_us: p50,
+        latency_p99_us: p99,
+        converged,
+        balance_digest: digest,
+        dropped_frames: dropped,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let n = args.nodes;
+    println!(
+        "# T5 — real-cluster loadgen: {} nodes, {} backend, batch {} / {}µs window, \
+         pipeline {}, {:?} measurement",
+        n, args.backend, args.batch, args.window_us, args.pipeline, args.duration
+    );
+
+    let report = match args.backend.as_str() {
+        "echo" => run(&args, |me| {
+            EchoBroadcast::<EnginePayload, NoAuth>::new(me, n, NoAuth)
+        }),
+        "bracha" => run(&args, |me| BrachaBroadcast::<EnginePayload>::new(me, n)),
+        "acctorder" => run(&args, |me| {
+            AccountOrderBackend::<EnginePayload, NoAuth>::new(me, n, NoAuth)
+        }),
+        other => {
+            eprintln!("unknown backend {other:?} (echo|bracha|acctorder)");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "committed {} of {} ({} rejected) in {}ms -> {:.0} tps, p50 {}µs, p99 {}µs, \
+         converged={}, dropped_frames={}",
+        report.committed,
+        report.submitted,
+        report.rejected,
+        report.duration_ms,
+        report.throughput_tps,
+        report.latency_p50_us,
+        report.latency_p99_us,
+        report.converged,
+        report.dropped_frames,
+    );
+
+    let json = t5_json(&report, args.smoke);
+    std::fs::write("BENCH_t5.json", &json).expect("write BENCH_t5.json");
+    println!("wrote BENCH_t5.json ({} bytes)", json.len());
+
+    // Hard gates: the reliable regime and replica agreement always hold;
+    // throughput must be nonzero in smoke and ≥ 10k tps in a full run on
+    // the default shape.
+    assert!(report.converged, "replicas did not converge");
+    assert_eq!(report.dropped_frames, 0, "transport dropped frames");
+    assert!(report.committed > 0, "nothing committed");
+    assert_eq!(
+        report.submitted,
+        report.committed + report.rejected,
+        "transfers stranded without an acknowledgement"
+    );
+    if !args.smoke && args.backend == "echo" && n == 4 {
+        assert!(
+            report.throughput_tps >= 10_000.0,
+            "below the 10k tps bar: {:.0}",
+            report.throughput_tps
+        );
+    }
+}

@@ -467,6 +467,70 @@ pub fn format_row(label: &str, result: &EvalResult) -> String {
     )
 }
 
+/// The measured outcome of one **T5** real-cluster loadgen run
+/// (`loadgen` bin): wall-clock numbers from the at-node TCP runtime, as
+/// opposed to every other experiment's virtual time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct T5Report {
+    /// Broadcast backend label.
+    pub backend: String,
+    /// Cluster size.
+    pub n: usize,
+    /// Batch size cap per replica.
+    pub batch: usize,
+    /// Batch window in microseconds.
+    pub window_us: u64,
+    /// Per-client pipelining window (max outstanding transfers).
+    pub pipeline: usize,
+    /// Wall-clock measurement duration (ms).
+    pub duration_ms: u64,
+    /// Transfers submitted by all clients.
+    pub submitted: u64,
+    /// Transfers acknowledged committed.
+    pub committed: u64,
+    /// Transfers rejected at admission.
+    pub rejected: u64,
+    /// Committed transfers per wall-clock second.
+    pub throughput_tps: f64,
+    /// Median submit→commit-ack latency (µs, wall clock).
+    pub latency_p50_us: u64,
+    /// 99th-percentile latency (µs, wall clock).
+    pub latency_p99_us: u64,
+    /// Whether every replica converged to byte-identical balances.
+    pub converged: bool,
+    /// Ledger digest of replica 0 after convergence.
+    pub balance_digest: u64,
+    /// Frames dropped across all transports (0 = reliable regime held).
+    pub dropped_frames: u64,
+}
+
+/// Renders a [`T5Report`] as `BENCH_t5.json` (hand-rolled, no serde).
+pub fn t5_json(report: &T5Report, smoke: bool) -> String {
+    format!(
+        "{{\n  \"experiment\": \"T5 real-cluster loadgen (at-node, loopback TCP)\",\n  \
+         \"smoke\": {smoke},\n  \"backend\": \"{}\",\n  \"n\": {},\n  \"batch\": {},\n  \
+         \"window_us\": {},\n  \"pipeline\": {},\n  \"duration_ms\": {},\n  \
+         \"submitted\": {},\n  \"committed\": {},\n  \"rejected\": {},\n  \
+         \"throughput_tps\": {:.1},\n  \"latency_p50_us\": {},\n  \"latency_p99_us\": {},\n  \
+         \"converged\": {},\n  \"balance_digest\": {},\n  \"dropped_frames\": {}\n}}\n",
+        report.backend,
+        report.n,
+        report.batch,
+        report.window_us,
+        report.pipeline,
+        report.duration_ms,
+        report.submitted,
+        report.committed,
+        report.rejected,
+        report.throughput_tps,
+        report.latency_p50_us,
+        report.latency_p99_us,
+        report.converged,
+        report.balance_digest,
+        report.dropped_frames,
+    )
+}
+
 /// The markdown table header matching [`format_row`].
 pub fn table_header() -> String {
     [
@@ -482,6 +546,33 @@ mod tests {
 
     fn small() -> EvalConfig {
         EvalConfig::standard(4, 2, 1)
+    }
+
+    #[test]
+    fn t5_json_is_well_formed() {
+        let report = T5Report {
+            backend: "echo".into(),
+            n: 4,
+            batch: 128,
+            window_us: 1000,
+            pipeline: 256,
+            duration_ms: 10_000,
+            submitted: 123_456,
+            committed: 123_000,
+            rejected: 0,
+            throughput_tps: 12_300.0,
+            latency_p50_us: 2_500,
+            latency_p99_us: 9_000,
+            converged: true,
+            balance_digest: 42,
+            dropped_frames: 0,
+        };
+        let json = t5_json(&report, false);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"experiment\": \"T5 real-cluster loadgen"));
+        assert!(json.contains("\"throughput_tps\": 12300.0"));
+        assert!(json.contains("\"converged\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //!   protocols behind one interface (the engine runtime is generic over
 //!   it), plus the [`AccountOrderBackend`] adapter;
 //! * [`types`] — delivery/step plumbing, the source-order buffer, and
-//!   the [`CryptoOps`] signature-work counters.
+//!   the [`CryptoOps`] signature-work counters;
+//! * [`wire`] — canonical [`at_model::codec`] encodings for every
+//!   protocol message enum, so the state machines can ride a real byte
+//!   transport (`at-node`) unchanged.
 //!
 //! # Example
 //!
@@ -48,6 +51,7 @@ pub mod bracha;
 pub mod echo;
 pub mod secure;
 pub mod types;
+pub mod wire;
 
 pub use account_order::{AccountDelivery, AccountOrderBroadcast, AccountOrderMsg};
 pub use auth::{Authenticator, EdAuth, NoAuth};

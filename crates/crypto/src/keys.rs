@@ -9,6 +9,7 @@
 use crate::edwards::EdwardsPoint;
 use crate::scalar::Scalar;
 use crate::sha2::Sha512;
+use at_model::codec::{Decode, Encode, Reader, Writer};
 use at_model::ProcessId;
 use rand::{CryptoRng, RngCore};
 use std::error::Error;
@@ -126,6 +127,20 @@ impl Signature {
         out[..32].copy_from_slice(&self.r);
         out[32..].copy_from_slice(&self.s);
         out
+    }
+}
+
+impl Encode for Signature {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.r);
+        w.put_bytes(&self.s);
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, at_model::CodecError> {
+        let bytes = <[u8; SIGNATURE_LEN]>::decode(r)?;
+        Ok(Signature::from_bytes(&bytes))
     }
 }
 
@@ -295,6 +310,17 @@ mod tests {
 
     fn keypair() -> Keypair {
         Keypair::from_seed(&[7u8; 32])
+    }
+
+    #[test]
+    fn signature_codec_roundtrips() {
+        let sig = keypair().sign(b"wire");
+        let bytes = at_model::codec::encode(&sig);
+        assert_eq!(bytes.len(), SIGNATURE_LEN);
+        let back: Signature = at_model::codec::decode(&bytes).expect("decode");
+        assert_eq!(back, sig);
+        // Truncated input errors instead of panicking.
+        assert!(at_model::codec::decode::<Signature>(&bytes[..40]).is_err());
     }
 
     #[test]

@@ -72,6 +72,6 @@ pub use probe::{
     TimedEvent,
 };
 pub use replica::{DefaultEngineBroadcast, EngineEvent, EngineMsg, EnginePayload, ShardedReplica};
-pub use scenario::{Adversary, Fault, NetProfile, Scenario, ScenarioReport, Workload};
+pub use scenario::{percentiles, Adversary, Fault, NetProfile, Scenario, ScenarioReport, Workload};
 pub use shard::{ShardError, ShardMap, ShardStats, ShardedLedger};
 pub use suite::{format_reports, run_suite, standard_suite};

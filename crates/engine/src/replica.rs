@@ -369,6 +369,22 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
         &self.broadcast
     }
 
+    /// Flushes any window-batched transfers immediately and clears the
+    /// armed-timer latch.
+    ///
+    /// Recovery hook for real runtimes: `flush_armed` assumes the armed
+    /// `FLUSH_TIMER` will always fire, which the simulator guarantees
+    /// but a warm restart does not — a resumed replica whose timer died
+    /// with the old process would otherwise never flush (or re-arm for)
+    /// the batch it was accumulating. `at_node::Node::resume` calls this
+    /// once on startup; the simulator never needs it.
+    pub fn flush_pending(&mut self, ctx: &mut Context<'_, B::Msg, EngineEvent>) {
+        self.flush_armed = false;
+        if let Some(batch) = self.batcher.flush() {
+            self.broadcast_batch(batch, ctx);
+        }
+    }
+
     fn absorb(
         &mut self,
         step: Step<B::Msg, EnginePayload>,
@@ -512,10 +528,7 @@ impl<B: SecureBroadcast<EnginePayload>> Actor for ShardedReplica<B> {
 
     fn on_timer(&mut self, timer: u64, ctx: &mut Context<'_, Self::Msg, Self::Event>) {
         if timer == FLUSH_TIMER {
-            self.flush_armed = false;
-            if let Some(batch) = self.batcher.flush() {
-                self.broadcast_batch(batch, ctx);
-            }
+            self.flush_pending(ctx);
         }
     }
 }
@@ -858,6 +871,50 @@ mod tests {
         assert!(
             costly > free,
             "modelled signature CPU must stretch the run: {costly:?} vs {free:?}"
+        );
+    }
+
+    /// Regression (found wiring the real event loop in at-node): an
+    /// armed flush window is replica state, but the timer itself lives
+    /// in the runtime — a warm restart loses it, and without recovery
+    /// the accumulating batch would be stranded forever (`flush_armed`
+    /// stays true, so submissions never re-arm). `flush_pending` is the
+    /// recovery hook; driven here exactly the way a real runtime drives
+    /// it, through a detached context.
+    #[test]
+    fn flush_pending_recovers_a_lost_window_timer() {
+        let config = EngineConfig::sharded_batched(2, 8, VirtualTime::from_millis(1));
+        let mut replica = ShardedReplica::new(p(0), 4, amt(100), config);
+        let mut events = Vec::new();
+        let mut ctx = Context::detached(VirtualTime::ZERO, p(0), 4, &mut events);
+        replica.submit(a(1), amt(5), &mut ctx);
+        let outputs = ctx.into_outputs();
+        // The submission armed the window: nothing broadcast yet.
+        assert!(outputs.outbox.is_empty());
+        assert_eq!(outputs.timers.len(), 1);
+        assert!(!events
+            .iter()
+            .any(|(_, _, e)| matches!(e, EngineEvent::BatchBroadcast { .. })));
+
+        // The runtime restarts: the armed timer is gone. Recovery must
+        // flush the stranded batch.
+        let mut ctx = Context::detached(VirtualTime::ZERO, p(0), 4, &mut events);
+        replica.flush_pending(&mut ctx);
+        let outputs = ctx.into_outputs();
+        assert!(!outputs.outbox.is_empty(), "stranded batch never flushed");
+        assert!(events
+            .iter()
+            .any(|(_, _, e)| matches!(e, EngineEvent::BatchBroadcast { size: 1 })));
+
+        // And the latch is clear: the next submission arms a fresh
+        // window instead of relying on the dead timer.
+        let mut ctx = Context::detached(VirtualTime::ZERO, p(0), 4, &mut events);
+        replica.submit(a(2), amt(5), &mut ctx);
+        let outputs = ctx.into_outputs();
+        assert_eq!(
+            outputs.timers.len(),
+            1,
+            "window not re-armed after recovery"
         );
     }
 

@@ -225,6 +225,16 @@ pub fn decode<T: Decode>(bytes: &[u8]) -> Result<T, CodecError> {
     Ok(value)
 }
 
+impl Encode for () {
+    fn encode(&self, _w: &mut Writer) {}
+}
+
+impl Decode for () {
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
 impl Encode for u8 {
     fn encode(&self, w: &mut Writer) {
         w.put_u8(*self);
@@ -420,6 +430,15 @@ mod tests {
         roundtrip(false);
         roundtrip(String::from("hello, κόσμος"));
         roundtrip(String::new());
+    }
+
+    #[test]
+    fn unit_encodes_to_nothing() {
+        assert!(encode(&()).is_empty());
+        decode::<()>(&[]).expect("unit decodes from empty input");
+        // A unit inside a container consumes no bytes either.
+        assert_eq!(encode(&vec![(), (), ()]).len(), 8);
+        roundtrip(vec![(), (), ()]);
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //! * [`Actor`] — a single-threaded protocol participant (message and
 //!   timer handlers);
 //! * [`Simulation`] — the event loop: deterministic, crash-injectable,
-//!   command-injectable, with message statistics.
+//!   command-injectable, with message statistics;
+//! * [`Transport`] — the reliable frame-mesh abstraction a *real*
+//!   runtime implements to carry the same actors over OS threads and
+//!   sockets (implementations live in `at-node`; [`Context::detached`]
+//!   is the matching hook for driving an [`Actor`] outside the
+//!   simulator).
 //!
 //! Byzantine behaviour is modelled *in the actors* (an equivocating
 //! process simply is a different actor implementation); the network is
@@ -50,7 +55,11 @@
 pub mod config;
 pub mod sim;
 pub mod time;
+pub mod transport;
 
 pub use config::{LatencyModel, NetConfig};
-pub use sim::{Actor, Context, EntryKind, LinkFault, PendingEntry, SimStats, Simulation};
+pub use sim::{
+    Actor, Context, ContextOutputs, EntryKind, LinkFault, PendingEntry, SimStats, Simulation,
+};
 pub use time::VirtualTime;
+pub use transport::{InboundFrame, RecvOutcome, Transport};

@@ -55,6 +55,55 @@ pub struct Context<'a, M, E> {
     extra_cost: VirtualTime,
 }
 
+/// The buffered outputs of one detached [`Context`] invocation
+/// ([`Context::into_outputs`]): everything the simulator would have
+/// turned into queue entries, handed back to the caller instead.
+#[derive(Debug)]
+pub struct ContextOutputs<M> {
+    /// Messages to transmit, in send order.
+    pub outbox: Vec<(ProcessId, M)>,
+    /// Timers armed during the invocation, as `(delay, timer_id)`.
+    pub timers: Vec<(VirtualTime, u64)>,
+    /// Extra processing cost charged via [`Context::charge`].
+    pub charged: VirtualTime,
+}
+
+impl<'a, M, E> Context<'a, M, E> {
+    /// A detached context, for driving an [`Actor`] *outside* the
+    /// simulator — the hook that lets a real runtime (`at-node`) run the
+    /// same sans-I/O state machines on OS threads and sockets. The caller
+    /// provides the clock reading and the event sink, invokes the actor,
+    /// then collects sends and timers with [`Context::into_outputs`] and
+    /// routes them itself.
+    pub fn detached(
+        now: VirtualTime,
+        me: ProcessId,
+        n: usize,
+        events: &'a mut Vec<(VirtualTime, ProcessId, E)>,
+    ) -> Self {
+        Context {
+            now,
+            me,
+            n,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            events,
+            extra_cost: VirtualTime::ZERO,
+        }
+    }
+
+    /// Consumes the context, returning the buffered sends, timers, and
+    /// charged cost. (The simulator never calls this — it destructures
+    /// internally; detached callers must, or the outputs are lost.)
+    pub fn into_outputs(self) -> ContextOutputs<M> {
+        ContextOutputs {
+            outbox: self.outbox,
+            timers: self.timers,
+            charged: self.extra_cost,
+        }
+    }
+}
+
 impl<M: Clone, E> Context<'_, M, E> {
     /// Current virtual time.
     pub fn now(&self) -> VirtualTime {
@@ -1062,6 +1111,34 @@ mod tests {
         assert!(sim.run_until_quiet(1_000));
         let received = &sim.actor(p1).received;
         assert_eq!(*received, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn detached_context_buffers_outputs() {
+        let mut events: Vec<(VirtualTime, ProcessId, u64)> = Vec::new();
+        let mut ctx: Context<'_, u32, u64> = Context::detached(
+            VirtualTime::from_micros(5),
+            ProcessId::new(1),
+            3,
+            &mut events,
+        );
+        assert_eq!(ctx.me(), ProcessId::new(1));
+        assert_eq!(ctx.n(), 3);
+        assert_eq!(ctx.now(), VirtualTime::from_micros(5));
+        ctx.send(ProcessId::new(2), 7);
+        ctx.send_all(11);
+        ctx.set_timer(VirtualTime::from_millis(1), 0xF00);
+        ctx.charge(VirtualTime::from_micros(9));
+        ctx.emit(42);
+        let outputs = ctx.into_outputs();
+        assert_eq!(outputs.outbox.len(), 4);
+        assert_eq!(outputs.outbox[0], (ProcessId::new(2), 7));
+        assert_eq!(outputs.timers, vec![(VirtualTime::from_millis(1), 0xF00)]);
+        assert_eq!(outputs.charged, VirtualTime::from_micros(9));
+        assert_eq!(
+            events,
+            vec![(VirtualTime::from_micros(5), ProcessId::new(1), 42)]
+        );
     }
 
     #[test]

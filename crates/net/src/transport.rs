@@ -1,0 +1,94 @@
+//! The [`Transport`] abstraction: a reliable frame mesh between `n`
+//! processes.
+//!
+//! The protocols in this workspace are sans-I/O state machines; the
+//! [`crate::Simulation`] moves their *typed* messages in virtual time,
+//! and a real runtime moves their *encoded* messages over some byte
+//! transport. This trait is the seam between the two worlds: a node
+//! runtime (`at-node`) encodes backend messages into opaque frames and
+//! hands them to a `Transport`, which owns delivery.
+//!
+//! # Delivery contract
+//!
+//! An implementation must deliver each accepted frame **at most once
+//! per endpoint incarnation** and **in per-link FIFO order** (frames
+//! from the same sender arrive in send order). Across a warm restart
+//! the guarantee weakens at the edge: frames the previous incarnation
+//! accepted but had not yet acknowledged may be replayed to the new
+//! one, so consumers that keep state across restarts must tolerate
+//! duplicates at the protocol level (the broadcast backends do, via
+//! their per-source sequence cursors). An implementation should deliver
+//! *exactly* once whenever the peer is reachable within its buffering
+//! capacity — the paper's reliable authenticated channel — and must
+//! surface any capacity-forced loss via
+//! [`Transport::dropped_frames`] so harnesses can assert the reliable
+//! regime actually held. Sender identity follows the simulator's
+//! authenticated-channels assumption: `from` in a received frame is
+//! taken at face value, frame *contents* are not. How strongly `from`
+//! is actually authenticated is the implementation's documented trust
+//! model (the in-process mesh enforces it by construction; the TCP
+//! transport trusts its network segment — see its module docs).
+//!
+//! Two implementations live in `at-node`: an in-process channel mesh for
+//! tests and a TCP transport with per-peer reader/writer threads,
+//! reconnect, and bounded outboxes.
+
+use at_model::ProcessId;
+use std::time::Duration;
+
+/// One frame received from the mesh.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InboundFrame {
+    /// The authenticated sending process.
+    pub from: ProcessId,
+    /// The opaque frame payload (untrusted bytes).
+    pub payload: Vec<u8>,
+}
+
+/// Outcome of a [`Transport::recv_timeout`] call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// A frame arrived.
+    Frame(InboundFrame),
+    /// No frame arrived within the timeout.
+    TimedOut,
+    /// The transport has shut down; no further frames will arrive.
+    Closed,
+}
+
+/// A reliable frame mesh between `n` processes (see the module docs for
+/// the delivery contract).
+pub trait Transport: Send {
+    /// This endpoint's process identity.
+    fn me(&self) -> ProcessId;
+
+    /// Number of processes in the mesh.
+    fn n(&self) -> usize;
+
+    /// Queues `payload` for delivery to `to`. Must not be called with
+    /// `to == me()` — runtimes loop self-addressed messages back
+    /// internally, above the transport. Bounded implementations may
+    /// block briefly (backpressure) and, as a last resort, drop the
+    /// frame and count it in [`Transport::dropped_frames`].
+    fn send(&mut self, to: ProcessId, payload: Vec<u8>);
+
+    /// Waits up to `timeout` for the next frame.
+    fn recv_timeout(&mut self, timeout: Duration) -> RecvOutcome;
+
+    /// Frames dropped by this endpoint because buffering capacity was
+    /// exhausted (0 in the reliable regime).
+    fn dropped_frames(&self) -> u64 {
+        0
+    }
+
+    /// Whether every accepted frame has verifiably reached its peer
+    /// (nothing left to flush). Synchronous transports are always
+    /// flushed; buffered ones report their replay windows empty.
+    fn is_flushed(&self) -> bool {
+        true
+    }
+
+    /// Releases transport resources (threads, sockets). Further `send`s
+    /// are silently discarded.
+    fn shutdown(&mut self) {}
+}

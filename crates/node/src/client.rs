@@ -1,0 +1,152 @@
+//! The TCP client library: connect to a node's client gateway, pipeline
+//! transfers, track acknowledgements, read balances.
+//!
+//! A [`Client`] is deliberately synchronous and single-threaded —
+//! submissions return as soon as the request frame is written
+//! (*pipelining*), and responses are pulled with
+//! [`Client::recv_response`] whenever the caller wants them. The client
+//! tracks how many transfer requests are still unacknowledged
+//! ([`Client::outstanding`]), which is all a closed-loop load generator
+//! needs to cap its in-flight window.
+
+use crate::wire::{
+    encode_frame, ClientOp, ClientRequest, ClientResponse, Frame, FrameBuffer, ResponseBody,
+};
+use at_model::{AccountId, Amount};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A connection to one node's client gateway.
+pub struct Client {
+    stream: TcpStream,
+    buffer: FrameBuffer,
+    next_id: u64,
+    outstanding: u64,
+}
+
+impl Client {
+    /// Connects and performs the `HelloClient` handshake.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        (&stream).write_all(&encode_frame(&Frame::HelloClient))?;
+        Ok(Client {
+            stream,
+            buffer: FrameBuffer::new(),
+            next_id: 0,
+            outstanding: 0,
+        })
+    }
+
+    /// Submits a transfer without waiting for its outcome; returns the
+    /// request id the eventual [`ResponseBody::Committed`] /
+    /// [`ResponseBody::Rejected`] response will echo.
+    pub fn submit_transfer(
+        &mut self,
+        destination: AccountId,
+        amount: Amount,
+    ) -> std::io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = Frame::Request(ClientRequest {
+            id,
+            op: ClientOp::Transfer {
+                destination,
+                amount,
+            },
+        });
+        (&self.stream).write_all(&encode_frame(&frame))?;
+        self.outstanding += 1;
+        Ok(id)
+    }
+
+    /// Transfer requests submitted but not yet answered.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    /// Waits up to `timeout` for the next response (any pipelined
+    /// request); `Ok(None)` on timeout. Transfer outcomes decrement
+    /// [`Client::outstanding`].
+    pub fn recv_response(&mut self, timeout: Duration) -> std::io::Result<Option<ClientResponse>> {
+        let deadline = Instant::now() + timeout;
+        let mut chunk = [0u8; crate::wire::READ_CHUNK];
+        loop {
+            match self.buffer.next_frame() {
+                Ok(Some(Frame::Response(response))) => {
+                    if matches!(
+                        response.body,
+                        ResponseBody::Committed { .. } | ResponseBody::Rejected { .. }
+                    ) {
+                        self.outstanding = self.outstanding.saturating_sub(1);
+                    }
+                    return Ok(Some(response));
+                }
+                Ok(Some(_)) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "non-response frame from node",
+                    ))
+                }
+                Ok(None) => {}
+                Err(err) => return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, err)),
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            match (&self.stream).read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "node closed the connection",
+                    ))
+                }
+                Ok(read) => self.buffer.extend(&chunk[..read]),
+                Err(err)
+                    if err.kind() == std::io::ErrorKind::WouldBlock
+                        || err.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// Reads `account`'s balance as seen by the connected node (a
+    /// synchronous round trip). Pipelined transfer acknowledgements that
+    /// arrive first are consumed and counted, not lost.
+    pub fn read_balance(
+        &mut self,
+        account: AccountId,
+        timeout: Duration,
+    ) -> std::io::Result<Amount> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = Frame::Request(ClientRequest {
+            id,
+            op: ClientOp::Read { account },
+        });
+        (&self.stream).write_all(&encode_frame(&frame))?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "no balance response",
+                ));
+            }
+            match self.recv_response(remaining)? {
+                Some(ClientResponse {
+                    id: got,
+                    body: ResponseBody::Balance { amount },
+                }) if got == id => return Ok(amount),
+                Some(_) => continue,
+                None => continue,
+            }
+        }
+    }
+}

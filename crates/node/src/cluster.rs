@@ -1,0 +1,174 @@
+//! Cluster helpers: spin up N nodes in one process, over the channel
+//! mesh or real loopback TCP, and wait for convergence.
+
+use crate::gateway::ClientGateway;
+use crate::mesh::channel_mesh;
+use crate::node::{Node, NodeConfig, NodeHandle, NodeReport};
+use crate::tcp::{peer_directory, PeerDirectory, TcpOptions, TcpTransport};
+use at_broadcast::SecureBroadcast;
+use at_engine::replica::EnginePayload;
+use at_engine::ShardedReplica;
+use at_model::codec::{Decode, Encode};
+use at_model::ProcessId;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+/// A running TCP loopback cluster.
+pub struct TcpCluster<B: SecureBroadcast<EnginePayload>> {
+    /// One handle per node, in process order. Entries can be taken
+    /// (stopped/restarted) individually.
+    pub handles: Vec<Option<NodeHandle<B>>>,
+    /// The live peer-address directory (restarted nodes re-register).
+    pub directory: PeerDirectory,
+    /// The client gateway address of each node.
+    pub client_addrs: Vec<SocketAddr>,
+    config: NodeConfig,
+    options: TcpOptions,
+}
+
+/// Starts `n` nodes over in-process channels (no sockets); `make` builds
+/// each node's broadcast backend.
+pub fn start_mesh_cluster<B, F>(n: usize, config: NodeConfig, make: F) -> Vec<NodeHandle<B>>
+where
+    B: SecureBroadcast<EnginePayload> + 'static,
+    B::Msg: Encode + Decode + Send + 'static,
+    F: Fn(ProcessId) -> B,
+{
+    channel_mesh(n, 65_536)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mesh)| {
+            let me = ProcessId::new(i as u32);
+            Node::start(me, n, config, make(me), mesh, None)
+        })
+        .collect()
+}
+
+/// Starts `n` nodes over loopback TCP, each with a client gateway;
+/// `make` builds each node's broadcast backend.
+pub fn start_tcp_cluster<B, F>(
+    n: usize,
+    config: NodeConfig,
+    options: TcpOptions,
+    make: F,
+) -> std::io::Result<TcpCluster<B>>
+where
+    B: SecureBroadcast<EnginePayload> + 'static,
+    B::Msg: Encode + Decode + Send + 'static,
+    F: Fn(ProcessId) -> B,
+{
+    let mut listeners = Vec::with_capacity(n);
+    let mut peer_addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        peer_addrs.push(listener.local_addr()?);
+        listeners.push(listener);
+    }
+    let directory = peer_directory(peer_addrs);
+    let mut handles = Vec::with_capacity(n);
+    let mut client_addrs = Vec::with_capacity(n);
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let me = ProcessId::new(i as u32);
+        let transport =
+            TcpTransport::start(me, listener, std::sync::Arc::clone(&directory), options)?;
+        let gateway = ClientGateway::bind("127.0.0.1:0")?;
+        client_addrs.push(gateway.local_addr()?);
+        handles.push(Some(Node::start(
+            me,
+            n,
+            config,
+            make(me),
+            transport,
+            Some(gateway),
+        )));
+    }
+    Ok(TcpCluster {
+        handles,
+        directory,
+        client_addrs,
+        config,
+        options,
+    })
+}
+
+impl<B> TcpCluster<B>
+where
+    B: SecureBroadcast<EnginePayload> + 'static,
+    B::Msg: Encode + Decode + Send + 'static,
+{
+    /// Stops node `i` gracefully and returns its warm replica state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if node `i` is already stopped.
+    pub fn stop_node(&mut self, i: usize) -> ShardedReplica<B> {
+        self.handles[i].take().expect("node already stopped").stop()
+    }
+
+    /// Restarts node `i` from warm replica state on a fresh port
+    /// (announced through the live directory; peers reconnect and
+    /// replay everything it missed) with a fresh client gateway.
+    pub fn restart_node(&mut self, i: usize, replica: ShardedReplica<B>) -> std::io::Result<()> {
+        assert!(self.handles[i].is_none(), "node {i} is still running");
+        let me = replica.me();
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        self.directory.lock().expect("directory poisoned")[i] = listener.local_addr()?;
+        let transport = TcpTransport::start(
+            me,
+            listener,
+            std::sync::Arc::clone(&self.directory),
+            self.options,
+        )?;
+        let gateway = ClientGateway::bind("127.0.0.1:0")?;
+        self.client_addrs[i] = gateway.local_addr()?;
+        self.handles[i] = Some(Node::resume(replica, self.config, transport, Some(gateway)));
+        Ok(())
+    }
+
+    /// The running node handles.
+    pub fn running(&self) -> impl Iterator<Item = &NodeHandle<B>> {
+        self.handles.iter().filter_map(Option::as_ref)
+    }
+
+    /// Stops every running node.
+    pub fn stop_all(&mut self) {
+        for slot in &mut self.handles {
+            if let Some(handle) = slot.take() {
+                handle.stop();
+            }
+        }
+    }
+}
+
+/// Polls `handles` until every replica reports the same ledger digest
+/// twice in a row with empty pending queues (quiescent convergence),
+/// returning the final reports — or `None` on timeout. (Runtime
+/// counters like `applied` are deliberately not compared: they reset on
+/// a warm restart; the digest is the replica-state ground truth.)
+pub fn await_convergence<B>(
+    handles: &[&NodeHandle<B>],
+    timeout: Duration,
+) -> Option<Vec<NodeReport>>
+where
+    B: SecureBroadcast<EnginePayload>,
+{
+    let deadline = Instant::now() + timeout;
+    let mut previous: Option<Vec<NodeReport>> = None;
+    loop {
+        let reports: Vec<NodeReport> = handles.iter().map(|h| h.report()).collect();
+        let digests_equal = reports.windows(2).all(|w| w[0].digest == w[1].digest);
+        let quiescent = reports.iter().all(|r| r.pending == 0);
+        if digests_equal && quiescent {
+            if previous.as_ref() == Some(&reports) {
+                return Some(reports);
+            }
+            previous = Some(reports);
+        } else {
+            previous = None;
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

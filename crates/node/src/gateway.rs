@@ -1,0 +1,174 @@
+//! The client-facing TCP listener of a node.
+//!
+//! Clients speak the same frame protocol as peers ([`crate::wire`]) on a
+//! separate listener: a `HelloClient` handshake, then pipelined
+//! `Request` frames in and `Response` frames out. Each accepted
+//! connection gets a reader thread (requests → node loop) and a writer
+//! thread (responses ← node loop, via the connection registry); client
+//! bytes are untrusted, and a malformed stream terminates only its own
+//! connection.
+
+use crate::wire::{encode_frame, ClientRequest, ClientResponse, Frame, FrameBuffer};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An event surfaced to the node loop by the gateway.
+pub(crate) enum GatewayEvent {
+    /// A client sent a request.
+    Request {
+        /// Connection id (routes the response).
+        conn: u64,
+        /// The request.
+        request: ClientRequest,
+    },
+    /// A client connection ended.
+    Gone {
+        /// Connection id to unregister.
+        conn: u64,
+    },
+}
+
+/// A bound-but-not-yet-serving client listener; pass to `Node::start`.
+pub struct ClientGateway {
+    listener: TcpListener,
+}
+
+/// Stops a running gateway's accept loop (used by the node loop at
+/// shutdown).
+pub(crate) struct GatewayStop {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+    join: JoinHandle<()>,
+}
+
+impl GatewayStop {
+    pub(crate) fn stop(self) {
+        self.flag.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        let _ = self.join.join();
+    }
+}
+
+impl ClientGateway {
+    /// Binds the client listener (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<ClientGateway> {
+        Ok(ClientGateway {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts serving: accepts client connections, registers their
+    /// response channels in `registry`, and forwards requests through
+    /// `deliver`.
+    pub(crate) fn run(
+        self,
+        conn_counter: Arc<AtomicU64>,
+        registry: Arc<Mutex<HashMap<u64, Sender<ClientResponse>>>>,
+        deliver: impl Fn(GatewayEvent) + Send + Clone + 'static,
+    ) -> GatewayStop {
+        let flag = Arc::new(AtomicBool::new(false));
+        let addr = self
+            .listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let accept_flag = Arc::clone(&flag);
+        let join = std::thread::Builder::new()
+            .name("at-node-gateway".into())
+            .spawn(move || {
+                for stream in self.listener.incoming() {
+                    if accept_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn = conn_counter.fetch_add(1, Ordering::Relaxed);
+                    let (tx, rx) = channel::<ClientResponse>();
+                    registry.lock().expect("registry poisoned").insert(conn, tx);
+                    // Writer: responses out. Exits when the registry
+                    // entry is removed (channel disconnects) or the
+                    // socket breaks.
+                    if let Ok(write_stream) = stream.try_clone() {
+                        let _ = std::thread::Builder::new()
+                            .name("at-node-client-writer".into())
+                            .spawn(move || {
+                                while let Ok(response) = rx.recv() {
+                                    let bytes = encode_frame(&Frame::Response(response));
+                                    if (&write_stream).write_all(&bytes).is_err() {
+                                        break;
+                                    }
+                                }
+                                let _ = write_stream.shutdown(std::net::Shutdown::Both);
+                            });
+                    }
+                    // Reader: requests in.
+                    let deliver = deliver.clone();
+                    let reader_flag = Arc::clone(&accept_flag);
+                    let _ = std::thread::Builder::new()
+                        .name("at-node-client-reader".into())
+                        .spawn(move || {
+                            client_reader(stream, conn, &deliver, &reader_flag);
+                            deliver(GatewayEvent::Gone { conn });
+                        });
+                }
+            })
+            .expect("spawn gateway accept loop");
+        GatewayStop { flag, addr, join }
+    }
+}
+
+/// Reads one client connection until EOF, error, malformed input, or
+/// gateway shutdown.
+fn client_reader(
+    stream: TcpStream,
+    conn: u64,
+    deliver: &impl Fn(GatewayEvent),
+    shutdown: &AtomicBool,
+) {
+    if stream.set_nodelay(true).is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .is_err()
+    {
+        return;
+    }
+    let mut buffer = FrameBuffer::new();
+    let mut chunk = [0u8; crate::wire::READ_CHUNK];
+    let mut greeted = false;
+    loop {
+        loop {
+            match buffer.next_frame() {
+                Ok(Some(Frame::HelloClient)) if !greeted => greeted = true,
+                Ok(Some(Frame::Request(request))) if greeted => {
+                    deliver(GatewayEvent::Request { conn, request });
+                }
+                Ok(Some(_)) => return, // protocol violation
+                Ok(None) => break,
+                Err(_) => return, // malformed stream
+            }
+        }
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match (&stream).read(&mut chunk) {
+            Ok(0) => return,
+            Ok(read) => buffer.extend(&chunk[..read]),
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # at-node — the deployable replica runtime
+//!
+//! Everything below `at-engine` is sans-I/O by design: the broadcast
+//! protocols and the sharded replica fill [`at_broadcast::Step`]s and
+//! run equally under the deterministic simulator or — this crate — on
+//! real OS threads and TCP sockets. `at-node` is that second runtime:
+//! the paper's claim that asset transfer needs only secure broadcast,
+//! served as a process you can deploy, load, kill, and restart.
+//!
+//! * [`wire`] — the versioned binary wire protocol: length-prefixed
+//!   frames, peer handshake/data/ack frames, client request/response
+//!   frames, all total on untrusted input;
+//! * [`mesh`] / [`tcp`] — the two [`at_net::Transport`] implementations:
+//!   an in-process channel mesh for tests, and TCP with per-peer
+//!   reader/writer threads, reconnect, bounded replayed outboxes
+//!   (backpressure, not silent loss), and sequence-numbered frame
+//!   dedup — the reliable channel the protocols assume;
+//! * [`node`] — the [`Node`] event loop: drains transport frames,
+//!   client requests, and wall-clock batch timers into the replica
+//!   through a detached [`at_net::Context`], with frame decoding
+//!   sharded across worker threads by source process;
+//! * [`gateway`] / [`client`] — the client side: a per-node TCP
+//!   gateway, and a pipelining [`Client`] library with
+//!   acknowledgement tracking;
+//! * [`cluster`] — N-node loopback clusters (mesh or TCP) and the
+//!   [`await_convergence`] poll used by tests and the `loadgen` bench.
+//!
+//! See [`Node`] for a runnable three-node cluster example, and the
+//! README's *Running a real cluster* section for the TCP story.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod gateway;
+pub mod mesh;
+pub mod node;
+pub mod tcp;
+pub mod wire;
+
+pub use client::Client;
+pub use cluster::{await_convergence, start_mesh_cluster, start_tcp_cluster, TcpCluster};
+pub use gateway::ClientGateway;
+pub use mesh::{channel_mesh, ChannelMesh};
+pub use node::{LocalClient, Node, NodeConfig, NodeHandle, NodeReport};
+pub use tcp::{peer_directory, PeerDirectory, TcpOptions, TcpTransport};
+pub use wire::{
+    ClientOp, ClientRequest, ClientResponse, Frame, FrameBuffer, ResponseBody, WireError,
+    MAX_FRAME_LEN, WIRE_VERSION,
+};

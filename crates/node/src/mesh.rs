@@ -1,0 +1,190 @@
+//! In-process channel mesh: the [`Transport`] used by tests and
+//! single-process clusters.
+//!
+//! [`channel_mesh`] wires `n` endpoints pairwise over bounded in-memory
+//! queues. Delivery is per-link FIFO and lossless while every endpoint
+//! lives and keeps draining; a full queue applies *bounded*
+//! backpressure and then drops with a count, and sending to a dropped
+//! endpoint counts the frame as dropped — the same observable contract
+//! as the TCP transport, without sockets.
+
+use at_model::ProcessId;
+use at_net::transport::{InboundFrame, RecvOutcome, Transport};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
+
+/// How long a full inbox applies backpressure before the frame is
+/// dropped and counted. Bounded for the same reason as
+/// [`crate::tcp::TcpOptions::backpressure_timeout`]: two node loops
+/// blocking unboundedly on each other's full inboxes would deadlock the
+/// cluster.
+const BACKPRESSURE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One endpoint of an in-process mesh (see [`channel_mesh`]).
+pub struct ChannelMesh {
+    me: ProcessId,
+    /// Senders into every endpoint's inbox, indexed by process.
+    peers: Vec<SyncSender<InboundFrame>>,
+    inbox: Receiver<InboundFrame>,
+    dropped: u64,
+    closed: bool,
+}
+
+/// Builds a fully connected mesh of `n` endpoints whose inboxes hold up
+/// to `capacity` frames each.
+pub fn channel_mesh(n: usize, capacity: usize) -> Vec<ChannelMesh> {
+    assert!(n >= 1, "at least one endpoint");
+    assert!(capacity >= 1, "capacity must be positive");
+    let mut senders = Vec::with_capacity(n);
+    let mut inboxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = sync_channel(capacity);
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+    inboxes
+        .into_iter()
+        .enumerate()
+        .map(|(i, inbox)| ChannelMesh {
+            me: ProcessId::new(i as u32),
+            peers: senders.clone(),
+            inbox,
+            dropped: 0,
+            closed: false,
+        })
+        .collect()
+}
+
+impl Transport for ChannelMesh {
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn send(&mut self, to: ProcessId, payload: Vec<u8>) {
+        debug_assert_ne!(
+            to, self.me,
+            "self frames are looped back above the transport"
+        );
+        if self.closed {
+            return;
+        }
+        let mut frame = InboundFrame {
+            from: self.me,
+            payload,
+        };
+        // Bounded backpressure (std's SyncSender has no send_timeout):
+        // retry a non-blocking send until the deadline, then drop and
+        // count — never block the node loop unboundedly.
+        let deadline = Instant::now() + BACKPRESSURE_TIMEOUT;
+        loop {
+            match self.peers[to.as_usize()].try_send(frame) {
+                Ok(()) => return,
+                Err(TrySendError::Full(back)) => {
+                    if Instant::now() >= deadline {
+                        self.dropped += 1;
+                        return;
+                    }
+                    frame = back;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.dropped += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> RecvOutcome {
+        if self.closed {
+            return RecvOutcome::Closed;
+        }
+        match self.inbox.recv_timeout(timeout) {
+            Ok(frame) => RecvOutcome::Frame(frame),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
+            // All senders gone (every peer endpoint dropped, including
+            // our own clone): nothing can ever arrive again.
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
+        }
+    }
+
+    fn dropped_frames(&self) -> u64 {
+        self.dropped
+    }
+
+    fn shutdown(&mut self) {
+        self.closed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn frames_flow_between_endpoints_in_fifo_order() {
+        let mut mesh = channel_mesh(3, 16);
+        let mut c = mesh.pop().unwrap();
+        let mut b = mesh.pop().unwrap();
+        let mut a = mesh.pop().unwrap();
+        assert_eq!(a.me(), p(0));
+        assert_eq!(a.n(), 3);
+        a.send(p(1), vec![1]);
+        a.send(p(1), vec![2]);
+        c.send(p(1), vec![3]);
+        for expected_from_a in [vec![1u8], vec![2]] {
+            match b.recv_timeout(Duration::from_secs(1)) {
+                RecvOutcome::Frame(frame) if frame.from == p(0) => {
+                    assert_eq!(frame.payload, expected_from_a);
+                }
+                RecvOutcome::Frame(frame) => {
+                    assert_eq!(frame.from, p(2));
+                    assert_eq!(frame.payload, vec![3]);
+                }
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        assert_eq!(a.dropped_frames(), 0);
+    }
+
+    #[test]
+    fn recv_times_out_when_idle() {
+        let mut mesh = channel_mesh(2, 4);
+        let mut a = mesh.remove(0);
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(1)),
+            RecvOutcome::TimedOut
+        );
+    }
+
+    #[test]
+    fn sending_to_a_dropped_endpoint_counts_frames() {
+        let mut mesh = channel_mesh(2, 4);
+        let _gone = mesh.remove(1);
+        drop(_gone);
+        let mut a = mesh.remove(0);
+        a.send(p(1), vec![9]);
+        assert_eq!(a.dropped_frames(), 1);
+    }
+
+    #[test]
+    fn shutdown_closes_the_endpoint() {
+        let mut mesh = channel_mesh(2, 4);
+        let mut a = mesh.remove(0);
+        a.shutdown();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(1)),
+            RecvOutcome::Closed
+        );
+        a.send(p(1), vec![1]); // silently discarded
+        assert_eq!(a.dropped_frames(), 0);
+    }
+}

@@ -1,0 +1,821 @@
+//! The TCP [`Transport`]: length-prefixed frames over reconnecting
+//! sockets, with per-peer reader/writer threads and bounded, replayed
+//! outboxes.
+//!
+//! # Topology
+//!
+//! Every node listens on one address and *dials* every other node; an
+//! ordered pair of nodes therefore uses one dedicated connection per
+//! direction (the dialer writes `Data`, the acceptor writes
+//! acknowledgements back on the same socket). This keeps reconnect
+//! logic trivial — the dialer owns it — at the cost of `2·(n−1)`
+//! sockets per node, irrelevant at cluster sizes.
+//!
+//! # Reliability layer
+//!
+//! TCP guarantees ordered delivery *per connection*; a reconnect can
+//! lose frames that were written but never read. The broadcast
+//! protocols above assume reliable channels, so the transport adds a
+//! thin replay layer, the same mechanism as the simulator's buffered
+//! partitions (`at_net::Simulation::set_partition_buffered`):
+//!
+//! * every `Data` frame carries a per-link sequence number; the sender
+//!   keeps frames in a bounded outbox until cumulatively acknowledged
+//!   ([`crate::wire::Frame::DataAck`]), and replays unacknowledged
+//!   frames after a reconnect (the acceptor's
+//!   [`crate::wire::Frame::HelloAck`] names the resume point);
+//! * the receiver deduplicates by sequence number, so overlapping
+//!   connections and replays deliver each frame at most once;
+//! * a full outbox applies backpressure (the sending node loop blocks up
+//!   to [`TcpOptions::backpressure_timeout`]) and only then drops,
+//!   counting the loss in [`Transport::dropped_frames`] — `0` there
+//!   certifies the reliable-channel regime held for the whole run.
+//!
+//! A node that stops and warm-restarts (see `Node::stop`) begins a new
+//! transport *epoch*: its outbox numbering restarts at 0 and peers reset
+//! their expectations on the epoch change, while the restarting node
+//! resynchronises to each peer's live numbering on the first frame of a
+//! connection.
+//!
+//! Frames from the network are untrusted: malformed bodies, wrong
+//! versions, and oversized length prefixes terminate the offending
+//! connection (the dialer will reconnect and replay) without panicking.
+//!
+//! # Trust model
+//!
+//! The peer listener realises the paper's *authenticated channels* the
+//! way the simulator does: by construction, not cryptography. A
+//! `HelloNode` identity is believed, so any process that can reach the
+//! peer port can claim a cluster identity, reset its dedup epoch, and
+//! inject or force-replay frames for it. Deploy the peer mesh only on
+//! a network where every endpoint is a cluster member (loopback here;
+//! a private segment in production). `EdAuth` backends authenticate
+//! *payloads* end-to-end — forged protocol messages are rejected above
+//! the transport — but transport framing itself is unauthenticated.
+
+use crate::wire::{encode_frame, Frame, FrameBuffer};
+use at_model::ProcessId;
+use at_net::transport::{InboundFrame, RecvOutcome, Transport};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Tuning knobs of the TCP transport.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpOptions {
+    /// Unacknowledged frames kept per peer before backpressure.
+    pub outbox_capacity: usize,
+    /// Received frames buffered for the node loop before the reader
+    /// threads pause (end-to-end backpressure: an unacked frame is
+    /// replayed, so pausing here pushes back into peers' outboxes
+    /// instead of growing memory without bound).
+    pub inbox_capacity: usize,
+    /// How long a full outbox blocks the sender before dropping a frame.
+    pub backpressure_timeout: Duration,
+    /// Delay between reconnect attempts to an unreachable peer.
+    pub reconnect_delay: Duration,
+    /// Acknowledge after this many received frames (acks also flush
+    /// whenever the read side goes idle, so quiescent links drain).
+    pub ack_interval: u64,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            outbox_capacity: 65_536,
+            inbox_capacity: 65_536,
+            backpressure_timeout: Duration::from_secs(5),
+            reconnect_delay: Duration::from_millis(20),
+            ack_interval: 64,
+        }
+    }
+}
+
+/// Sender-side state of one directed link: the replay window.
+struct OutboxState {
+    /// Unacknowledged `(seq, encoded frame)` entries, contiguous seqs.
+    queue: VecDeque<(u64, Arc<Vec<u8>>)>,
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Frames dropped because the window stayed full past the timeout.
+    dropped: u64,
+    closed: bool,
+}
+
+struct Outbox {
+    state: Mutex<OutboxState>,
+    /// Signalled on enqueue (writer waits for work) and on prune
+    /// (enqueuers wait for space).
+    cv: Condvar,
+}
+
+impl Outbox {
+    fn new() -> Self {
+        Outbox {
+            state: Mutex::new(OutboxState {
+                queue: VecDeque::new(),
+                next_seq: 0,
+                dropped: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Queues a payload, blocking on a full window (backpressure) up to
+    /// `timeout`; drops and counts on expiry.
+    fn enqueue(&self, payload: Vec<u8>, capacity: usize, timeout: Duration) {
+        let seq = {
+            let mut state = self.state.lock().expect("outbox poisoned");
+            if state.queue.len() >= capacity {
+                let (next, result) = self
+                    .cv
+                    .wait_timeout_while(state, timeout, |s| !s.closed && s.queue.len() >= capacity)
+                    .expect("outbox poisoned");
+                state = next;
+                if result.timed_out() && state.queue.len() >= capacity {
+                    state.dropped += 1;
+                    return;
+                }
+            }
+            if state.closed {
+                return;
+            }
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            seq
+        };
+        // Encode off the lock: `Transport::send` takes `&mut self`, so
+        // this is the only enqueuer and the reserved seq is pushed in
+        // order even though the lock is dropped in between. The writer
+        // waiting on the reserved-but-unpushed seq simply sleeps on the
+        // condvar until the push lands.
+        let frame = encode_frame(&Frame::Data { seq, payload });
+        let mut state = self.state.lock().expect("outbox poisoned");
+        if state.closed {
+            return;
+        }
+        state.queue.push_back((seq, Arc::new(frame)));
+        self.cv.notify_all();
+    }
+
+    /// Removes every entry with `seq <= through` (cumulative ack).
+    fn prune(&self, through: u64) {
+        let mut state = self.state.lock().expect("outbox poisoned");
+        while state.queue.front().is_some_and(|(seq, _)| *seq <= through) {
+            state.queue.pop_front();
+        }
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("outbox poisoned").closed = true;
+        self.cv.notify_all();
+    }
+
+    fn is_flushed(&self) -> bool {
+        self.state.lock().expect("outbox poisoned").queue.is_empty()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.state.lock().expect("outbox poisoned").dropped
+    }
+}
+
+/// A cluster's live peer-address directory, shared by every endpoint.
+///
+/// Writers re-read their peer's address on every reconnect attempt, so
+/// a node that restarts on a *different* port only has to update its
+/// directory slot — reusing the exact port would otherwise trip over
+/// TIME_WAIT remnants of the previous incarnation's connections
+/// (`std::net` sets no `SO_REUSEADDR`). In a multi-process deployment
+/// the directory is simply each process's static view of the cluster's
+/// listen addresses.
+pub type PeerDirectory = Arc<Mutex<Vec<SocketAddr>>>;
+
+/// Builds a directory from the given listen addresses.
+pub fn peer_directory(addrs: Vec<SocketAddr>) -> PeerDirectory {
+    Arc::new(Mutex::new(addrs))
+}
+
+/// Receiver-side per-peer state: epoch + dedup cursor.
+#[derive(Clone, Copy, Default)]
+struct RecvState {
+    epoch: Option<u64>,
+    /// Next expected sequence number from this peer.
+    next: u64,
+}
+
+struct Shared {
+    me: ProcessId,
+    n: usize,
+    options: TcpOptions,
+    epoch: u64,
+    incoming: SyncSender<InboundFrame>,
+    recv: Mutex<Vec<RecvState>>,
+    outboxes: Vec<Arc<Outbox>>,
+    shutdown: AtomicBool,
+    /// Connections terminated for malformed/unexpected frames —
+    /// diagnostics only, *not* loss: a peer link that drops here
+    /// reconnects and replays, and stranger junk never carried data.
+    poisoned_conns: AtomicU64,
+}
+
+/// The TCP transport endpoint (see the module docs).
+pub struct TcpTransport {
+    shared: Arc<Shared>,
+    inbox: Receiver<InboundFrame>,
+    listen_addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl TcpTransport {
+    /// Starts the endpoint for node `me`: accepts peers on `listener`
+    /// and dials `directory[j]` for every `j != me` (re-reading the
+    /// directory on every reconnect attempt). `directory[me]` is
+    /// ignored — callers store the listener's own address there.
+    pub fn start(
+        me: ProcessId,
+        listener: TcpListener,
+        directory: PeerDirectory,
+        options: TcpOptions,
+    ) -> std::io::Result<TcpTransport> {
+        let n = directory.lock().expect("directory poisoned").len();
+        assert!(me.as_usize() < n, "process id out of range");
+        let listen_addr = listener.local_addr()?;
+        let (incoming, inbox) = sync_channel(options.inbox_capacity.max(1));
+        let epoch = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or(Duration::ZERO)
+            .as_nanos() as u64;
+        let shared = Arc::new(Shared {
+            me,
+            n,
+            options,
+            epoch,
+            incoming,
+            recv: Mutex::new(vec![RecvState::default(); n]),
+            outboxes: (0..n).map(|_| Arc::new(Outbox::new())).collect(),
+            shutdown: AtomicBool::new(false),
+            poisoned_conns: AtomicU64::new(0),
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("at-node-{}-accept", me))
+                    .spawn(move || accept_loop(listener, shared))?,
+            );
+        }
+        for j in 0..n {
+            if j == me.as_usize() {
+                continue;
+            }
+            let shared = Arc::clone(&shared);
+            let directory = Arc::clone(&directory);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("at-node-{}-dial-{}", me, j))
+                    .spawn(move || writer_loop(j, directory, shared))?,
+            );
+        }
+        Ok(TcpTransport {
+            shared,
+            inbox,
+            listen_addr,
+            threads,
+        })
+    }
+
+    /// The address this endpoint accepts peers on.
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.listen_addr
+    }
+}
+
+impl Transport for TcpTransport {
+    fn me(&self) -> ProcessId {
+        self.shared.me
+    }
+
+    fn n(&self) -> usize {
+        self.shared.n
+    }
+
+    fn send(&mut self, to: ProcessId, payload: Vec<u8>) {
+        debug_assert_ne!(
+            to, self.shared.me,
+            "self frames are looped back above the transport"
+        );
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        self.shared.outboxes[to.as_usize()].enqueue(
+            payload,
+            self.shared.options.outbox_capacity,
+            self.shared.options.backpressure_timeout,
+        );
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> RecvOutcome {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(frame) => RecvOutcome::Frame(frame),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
+        }
+    }
+
+    fn dropped_frames(&self) -> u64 {
+        // Only outbox expiry is real loss. Malformed inbound streams
+        // (see `Shared::poisoned_conns`) cost a reconnect-and-replay,
+        // never a frame.
+        self.shared.outboxes.iter().map(|o| o.dropped()).sum()
+    }
+
+    /// Every outbox fully acknowledged — i.e. every frame this endpoint
+    /// ever accepted has verifiably reached its peer's transport.
+    /// `Node::stop` polls this to flush before a warm restart.
+    fn is_flushed(&self) -> bool {
+        let me = self.shared.me.as_usize();
+        self.shared
+            .outboxes
+            .iter()
+            .enumerate()
+            .all(|(j, outbox)| j == me || outbox.is_flushed())
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for outbox in &self.shared.outboxes {
+            outbox.close();
+        }
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.listen_addr, Duration::from_millis(200));
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        if !self.shared.shutdown.load(Ordering::Relaxed) {
+            self.shutdown();
+        }
+    }
+}
+
+/// Accepts inbound connections and spawns a reader per connection.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name(format!("at-node-{}-reader", shared.me))
+            .spawn(move || {
+                let _ = reader_conn(stream, shared);
+            })
+        {
+            readers.push(handle);
+        }
+        readers.retain(|h| !h.is_finished());
+    }
+    for handle in readers {
+        let _ = handle.join();
+    }
+}
+
+/// Handles one accepted connection: handshake, then `Data` frames in,
+/// acknowledgements out.
+fn reader_conn(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Periodic read timeouts let the thread observe shutdown.
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut reader = FrameReader::new(&stream);
+
+    // Handshake: the peer names itself and its epoch.
+    let Some(Frame::HelloNode { node, epoch }) = reader.next(&shared)? else {
+        return Ok(()); // shutdown, junk, or a non-peer connection
+    };
+    if node.as_usize() >= shared.n || node == shared.me {
+        return Ok(());
+    }
+    let peer = node.as_usize();
+    let next = {
+        let mut recv = shared.recv.lock().expect("recv state poisoned");
+        if recv[peer].epoch != Some(epoch) {
+            // New incarnation of the peer: its numbering restarts.
+            recv[peer] = RecvState {
+                epoch: Some(epoch),
+                next: 0,
+            };
+        }
+        recv[peer].next
+    };
+    (&stream).write_all(&encode_frame(&Frame::HelloAck { next_seq: next }))?;
+
+    let mut unacked: u64 = 0;
+    let result = data_loop(&stream, &shared, &mut reader, node, epoch, &mut unacked);
+    if unacked > 0 {
+        // Best-effort final ack: frames this connection delivered but
+        // had not yet acknowledged would otherwise be replayed to our
+        // next incarnation (see the Transport trait's duplicate-delivery
+        // note). An ack that fails to send just widens that window.
+        let _ = send_ack(&stream, &shared, node.as_usize(), epoch);
+    }
+    result
+}
+
+/// Sends one cumulative `DataAck` for `peer`, unless this connection's
+/// epoch has been superseded; returns whether an ack was written.
+fn send_ack(stream: &TcpStream, shared: &Shared, peer: usize, epoch: u64) -> std::io::Result<bool> {
+    let through = {
+        let recv = shared.recv.lock().expect("recv state poisoned");
+        let state = &recv[peer];
+        if state.epoch != Some(epoch) {
+            return Ok(false); // superseded by a newer incarnation
+        }
+        // A delivery happened on this epoch, so the cursor is >= 1.
+        match state.next.checked_sub(1) {
+            Some(through) => through,
+            None => return Ok(false),
+        }
+    };
+    let mut writer = stream;
+    writer.write_all(&encode_frame(&Frame::DataAck { through }))?;
+    Ok(true)
+}
+
+/// The `Data`-frame receive loop of one accepted peer connection.
+fn data_loop(
+    stream: &TcpStream,
+    shared: &Arc<Shared>,
+    reader: &mut FrameReader<'_>,
+    node: ProcessId,
+    epoch: u64,
+    unacked: &mut u64,
+) -> std::io::Result<()> {
+    let peer = node.as_usize();
+    let mut first_data = true;
+    loop {
+        let frame = match reader.next(shared)? {
+            Some(frame) => frame,
+            None => return Ok(()),
+        };
+        let Frame::Data { seq, payload } = frame else {
+            return Ok(()); // protocol violation: drop the connection
+        };
+        let deliver = {
+            let mut recv = shared.recv.lock().expect("recv state poisoned");
+            let state = &mut recv[peer];
+            if state.epoch != Some(epoch) {
+                // The peer restarted and its *new* connection has taken
+                // over this slot: this connection belongs to a dead
+                // incarnation, and acting on its buffered frames would
+                // poison the fresh dedup cursor. Drop it (without the
+                // final ack — the state is no longer ours to vouch for).
+                *unacked = 0;
+                return Ok(());
+            }
+            if seq < state.next {
+                None // replay overlap: already delivered
+            } else if seq == state.next || first_data {
+                // In sequence — or the first frame after our own warm
+                // restart, where the peer's live numbering is ahead of
+                // our reset cursor and we adopt it (the skipped frames
+                // were acknowledged to our previous incarnation).
+                state.next = seq + 1;
+                Some(payload)
+            } else {
+                // A forward gap mid-connection cannot happen on an
+                // ordered stream: the peer is misbehaving.
+                return Ok(());
+            }
+        };
+        first_data = false;
+        if let Some(payload) = deliver {
+            // Bounded hand-off to the node loop: a full inbox pauses
+            // this reader (the frame stays unacked, so the peer's
+            // outbox fills and backpressure propagates end to end)
+            // instead of growing memory without bound.
+            let mut frame = InboundFrame {
+                from: node,
+                payload,
+            };
+            loop {
+                match shared.incoming.try_send(frame) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(back)) => {
+                        if shared.shutdown.load(Ordering::Relaxed) {
+                            return Ok(()); // dying anyway; frame unacked
+                        }
+                        frame = back;
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        return Ok(()); // transport shut down
+                    }
+                }
+            }
+            *unacked += 1;
+        }
+        // Acknowledge on the interval, and whenever the link goes idle
+        // (nothing buffered), so quiescent outboxes drain to empty.
+        if *unacked >= shared.options.ack_interval || (*unacked > 0 && !reader.has_buffered()) {
+            if !send_ack(stream, shared, peer, epoch)? {
+                return Ok(()); // superseded by a newer incarnation
+            }
+            *unacked = 0;
+        }
+    }
+}
+
+/// Dials `peer` at its current directory address, replays the outbox
+/// from the acknowledged point, and streams new frames; reconnects on
+/// any error.
+fn writer_loop(peer: usize, directory: PeerDirectory, shared: Arc<Shared>) {
+    let outbox = Arc::clone(&shared.outboxes[peer]);
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        let addr = directory.lock().expect("directory poisoned")[peer];
+        match writer_conn(addr, &shared, &outbox) {
+            Ok(()) => break, // clean shutdown
+            Err(_) => std::thread::sleep(shared.options.reconnect_delay),
+        }
+    }
+}
+
+fn writer_conn(
+    addr: SocketAddr,
+    shared: &Arc<Shared>,
+    outbox: &Arc<Outbox>,
+) -> std::io::Result<()> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(1))?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    (&stream).write_all(&encode_frame(&Frame::HelloNode {
+        node: shared.me,
+        epoch: shared.epoch,
+    }))?;
+
+    // Read the resume point, then hand the read side to an ack thread.
+    let mut reader = FrameReader::new(&stream);
+    let resume = match reader.next(shared)? {
+        Some(Frame::HelloAck { next_seq }) => next_seq,
+        _ => return Err(std::io::Error::other("handshake failed")),
+    };
+    if resume > 0 {
+        // Everything below the resume point reached the peer already.
+        outbox.prune(resume - 1);
+    }
+
+    let ack_stream = stream.try_clone()?;
+    let ack_shared = Arc::clone(shared);
+    let ack_outbox = Arc::clone(outbox);
+    let ack_handle = std::thread::Builder::new()
+        .name("at-node-acks".into())
+        .spawn(move || {
+            // Same pump as every other frame consumer: FrameReader
+            // handles chunking, timeouts, shutdown, and malformed input.
+            let mut reader = FrameReader::new(&ack_stream);
+            loop {
+                match reader.next(&ack_shared) {
+                    Ok(Some(Frame::DataAck { through })) => ack_outbox.prune(through),
+                    Ok(Some(_)) | Ok(None) | Err(_) => return,
+                }
+            }
+        })
+        .expect("spawn ack thread");
+
+    // Stream frames from `resume` onward, waiting on the outbox when
+    // caught up.
+    let mut cursor = resume;
+    let result = loop {
+        let next: Option<Arc<Vec<u8>>> = {
+            let state = outbox.state.lock().expect("outbox poisoned");
+            if state.closed {
+                break Ok(());
+            }
+            match state.queue.front() {
+                // Our cursor predates the window (the peer warm-restarted
+                // and asked for 0, or acks raced ahead): jump to the
+                // oldest retained frame — everything before it was
+                // acknowledged, to this incarnation or a previous one.
+                Some((front_seq, _)) if cursor < *front_seq => {
+                    cursor = *front_seq;
+                    let bytes = Arc::clone(&state.queue[0].1);
+                    Some(bytes)
+                }
+                Some((front_seq, _)) => {
+                    let offset = (cursor - front_seq) as usize;
+                    state.queue.get(offset).map(|(_, bytes)| Arc::clone(bytes))
+                }
+                None => None,
+            }
+        };
+        match next {
+            Some(bytes) => {
+                if let Err(err) = (&stream).write_all(&bytes) {
+                    break Err(err);
+                }
+                cursor += 1;
+            }
+            None => {
+                let state = outbox.state.lock().expect("outbox poisoned");
+                let (state, _) = outbox
+                    .cv
+                    .wait_timeout(state, Duration::from_millis(100))
+                    .expect("outbox poisoned");
+                if state.closed {
+                    break Ok(());
+                }
+            }
+        }
+    };
+    // Tear the socket down so the ack thread exits promptly.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = ack_handle.join();
+    result
+}
+
+/// Blocking frame reader over a borrowed stream, shutdown-aware.
+struct FrameReader<'a> {
+    stream: &'a TcpStream,
+    buffer: FrameBuffer,
+    chunk: [u8; crate::wire::READ_CHUNK],
+}
+
+impl<'a> FrameReader<'a> {
+    fn new(stream: &'a TcpStream) -> Self {
+        FrameReader {
+            stream,
+            buffer: FrameBuffer::new(),
+            chunk: [0; crate::wire::READ_CHUNK],
+        }
+    }
+
+    /// Whether undecoded bytes are buffered (used to detect read-idle).
+    fn has_buffered(&self) -> bool {
+        self.buffer.buffered() > 0
+    }
+
+    /// Next frame; `Ok(None)` on shutdown, EOF, or a malformed stream
+    /// (the caller drops the connection either way).
+    fn next(&mut self, shared: &Shared) -> std::io::Result<Option<Frame>> {
+        loop {
+            match self.buffer.next_frame() {
+                Ok(Some(frame)) => return Ok(Some(frame)),
+                Ok(None) => {}
+                Err(_) => {
+                    shared.poisoned_conns.fetch_add(1, Ordering::Relaxed);
+                    return Ok(None);
+                }
+            }
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return Ok(None);
+            }
+            match self.stream.read(&mut self.chunk) {
+                Ok(0) => return Ok(None),
+                Ok(read) => self.buffer.extend(&self.chunk[..read]),
+                Err(err)
+                    if err.kind() == std::io::ErrorKind::WouldBlock
+                        || err.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn start_pair() -> (TcpTransport, TcpTransport) {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dir = peer_directory(vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()]);
+        let t0 = TcpTransport::start(p(0), l0, Arc::clone(&dir), TcpOptions::default()).unwrap();
+        let t1 = TcpTransport::start(p(1), l1, dir, TcpOptions::default()).unwrap();
+        (t0, t1)
+    }
+
+    fn recv_frame(t: &mut TcpTransport) -> InboundFrame {
+        for _ in 0..100 {
+            match t.recv_timeout(Duration::from_millis(100)) {
+                RecvOutcome::Frame(frame) => return frame,
+                RecvOutcome::TimedOut => continue,
+                RecvOutcome::Closed => panic!("transport closed"),
+            }
+        }
+        panic!("no frame within 10s");
+    }
+
+    #[test]
+    fn frames_cross_a_socket_in_order() {
+        let (mut t0, mut t1) = start_pair();
+        assert_eq!(t0.me(), p(0));
+        assert_eq!(t0.n(), 2);
+        for i in 0..50u8 {
+            t0.send(p(1), vec![i, i + 1]);
+        }
+        for i in 0..50u8 {
+            let frame = recv_frame(&mut t1);
+            assert_eq!(frame.from, p(0));
+            assert_eq!(frame.payload, vec![i, i + 1]);
+        }
+        t1.send(p(0), vec![99]);
+        assert_eq!(recv_frame(&mut t0).payload, vec![99]);
+        assert_eq!(t0.dropped_frames(), 0);
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    #[test]
+    fn frames_buffered_before_the_peer_exists_arrive_after_it_starts() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dir = peer_directory(vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()]);
+        let opts = TcpOptions {
+            reconnect_delay: Duration::from_millis(5),
+            ..TcpOptions::default()
+        };
+        let mut t0 = TcpTransport::start(p(0), l0, Arc::clone(&dir), opts).unwrap();
+        // Peer 1 does not exist yet: drop its listener and buffer frames.
+        drop(l1);
+        for i in 0..10u8 {
+            t0.send(p(1), vec![i]);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        // Now start peer 1 on a fresh port, announced via the directory.
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        dir.lock().unwrap()[1] = l1.local_addr().unwrap();
+        let mut t1 = TcpTransport::start(p(1), l1, dir, opts).unwrap();
+        for i in 0..10u8 {
+            assert_eq!(recv_frame(&mut t1).payload, vec![i]);
+        }
+        assert_eq!(t0.dropped_frames(), 0);
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    #[test]
+    fn flush_completes_once_acks_arrive() {
+        let (mut t0, mut t1) = start_pair();
+        for i in 0..10u8 {
+            t0.send(p(1), vec![i]);
+        }
+        for _ in 0..10 {
+            recv_frame(&mut t1);
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !t0.is_flushed() {
+            assert!(std::time::Instant::now() < deadline, "outbox never drained");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    #[test]
+    fn garbage_on_the_peer_port_is_survived() {
+        let (mut t0, mut t1) = start_pair();
+        // A stranger writes junk: an oversized length prefix.
+        let mut junk = TcpStream::connect(t0.listen_addr()).unwrap();
+        junk.write_all(&(MAX_JUNK).to_le_bytes()).unwrap();
+        drop(junk);
+        // And a liar claims to be node 7 of 2.
+        let mut liar = TcpStream::connect(t0.listen_addr()).unwrap();
+        liar.write_all(&encode_frame(&Frame::HelloNode {
+            node: p(7),
+            epoch: 1,
+        }))
+        .unwrap();
+        drop(liar);
+        // Real traffic still flows, and junk is not counted as loss
+        // (nothing was actually dropped; poisoned connections replay).
+        t1.send(p(0), vec![42]);
+        assert_eq!(recv_frame(&mut t0).payload, vec![42]);
+        assert_eq!(t0.dropped_frames(), 0);
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    const MAX_JUNK: u32 = crate::wire::MAX_FRAME_LEN + 7;
+}

@@ -1,0 +1,598 @@
+//! The versioned binary wire protocol.
+//!
+//! Everything that crosses a socket in this runtime is a *frame*:
+//!
+//! ```text
+//! [ length: u32 le ][ version: u8 ][ kind: u8 ][ fields ... ]
+//!                    `----------------- body -------------—´
+//! ```
+//!
+//! `length` counts the body bytes and is bounded by [`MAX_FRAME_LEN`];
+//! `version` must equal [`WIRE_VERSION`]; `kind` selects a [`Frame`]
+//! variant; fields use the canonical [`at_model::codec`] encoding.
+//!
+//! Three sub-protocols share the frame namespace:
+//!
+//! * **peer links** (node ↔ node): `HelloNode`/`HelloAck` handshake,
+//!   then `Data` frames carrying link-sequenced protocol bytes with
+//!   `DataAck` flowing back — the reliability layer
+//!   [`crate::tcp::TcpTransport`] builds over reconnecting TCP;
+//! * **client links** (client ↔ node): `HelloClient`, then pipelined
+//!   `Request`/`Response` frames;
+//! * **backend payloads**: the bytes inside `Data` are themselves
+//!   versioned ([`encode_peer_payload`]), so an in-process transport
+//!   that skips the TCP envelope still carries versioned bytes.
+//!
+//! # Robustness contract
+//!
+//! Decoding is total on untrusted input: truncated frames, oversized
+//! length prefixes, wrong version bytes, and unknown kinds all return
+//! [`WireError`] — no panic, and no allocation driven by a declared
+//! length (buffers only grow with bytes actually received). The fuzz
+//! tests in `crates/node/tests/wire_codec.rs` hold this line.
+
+use at_model::codec::{decode, Decode, Encode, Reader, Writer};
+use at_model::{AccountId, Amount, CodecError, ProcessId, SeqNo};
+use std::fmt;
+
+/// Current wire protocol version. Bumped on any incompatible change;
+/// endpoints reject frames with any other value.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Maximum frame body length (8 MiB) — a denial-of-service guard on
+/// untrusted length prefixes, far above any legitimate batch.
+pub const MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
+
+/// Read-chunk size shared by every socket reader in the runtime (peer
+/// links, ack channels, client gateway, client library).
+pub const READ_CHUNK: usize = 16 * 1024;
+
+/// A wire protocol failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// A frame declared a body longer than [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The declared body length.
+        declared: u32,
+    },
+    /// The version byte did not match [`WIRE_VERSION`].
+    BadVersion {
+        /// The version received.
+        got: u8,
+    },
+    /// A frame of an unexpected kind arrived on this link (e.g. a client
+    /// frame on a peer link).
+    UnexpectedFrame {
+        /// What the link expected.
+        expected: &'static str,
+    },
+    /// The body failed canonical decoding.
+    Codec(CodecError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::FrameTooLarge { declared } => {
+                write!(f, "frame body of {declared} bytes exceeds {MAX_FRAME_LEN}")
+            }
+            WireError::BadVersion { got } => {
+                write!(
+                    f,
+                    "wire version {got} (this endpoint speaks {WIRE_VERSION})"
+                )
+            }
+            WireError::UnexpectedFrame { expected } => {
+                write!(f, "unexpected frame kind (expected {expected})")
+            }
+            WireError::Codec(err) => write!(f, "malformed frame body: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(err: CodecError) -> Self {
+        WireError::Codec(err)
+    }
+}
+
+/// A client's request to a node, tagged with a client-chosen pipelining
+/// id echoed in the matching [`ClientResponse`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientRequest {
+    /// Client-chosen request id (echoed in the response).
+    pub id: u64,
+    /// The requested operation.
+    pub op: ClientOp,
+}
+
+/// The operations a client can request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientOp {
+    /// Transfer `amount` from the node's own account to `destination`.
+    Transfer {
+        /// The destination account.
+        destination: AccountId,
+        /// The amount to move.
+        amount: Amount,
+    },
+    /// Read the node's current local balance of `account`.
+    Read {
+        /// The account to read.
+        account: AccountId,
+    },
+}
+
+/// A node's response to one [`ClientRequest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// The request id being answered.
+    pub id: u64,
+    /// The outcome.
+    pub body: ResponseBody,
+}
+
+/// Outcome of a client operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponseBody {
+    /// The transfer was admitted, broadcast, and validated locally
+    /// (Figure 4's `return true`) — sent when the replica completes it.
+    Committed {
+        /// The transfer's sequence number at the submitting replica.
+        seq: SeqNo,
+    },
+    /// The transfer failed admission: the available balance (current
+    /// balance minus in-flight reservations) cannot fund it. The second
+    /// transfer of a double-spend attempt lands here.
+    Rejected {
+        /// The available balance at admission time.
+        available: Amount,
+    },
+    /// The balance observed by a read.
+    Balance {
+        /// The balance.
+        amount: Amount,
+    },
+}
+
+/// Every frame of the wire protocol (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Peer-link handshake: the dialing node identifies itself.
+    HelloNode {
+        /// The dialer's process id.
+        node: ProcessId,
+        /// The dialer's transport incarnation. A restarted node starts a
+        /// fresh epoch; the acceptor resets its expected link sequence to
+        /// 0 when the epoch changes, so the new incarnation's outbox
+        /// numbering (which restarts at 0) is not mistaken for
+        /// duplicates.
+        epoch: u64,
+    },
+    /// Peer-link handshake reply: the acceptor names the next link
+    /// sequence number it expects, so a reconnecting dialer resumes
+    /// exactly where the previous connection left off.
+    HelloAck {
+        /// Next expected [`Frame::Data`] sequence number.
+        next_seq: u64,
+    },
+    /// A link-sequenced protocol payload ([`encode_peer_payload`] bytes).
+    Data {
+        /// Per-link sequence number (consecutive from 0 per direction).
+        seq: u64,
+        /// The versioned backend-message bytes.
+        payload: Vec<u8>,
+    },
+    /// Cumulative receive acknowledgement: every `Data` frame with
+    /// `seq <= through` arrived, so the sender can prune its replay
+    /// buffer.
+    DataAck {
+        /// Highest contiguously received sequence number.
+        through: u64,
+    },
+    /// Client-link handshake.
+    HelloClient,
+    /// A client operation.
+    Request(ClientRequest),
+    /// A node's answer.
+    Response(ClientResponse),
+}
+
+impl Encode for ClientRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        match self.op {
+            ClientOp::Transfer {
+                destination,
+                amount,
+            } => {
+                w.put_u8(0);
+                destination.encode(w);
+                amount.encode(w);
+            }
+            ClientOp::Read { account } => {
+                w.put_u8(1);
+                account.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for ClientRequest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let id = u64::decode(r)?;
+        let op = match r.take_u8()? {
+            0 => ClientOp::Transfer {
+                destination: AccountId::decode(r)?,
+                amount: Amount::decode(r)?,
+            },
+            1 => ClientOp::Read {
+                account: AccountId::decode(r)?,
+            },
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    type_name: "ClientOp",
+                    tag,
+                })
+            }
+        };
+        Ok(ClientRequest { id, op })
+    }
+}
+
+impl Encode for ClientResponse {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        match self.body {
+            ResponseBody::Committed { seq } => {
+                w.put_u8(0);
+                seq.encode(w);
+            }
+            ResponseBody::Rejected { available } => {
+                w.put_u8(1);
+                available.encode(w);
+            }
+            ResponseBody::Balance { amount } => {
+                w.put_u8(2);
+                amount.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for ClientResponse {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let id = u64::decode(r)?;
+        let body = match r.take_u8()? {
+            0 => ResponseBody::Committed {
+                seq: SeqNo::decode(r)?,
+            },
+            1 => ResponseBody::Rejected {
+                available: Amount::decode(r)?,
+            },
+            2 => ResponseBody::Balance {
+                amount: Amount::decode(r)?,
+            },
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    type_name: "ResponseBody",
+                    tag,
+                })
+            }
+        };
+        Ok(ClientResponse { id, body })
+    }
+}
+
+impl Encode for Frame {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Frame::HelloNode { node, epoch } => {
+                w.put_u8(0);
+                node.encode(w);
+                epoch.encode(w);
+            }
+            Frame::HelloAck { next_seq } => {
+                w.put_u8(1);
+                next_seq.encode(w);
+            }
+            Frame::Data { seq, payload } => {
+                w.put_u8(2);
+                seq.encode(w);
+                payload.encode(w);
+            }
+            Frame::DataAck { through } => {
+                w.put_u8(3);
+                through.encode(w);
+            }
+            Frame::HelloClient => w.put_u8(4),
+            Frame::Request(request) => {
+                w.put_u8(5);
+                request.encode(w);
+            }
+            Frame::Response(response) => {
+                w.put_u8(6);
+                response.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Frame {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_u8()? {
+            0 => Ok(Frame::HelloNode {
+                node: ProcessId::decode(r)?,
+                epoch: u64::decode(r)?,
+            }),
+            1 => Ok(Frame::HelloAck {
+                next_seq: u64::decode(r)?,
+            }),
+            2 => Ok(Frame::Data {
+                seq: u64::decode(r)?,
+                payload: Vec::<u8>::decode(r)?,
+            }),
+            3 => Ok(Frame::DataAck {
+                through: u64::decode(r)?,
+            }),
+            4 => Ok(Frame::HelloClient),
+            5 => Ok(Frame::Request(ClientRequest::decode(r)?)),
+            6 => Ok(Frame::Response(ClientResponse::decode(r)?)),
+            tag => Err(CodecError::InvalidTag {
+                type_name: "Frame",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Encodes `frame` ready for a stream: length prefix, version byte, body.
+///
+/// # Panics
+///
+/// Panics if the body would exceed [`MAX_FRAME_LEN`] — impossible for
+/// frames this runtime produces (batch sizes are bounded far below it),
+/// and a programming error rather than an input error when it happens.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut body = Writer::new();
+    body.put_u8(WIRE_VERSION);
+    frame.encode(&mut body);
+    let body = body.into_bytes();
+    assert!(
+        body.len() <= MAX_FRAME_LEN as usize,
+        "outgoing frame body of {} bytes exceeds MAX_FRAME_LEN",
+        body.len()
+    );
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes one frame *body* (the bytes after the length prefix):
+/// version check, then the tagged [`Frame`].
+pub fn decode_frame_body(body: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader::new(body);
+    let version = r.take_u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion { got: version });
+    }
+    let frame = Frame::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Codec(CodecError::TrailingBytes {
+            remaining: r.remaining(),
+        }));
+    }
+    Ok(frame)
+}
+
+/// Encodes a backend protocol message as a versioned peer payload (the
+/// bytes a [`Frame::Data`] carries, and what an in-process transport
+/// moves directly).
+pub fn encode_peer_payload<M: Encode>(msg: &M) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(WIRE_VERSION);
+    msg.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a versioned peer payload back into a backend message.
+pub fn decode_peer_payload<M: Decode>(bytes: &[u8]) -> Result<M, WireError> {
+    let mut r = Reader::new(bytes);
+    let version = r.take_u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion { got: version });
+    }
+    let remaining = r.take_bytes(r.remaining())?;
+    Ok(decode::<M>(remaining)?)
+}
+
+/// Incremental frame extractor over a byte stream.
+///
+/// Feed received chunks with [`FrameBuffer::extend`]; pull complete
+/// frames with [`FrameBuffer::next_frame`]. The length prefix of the
+/// frame being assembled is validated against [`MAX_FRAME_LEN`] *before*
+/// any body bytes are awaited, so a hostile peer cannot make the buffer
+/// grow beyond one maximal frame plus one read chunk.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Read position inside `buf` (consumed bytes are compacted away
+    /// once the buffer is drained or grows past a threshold).
+    pos: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends received bytes.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by
+        // (unconsumed bytes + chunk) instead of the whole stream history.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next complete frame, `Ok(None)` when more bytes are
+    /// needed, or an error when the stream is unrecoverably malformed
+    /// (the connection should be dropped).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let available = &self.buf[self.pos..];
+        if available.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes([available[0], available[1], available[2], available[3]]);
+        if declared > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge { declared });
+        }
+        let total = 4 + declared as usize;
+        if available.len() < total {
+            return Ok(None);
+        }
+        let frame = decode_frame_body(&available[4..total])?;
+        self.pos += total;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_through_the_stream_layer() {
+        let frames = vec![
+            Frame::HelloNode {
+                node: ProcessId::new(3),
+                epoch: 0xFACE,
+            },
+            Frame::HelloAck { next_seq: 17 },
+            Frame::Data {
+                seq: 0,
+                payload: vec![WIRE_VERSION, 1, 2, 3],
+            },
+            Frame::DataAck { through: 16 },
+            Frame::HelloClient,
+            Frame::Request(ClientRequest {
+                id: 9,
+                op: ClientOp::Transfer {
+                    destination: AccountId::new(2),
+                    amount: Amount::new(50),
+                },
+            }),
+            Frame::Request(ClientRequest {
+                id: 10,
+                op: ClientOp::Read {
+                    account: AccountId::new(0),
+                },
+            }),
+            Frame::Response(ClientResponse {
+                id: 9,
+                body: ResponseBody::Committed { seq: SeqNo::new(1) },
+            }),
+            Frame::Response(ClientResponse {
+                id: 11,
+                body: ResponseBody::Rejected {
+                    available: Amount::new(3),
+                },
+            }),
+            Frame::Response(ClientResponse {
+                id: 10,
+                body: ResponseBody::Balance {
+                    amount: Amount::new(1000),
+                },
+            }),
+        ];
+        // Stream all frames as one byte soup, delivered in 7-byte chunks.
+        let stream: Vec<u8> = frames.iter().flat_map(encode_frame).collect();
+        let mut buffer = FrameBuffer::new();
+        let mut out = Vec::new();
+        for chunk in stream.chunks(7) {
+            buffer.extend(chunk);
+            while let Some(frame) = buffer.next_frame().expect("well-formed stream") {
+                out.push(frame);
+            }
+        }
+        assert_eq!(out, frames);
+        assert_eq!(buffer.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_buffering() {
+        let mut buffer = FrameBuffer::new();
+        buffer.extend(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert_eq!(
+            buffer.next_frame(),
+            Err(WireError::FrameTooLarge {
+                declared: MAX_FRAME_LEN + 1
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_version_byte_is_rejected() {
+        let mut bytes = encode_frame(&Frame::HelloClient);
+        bytes[4] = WIRE_VERSION + 1;
+        let mut buffer = FrameBuffer::new();
+        buffer.extend(&bytes);
+        assert_eq!(
+            buffer.next_frame(),
+            Err(WireError::BadVersion {
+                got: WIRE_VERSION + 1
+            })
+        );
+        assert!(matches!(
+            decode_peer_payload::<u64>(&[WIRE_VERSION + 1, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(WireError::BadVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_in_a_frame_body_error() {
+        let mut bytes = encode_frame(&Frame::HelloClient);
+        // Stretch the declared length and append a junk byte.
+        bytes.push(0xEE);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        let mut buffer = FrameBuffer::new();
+        buffer.extend(&bytes);
+        assert!(matches!(
+            buffer.next_frame(),
+            Err(WireError::Codec(CodecError::TrailingBytes { .. }))
+        ));
+    }
+
+    #[test]
+    fn peer_payload_roundtrips() {
+        let bytes = encode_peer_payload(&0xDEAD_BEEFu64);
+        assert_eq!(bytes.len(), 9);
+        assert_eq!(decode_peer_payload::<u64>(&bytes), Ok(0xDEAD_BEEFu64));
+        assert!(decode_peer_payload::<u64>(&bytes[..5]).is_err());
+    }
+
+    #[test]
+    fn wire_error_displays() {
+        let errs: Vec<WireError> = vec![
+            WireError::FrameTooLarge { declared: 1 << 30 },
+            WireError::BadVersion { got: 9 },
+            WireError::UnexpectedFrame { expected: "Data" },
+            WireError::Codec(CodecError::InvalidUtf8),
+        ];
+        for err in errs {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

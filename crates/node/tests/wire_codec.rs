@@ -1,0 +1,206 @@
+//! Property tests for the wire protocol: round-trips over arbitrary
+//! frames, and totality (no panic, no over-allocation) on malformed and
+//! truncated untrusted input.
+
+use at_broadcast::bracha::BrachaMsg;
+use at_broadcast::echo::EchoMsg;
+use at_broadcast::Batch;
+use at_core::figure4::TransferMsg;
+use at_model::codec::{decode, encode};
+use at_model::{AccountId, Amount, ProcessId, SeqNo, Transfer};
+use at_node::wire::{
+    decode_frame_body, decode_peer_payload, encode_frame, encode_peer_payload, ClientOp,
+    ClientRequest, ClientResponse, Frame, FrameBuffer, ResponseBody, WireError, MAX_FRAME_LEN,
+    WIRE_VERSION,
+};
+use proptest::prelude::*;
+
+fn transfer() -> impl Strategy<Value = Transfer> {
+    (0u32..8, 0u32..8, 0u64..1000, 0u32..8, 1u64..100).prop_map(|(src, dst, amt, orig, seq)| {
+        Transfer::new(
+            AccountId::new(src),
+            AccountId::new(dst),
+            Amount::new(amt),
+            ProcessId::new(orig),
+            SeqNo::new(seq),
+        )
+    })
+}
+
+fn transfer_msg() -> impl Strategy<Value = TransferMsg> {
+    (transfer(), prop::collection::vec(transfer(), 0..4))
+        .prop_map(|(transfer, deps)| TransferMsg { transfer, deps })
+}
+
+fn client_request() -> impl Strategy<Value = ClientRequest> {
+    (any::<u64>(), 0u32..8, 0u64..10_000, any::<bool>()).prop_map(|(id, acct, amt, is_read)| {
+        ClientRequest {
+            id,
+            op: if is_read {
+                ClientOp::Read {
+                    account: AccountId::new(acct),
+                }
+            } else {
+                ClientOp::Transfer {
+                    destination: AccountId::new(acct),
+                    amount: Amount::new(amt),
+                }
+            },
+        }
+    })
+}
+
+fn frame() -> impl Strategy<Value = Frame> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 0..128),
+        client_request(),
+        0u32..8,
+    )
+        .prop_map(|(a, b, payload, request, pick)| match pick % 7 {
+            0 => Frame::HelloNode {
+                node: ProcessId::new((a % 16) as u32),
+                epoch: b,
+            },
+            1 => Frame::HelloAck { next_seq: a },
+            2 => Frame::Data { seq: a, payload },
+            3 => Frame::DataAck { through: a },
+            4 => Frame::HelloClient,
+            5 => Frame::Request(request),
+            _ => Frame::Response(ClientResponse {
+                id: a,
+                body: match b % 3 {
+                    0 => ResponseBody::Committed {
+                        seq: SeqNo::new(b | 1),
+                    },
+                    1 => ResponseBody::Rejected {
+                        available: Amount::new(b),
+                    },
+                    _ => ResponseBody::Balance {
+                        amount: Amount::new(b),
+                    },
+                },
+            }),
+        })
+}
+
+proptest! {
+    /// Every frame round-trips through the full stream layer.
+    #[test]
+    fn frames_roundtrip(frame in frame()) {
+        let bytes = encode_frame(&frame);
+        let mut buffer = FrameBuffer::new();
+        buffer.extend(&bytes);
+        let back = buffer.next_frame().expect("valid frame").expect("complete");
+        prop_assert_eq!(back, frame);
+        prop_assert_eq!(buffer.buffered(), 0);
+    }
+
+    /// Truncating a valid frame at any point yields "need more bytes"
+    /// or an error — never a bogus frame, never a panic.
+    #[test]
+    fn truncated_frames_never_decode(frame in frame(), cut in 0usize..64) {
+        let bytes = encode_frame(&frame);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let mut buffer = FrameBuffer::new();
+        buffer.extend(&bytes[..cut]);
+        match buffer.next_frame() {
+            Ok(None) | Err(_) => {}
+            Ok(Some(_)) => prop_assert!(false, "truncated frame decoded"),
+        }
+    }
+
+    /// The frame-body decoder is total on garbage.
+    #[test]
+    fn garbage_bodies_error_not_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_frame_body(&bytes);
+        let _ = decode_peer_payload::<BrachaMsg<Batch<TransferMsg>>>(&bytes);
+        let _ = decode_peer_payload::<EchoMsg<Batch<TransferMsg>, ()>>(&bytes);
+        let _ = decode::<Frame>(&bytes);
+    }
+
+    /// Garbage fed through the stream layer in chunks never panics and
+    /// never makes the buffer grow past its input.
+    #[test]
+    fn garbage_streams_are_bounded(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut buffer = FrameBuffer::new();
+        let mut fed = 0usize;
+        for chunk in bytes.chunks(13) {
+            buffer.extend(chunk);
+            fed += chunk.len();
+            loop {
+                match buffer.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(_) => return Ok(()), // poisoned stream: connection would drop
+                }
+            }
+            prop_assert!(buffer.buffered() <= fed);
+        }
+    }
+
+    /// Backend messages round-trip as versioned peer payloads.
+    #[test]
+    fn peer_payloads_roundtrip(items in prop::collection::vec(transfer_msg(), 0..5), seq in 1u64..50) {
+        let msg: BrachaMsg<Batch<TransferMsg>> = BrachaMsg::Init {
+            seq: SeqNo::new(seq),
+            payload: Batch::new(items),
+        };
+        let bytes = encode_peer_payload(&msg);
+        let back: BrachaMsg<Batch<TransferMsg>> = decode_peer_payload(&bytes).expect("roundtrip");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// A length prefix above the cap is rejected no matter what follows,
+    /// before any allocation proportional to the declared length.
+    #[test]
+    fn oversized_prefixes_rejected(extra in 1u32..1024, junk in prop::collection::vec(any::<u8>(), 0..32)) {
+        let declared = MAX_FRAME_LEN + extra;
+        let mut bytes = declared.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&junk);
+        let mut buffer = FrameBuffer::new();
+        buffer.extend(&bytes);
+        prop_assert_eq!(
+            buffer.next_frame(),
+            Err(WireError::FrameTooLarge { declared })
+        );
+    }
+
+    /// Any version byte but the current one is rejected for any frame.
+    #[test]
+    fn wrong_versions_rejected(frame in frame(), version in any::<u8>()) {
+        prop_assume!(version != WIRE_VERSION);
+        let mut bytes = encode_frame(&frame);
+        bytes[4] = version;
+        let mut buffer = FrameBuffer::new();
+        buffer.extend(&bytes);
+        prop_assert_eq!(buffer.next_frame(), Err(WireError::BadVersion { got: version }));
+    }
+}
+
+/// Deterministic spot check: a maximal-ish legitimate batch stays far
+/// under the frame cap, so the cap never bites honest traffic.
+#[test]
+fn honest_batches_fit_comfortably() {
+    let items: Vec<TransferMsg> = (1..=1024u64)
+        .map(|seq| TransferMsg {
+            transfer: Transfer::new(
+                AccountId::new(0),
+                AccountId::new(1),
+                Amount::new(seq),
+                ProcessId::new(0),
+                SeqNo::new(seq),
+            ),
+            deps: vec![],
+        })
+        .collect();
+    let msg: BrachaMsg<Batch<TransferMsg>> = BrachaMsg::Init {
+        seq: SeqNo::new(1),
+        payload: Batch::new(items),
+    };
+    let bytes = encode(&msg);
+    assert!(bytes.len() < MAX_FRAME_LEN as usize / 8);
+    let back: BrachaMsg<Batch<TransferMsg>> = decode(&bytes).expect("roundtrip");
+    assert_eq!(back, msg);
+}

@@ -1,0 +1,278 @@
+//! End-to-end tests of the at-node runtime: real TCP loopback clusters
+//! running the same sans-I/O replicas the simulator runs, driven over
+//! the wire protocol by real clients.
+
+use at_broadcast::auth::NoAuth;
+use at_broadcast::bracha::BrachaBroadcast;
+use at_broadcast::echo::EchoBroadcast;
+use at_broadcast::SecureBroadcast;
+use at_engine::replica::{EngineEvent, EnginePayload};
+use at_engine::{EngineConfig, ShardedReplica, Workload};
+use at_model::{AccountId, Amount, ProcessId};
+use at_net::{Actor, Context, VirtualTime};
+use at_node::{await_convergence, start_tcp_cluster, Client, NodeConfig, ResponseBody, TcpOptions};
+use std::time::Duration;
+
+type EchoNode = EchoBroadcast<EnginePayload, NoAuth>;
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn a(i: u32) -> AccountId {
+    AccountId::new(i)
+}
+
+fn node_config() -> NodeConfig {
+    // Sharded + window-batched: the production shape, with a short real
+    // window so tests stay fast.
+    NodeConfig::new(
+        EngineConfig::sharded_batched(4, 16, VirtualTime::from_micros(500)),
+        Amount::new(1_000),
+    )
+}
+
+/// 4-node TCP cluster, signed-echo backend, mixed workload over real
+/// sockets: all transfers commit, every replica converges to
+/// byte-identical balances, the supply is conserved — and a
+/// double-spending client's second transfer is rejected over the wire.
+#[test]
+fn tcp_cluster_converges_and_rejects_double_spend_over_the_wire() {
+    let n = 4;
+    let cluster = start_tcp_cluster(n, node_config(), TcpOptions::default(), |me| {
+        EchoNode::new(me, n, NoAuth)
+    })
+    .expect("cluster");
+    let mut cluster = cluster;
+
+    // One real TCP client per node, driving the scenario subsystem's
+    // mixed workload distribution (sink = account 2).
+    let workload = Workload::Mixed {
+        sink: a(2),
+        percent_sink: 40,
+    };
+    let mut clients: Vec<Client> = cluster
+        .client_addrs
+        .iter()
+        .map(|addr| Client::connect(*addr).expect("connect"))
+        .collect();
+    let waves = 8;
+    let mut expected_commits = 0u64;
+    for wave in 0..waves {
+        for (i, client) in clients.iter_mut().enumerate() {
+            if let Some(dest) = workload.destination(7, wave, i, n) {
+                client
+                    .submit_transfer(dest, Amount::new(3))
+                    .expect("submit");
+                expected_commits += 1;
+            }
+        }
+    }
+
+    // Every pipelined transfer is acknowledged as committed.
+    let mut committed = 0u64;
+    for client in &mut clients {
+        while client.outstanding() > 0 {
+            let response = client
+                .recv_response(Duration::from_secs(20))
+                .expect("io")
+                .expect("ack before timeout");
+            match response.body {
+                ResponseBody::Committed { .. } => committed += 1,
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+    }
+    assert_eq!(committed, expected_commits);
+
+    // All four replicas converge to byte-identical balances.
+    let handles: Vec<_> = cluster.running().collect();
+    let reports = await_convergence(&handles, Duration::from_secs(30)).expect("convergence");
+    for report in &reports {
+        assert_eq!(report.balances, reports[0].balances, "{:?}", report.node);
+        assert_eq!(report.dropped_frames, 0);
+        assert_eq!(report.malformed_frames, 0);
+        let supply: u64 = report.balances.iter().map(|b| b.units()).sum();
+        assert_eq!(supply, 1_000 * n as u64, "supply not conserved");
+    }
+    drop(handles);
+
+    // Double spend over the wire: drain the full available balance, then
+    // try to spend it again — admission (which reserves in-flight
+    // amounts) must reject the second transfer.
+    let mut spender = Client::connect(cluster.client_addrs[0]).expect("connect");
+    let balance = spender
+        .read_balance(a(0), Duration::from_secs(5))
+        .expect("read");
+    spender.submit_transfer(a(1), balance).expect("submit");
+    spender.submit_transfer(a(3), balance).expect("submit");
+    let mut outcomes = Vec::new();
+    while spender.outstanding() > 0 {
+        let response = spender
+            .recv_response(Duration::from_secs(20))
+            .expect("io")
+            .expect("ack before timeout");
+        outcomes.push(response);
+    }
+    outcomes.sort_by_key(|r| r.id);
+    assert!(
+        matches!(outcomes[0].body, ResponseBody::Committed { .. }),
+        "first spend must commit: {outcomes:?}"
+    );
+    assert!(
+        matches!(outcomes[1].body, ResponseBody::Rejected { .. }),
+        "second spend must be rejected: {outcomes:?}"
+    );
+
+    cluster.stop_all();
+}
+
+/// Crash/restart: one node leaves mid-run, traffic continues without
+/// it, and after a warm restart (the replica-restart model at-check
+/// introduced on the simulator: state kept, missed messages replayed by
+/// the peers' outboxes) it catches up and converges.
+#[test]
+fn tcp_node_restart_catches_up_and_converges() {
+    let n = 4;
+    let victim = 3usize;
+    let mut cluster = start_tcp_cluster(n, node_config(), TcpOptions::default(), |me| {
+        EchoNode::new(me, n, NoAuth)
+    })
+    .expect("cluster");
+
+    let submit_wave = |cluster: &at_node::TcpCluster<EchoNode>, skip: Option<usize>, wave: u32| {
+        for i in 0..n {
+            if Some(i) == skip {
+                continue;
+            }
+            if let Some(handle) = cluster.handles[i].as_ref() {
+                let mut client = handle.local_client();
+                client.submit_transfer(a(((i as u32) + wave + 1) % n as u32), Amount::new(2));
+                // Ack consumption is not needed; the commit is observed
+                // via reports.
+            }
+        }
+    };
+
+    // Phase 1: everyone participates.
+    for wave in 0..4 {
+        submit_wave(&cluster, None, wave);
+    }
+    let handles: Vec<_> = cluster.running().collect();
+    await_convergence(&handles, Duration::from_secs(30)).expect("phase-1 convergence");
+    drop(handles);
+
+    // Phase 2: the victim leaves mid-run (warm stop); the rest keep
+    // transferring. Their frames to the victim buffer in the outboxes.
+    let replica = cluster.stop_node(victim);
+    for wave in 4..8 {
+        submit_wave(&cluster, Some(victim), wave);
+    }
+    let survivors: Vec<_> = cluster.running().collect();
+    let reports = await_convergence(&survivors, Duration::from_secs(30))
+        .expect("survivors must converge without the victim");
+    let survivor_digest = reports[0].digest;
+    drop(survivors);
+
+    // Phase 3: restart from the warm replica. Peers reconnect, replay
+    // everything the victim missed, and it catches up.
+    cluster.restart_node(victim, replica).expect("restart");
+    let handles: Vec<_> = cluster.running().collect();
+    let reports =
+        await_convergence(&handles, Duration::from_secs(30)).expect("restarted node must catch up");
+    assert_eq!(reports.len(), n);
+    assert_eq!(
+        reports[victim].digest, survivor_digest,
+        "restarted node did not reach the survivors' state"
+    );
+    for report in &reports {
+        assert_eq!(report.balances, reports[0].balances);
+        let supply: u64 = report.balances.iter().map(|b| b.units()).sum();
+        assert_eq!(supply, 1_000 * n as u64);
+    }
+    drop(handles);
+
+    // And the cluster still works: post-restart traffic commits
+    // everywhere, including at the restarted node.
+    for wave in 8..10 {
+        submit_wave(&cluster, None, wave);
+    }
+    let handles: Vec<_> = cluster.running().collect();
+    let reports =
+        await_convergence(&handles, Duration::from_secs(30)).expect("post-restart convergence");
+    for report in &reports {
+        assert_eq!(report.balances, reports[0].balances);
+    }
+    drop(handles);
+    cluster.stop_all();
+}
+
+/// Regression guard for the real-runtime delivery regime (the audit
+/// behind wiring the event loop): remote protocol responses may reach a
+/// sender *before* its own self-addressed SEND loops back — the
+/// interleaving that once crashed `AccountOrderBroadcast` (fixed in the
+/// at-check PR) and that a socket runtime produces routinely. Drive
+/// replicas through the exact detached-context path the node uses and
+/// deliver every remote message before any self-addressed one.
+#[test]
+fn remote_responses_may_overtake_self_loopback() {
+    fn run<B, F>(make: F)
+    where
+        B: SecureBroadcast<EnginePayload>,
+        F: Fn(ProcessId) -> B,
+    {
+        let n = 4;
+        let config = EngineConfig::unsharded();
+        let mut replicas: Vec<ShardedReplica<B>> = (0..n as u32)
+            .map(|i| ShardedReplica::with_backend(p(i), n, Amount::new(100), config, make(p(i))))
+            .collect();
+        let mut events = Vec::new();
+
+        // p0 submits; collect its outgoing messages.
+        let mut ctx = Context::detached(VirtualTime::ZERO, p(0), n, &mut events);
+        replicas[0].submit(a(1), Amount::new(25), &mut ctx);
+        let outputs = ctx.into_outputs();
+
+        // Deliver with self-addressed messages parked at the *back* of
+        // the queue: every remote response overtakes the loopback.
+        let mut queue: Vec<(ProcessId, ProcessId, B::Msg)> = Vec::new();
+        for (to, msg) in outputs.outbox {
+            queue.push((p(0), to, msg));
+        }
+        let mut guard = 0;
+        while !queue.is_empty() {
+            guard += 1;
+            assert!(guard < 100_000, "delivery did not quiesce");
+            // Pick the first entry whose destination differs from its
+            // sender; fall back to self-deliveries only when nothing
+            // else remains.
+            let pos = queue
+                .iter()
+                .position(|(from, to, _)| from != to)
+                .unwrap_or(0);
+            let (from, to, msg) = queue.remove(pos);
+            let mut ctx = Context::detached(VirtualTime::ZERO, to, n, &mut events);
+            replicas[to.as_usize()].on_message(from, msg, &mut ctx);
+            let outputs = ctx.into_outputs();
+            for (next_to, next_msg) in outputs.outbox {
+                queue.push((to, next_to, next_msg));
+            }
+        }
+
+        // The transfer completed at p0 and applied everywhere.
+        assert!(
+            events
+                .iter()
+                .any(|(_, at, e)| *at == p(0) && matches!(e, EngineEvent::Completed { .. })),
+            "transfer never completed under remote-first delivery"
+        );
+        for replica in &replicas {
+            assert_eq!(replica.balance(a(0)), Amount::new(75));
+            assert_eq!(replica.balance(a(1)), Amount::new(125));
+        }
+    }
+
+    run(|me| BrachaBroadcast::<EnginePayload>::new(me, 4));
+    run(|me| EchoBroadcast::<EnginePayload, NoAuth>::new(me, 4, NoAuth));
+    run(|me| at_broadcast::AccountOrderBackend::<EnginePayload, NoAuth>::new(me, 4, NoAuth));
+}
