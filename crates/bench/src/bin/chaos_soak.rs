@@ -1,0 +1,261 @@
+//! Experiment **T6**: the chaos soak — seeded nemesis schedules against
+//! live clusters, every run validated by the at-check battery.
+//!
+//! For each production backend (signed echo, Bracha, account-order) the
+//! soak runs `--schedules` seeded nemesis schedules on a loopback TCP
+//! cluster plus a mesh run per backend, each schedule injecting
+//! partitions, wire loss/duplication/delay, forced disconnects, warm
+//! crash/restarts, and batch-timer skew while closed-loop clients
+//! hammer the cluster. After heal-and-drain, every run must pass:
+//! bounded linearizability of the recorded client history, the
+//! per-source FIFO-exactly-once broadcast contract, conflict-freedom,
+//! digest agreement, supply conservation, zero real frame loss, and
+//! zero lost acknowledgements without a crash.
+//!
+//! Any violation prints the schedule and a one-line replay command
+//! that regenerates the fault script bit-for-bit from its seed (the
+//! execution is wall-clock; tight races may need a few replays), and
+//! is appended to
+//! `CHAOS_counterexample.txt` (uploaded as a CI artifact). Aggregates
+//! land in `BENCH_t6.json`.
+//!
+//! Run with `cargo run -p at-bench --bin chaos_soak --release`. Flags:
+//!
+//! * `--smoke` — CI shape: ≥50 schedules total across the 3 backends;
+//! * `--schedules N` — seeded schedules per backend (default 50);
+//! * `--nodes N`, `--quota N`, `--disruptions N`, `--seed-base S`;
+//! * `--replay --backend B --seed S [--transport tcp|mesh]` — re-run
+//!   one schedule verbatim (the command a failure prints).
+
+use at_bench::{t6_json, T6Report};
+use at_chaos::{
+    chaos_backends, format_nemesis_schedule, generate_schedule, run_seeded, ChaosConfig,
+    ChaosTransport,
+};
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+struct Args {
+    smoke: bool,
+    replay: bool,
+    schedules: usize,
+    nodes: usize,
+    quota: usize,
+    disruptions: usize,
+    seed_base: u64,
+    backend: Option<String>,
+    transport: ChaosTransport,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| argv.iter().any(|a| a == name);
+    let value = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    let smoke = flag("--smoke");
+    Args {
+        smoke,
+        replay: flag("--replay"),
+        schedules: value("--schedules")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if smoke { 17 } else { 50 }),
+        nodes: value("--nodes").and_then(|v| v.parse().ok()).unwrap_or(4),
+        quota: value("--quota")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if smoke { 25 } else { 60 }),
+        disruptions: value("--disruptions")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if smoke { 3 } else { 5 }),
+        seed_base: value("--seed-base")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0xC4A0),
+        backend: value("--backend"),
+        transport: match value("--transport").as_deref() {
+            Some("mesh") => ChaosTransport::Mesh,
+            _ => ChaosTransport::Tcp,
+        },
+        seed: value("--seed").and_then(|v| v.parse().ok()).unwrap_or(0),
+    }
+}
+
+fn config_of(args: &Args) -> ChaosConfig {
+    ChaosConfig {
+        n: args.nodes,
+        quota: args.quota,
+        disruptions: args.disruptions,
+        drain_timeout: Duration::from_secs(30),
+        ..ChaosConfig::default()
+    }
+}
+
+/// The replay command that regenerates `(backend, transport, seed)`'s
+/// fault script bit-for-bit under the current shape flags.
+fn repro_command(args: &Args, backend: &str, transport: ChaosTransport, seed: u64) -> String {
+    format!(
+        "cargo run -p at-bench --bin chaos_soak --release -- --replay --backend {backend} \
+         --transport {} --seed {seed} --nodes {} --quota {} --disruptions {}",
+        transport.label(),
+        args.nodes,
+        args.quota,
+        args.disruptions,
+    )
+}
+
+fn replay(args: &Args) -> bool {
+    let backend = args.backend.clone().unwrap_or_else(|| "echo".into());
+    let config = config_of(args);
+    let schedule = generate_schedule(
+        args.seed,
+        config.n,
+        config.disruptions,
+        args.transport == ChaosTransport::Tcp,
+    );
+    println!(
+        "# replaying {backend}/{} seed {}\nschedule: {}",
+        args.transport.label(),
+        args.seed,
+        format_nemesis_schedule(&schedule)
+    );
+    let report = run_seeded(&config, &backend, args.transport, args.seed);
+    println!("{}", report.summary());
+    for violation in &report.violations {
+        println!("VIOLATION {:?}: {}", violation.kind, violation.detail);
+    }
+    report.violations.is_empty()
+}
+
+fn main() {
+    let args = parse_args();
+    if args.replay {
+        if !replay(&args) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let config = config_of(&args);
+    println!(
+        "# T6 — chaos soak: {} schedules/backend (TCP) + 1 mesh run/backend, {} nodes, \
+         quota {}, {} disruptions, seed base {:#x}",
+        args.schedules, args.nodes, args.quota, args.disruptions, args.seed_base
+    );
+
+    let mut rows: Vec<T6Report> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut total_distinct: BTreeSet<Vec<at_chaos::NemesisChoice>> = BTreeSet::new();
+    let mut row_index = 0u64;
+    for backend in chaos_backends() {
+        for transport in [ChaosTransport::Tcp, ChaosTransport::Mesh] {
+            let runs = match transport {
+                ChaosTransport::Tcp => args.schedules,
+                ChaosTransport::Mesh => 1,
+            };
+            let started = Instant::now();
+            let mut row = T6Report {
+                backend: backend.to_string(),
+                transport: transport.label().to_string(),
+                runs,
+                distinct_schedules: 0,
+                submitted: 0,
+                committed: 0,
+                unresolved: 0,
+                events: 0,
+                unknown: 0,
+                violations: 0,
+                wall_ms: 0,
+            };
+            // Each row draws from its own seed range, so the soak's
+            // schedules are distinct *across* backends too (every
+            // backend faces different fault scripts, and the total
+            // distinct-schedule count reflects real coverage).
+            let row_base = args.seed_base + row_index * 10_000;
+            row_index += 1;
+            let mut distinct: BTreeSet<Vec<at_chaos::NemesisChoice>> = BTreeSet::new();
+            for i in 0..runs {
+                let seed = row_base + i as u64;
+                let report = run_seeded(&config, backend, transport, seed);
+                distinct.insert(report.schedule.clone());
+                total_distinct.insert(report.schedule.clone());
+                row.submitted += report.submitted;
+                row.committed += report.committed;
+                row.unresolved += report.unresolved;
+                row.events += report.events_recorded as u64;
+                row.unknown += usize::from(report.unknown);
+                row.violations += report.violations.len();
+                if !report.violations.is_empty() {
+                    let mut text = format!(
+                        "counterexample: {backend}/{} seed {seed}\nschedule: {}\nrepro: {}\n",
+                        transport.label(),
+                        format_nemesis_schedule(&report.schedule),
+                        repro_command(&args, backend, transport, seed),
+                    );
+                    for violation in &report.violations {
+                        text.push_str(&format!("  {:?}: {}\n", violation.kind, violation.detail));
+                    }
+                    eprintln!("{text}");
+                    failures.push(text);
+                }
+            }
+            row.distinct_schedules = distinct.len();
+            row.wall_ms = started.elapsed().as_millis() as u64;
+            println!(
+                "{}/{}: {} runs ({} distinct schedules), {} committed / {} submitted, \
+                 {} events, {} violations, {}ms",
+                row.backend,
+                row.transport,
+                row.runs,
+                row.distinct_schedules,
+                row.committed,
+                row.submitted,
+                row.events,
+                row.violations,
+                row.wall_ms
+            );
+            rows.push(row);
+        }
+    }
+
+    let json = t6_json(args.smoke, args.seed_base, &rows);
+    std::fs::write("BENCH_t6.json", &json).expect("write BENCH_t6.json");
+    println!("wrote BENCH_t6.json ({} bytes)", json.len());
+
+    if !failures.is_empty() {
+        let mut file =
+            std::fs::File::create("CHAOS_counterexample.txt").expect("write counterexample file");
+        for text in &failures {
+            writeln!(file, "{text}").expect("write counterexample file");
+        }
+    }
+
+    // Hard gates: schedule coverage and a clean validator slate.
+    let total_runs: usize = rows.iter().map(|r| r.runs).sum();
+    let required = if args.smoke {
+        50
+    } else {
+        50 * chaos_backends().len()
+    };
+    assert!(
+        total_runs >= required && total_distinct.len() >= required,
+        "need >= {required} distinct schedules, got {} over {} runs",
+        total_distinct.len(),
+        total_runs
+    );
+    let violations: usize = rows.iter().map(|r| r.violations).sum();
+    let unknown: usize = rows.iter().map(|r| r.unknown).sum();
+    assert_eq!(unknown, 0, "linearizability checks exhausted their budget");
+    if violations > 0 {
+        eprintln!("{violations} validator violations — see CHAOS_counterexample.txt");
+        std::process::exit(1);
+    }
+    println!(
+        "all {} runs ({} distinct schedules) validated clean",
+        total_runs,
+        total_distinct.len()
+    );
+}

@@ -531,6 +531,71 @@ pub fn t5_json(report: &T5Report, smoke: bool) -> String {
     )
 }
 
+/// One `(backend, transport)` row of the **T6** chaos soak
+/// (`chaos_soak` bin): aggregate outcome of N seeded nemesis schedules
+/// against a live cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct T6Report {
+    /// Broadcast backend label.
+    pub backend: String,
+    /// Transport label (`tcp` / `mesh`).
+    pub transport: String,
+    /// Chaos runs executed.
+    pub runs: usize,
+    /// Distinct nemesis schedules among them.
+    pub distinct_schedules: usize,
+    /// Transfers submitted across all runs.
+    pub submitted: u64,
+    /// Commit acknowledgements across all runs.
+    pub committed: u64,
+    /// Acknowledgements lost to crash steps (expected 0 without crashes).
+    pub unresolved: u64,
+    /// Engine events validated across all runs.
+    pub events: u64,
+    /// Runs whose linearizability check exhausted its budget.
+    pub unknown: usize,
+    /// Validator violations across all runs (the gate: must be 0).
+    pub violations: usize,
+    /// Wall-clock spent on this row (ms).
+    pub wall_ms: u64,
+}
+
+/// Renders T6 rows as `BENCH_t6.json` (hand-rolled, no serde).
+pub fn t6_json(smoke: bool, seed_base: u64, rows: &[T6Report]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"T6 chaos soak (at-chaos nemesis vs live clusters)\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"seed_base\": {seed_base},\n"));
+    out.push_str("  \"results\": [\n");
+    let mut first = true;
+    for row in rows {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"transport\": \"{}\", \"runs\": {}, \
+             \"distinct_schedules\": {}, \"submitted\": {}, \"committed\": {}, \
+             \"unresolved\": {}, \"events\": {}, \"unknown\": {}, \"violations\": {}, \
+             \"wall_ms\": {}}}",
+            row.backend,
+            row.transport,
+            row.runs,
+            row.distinct_schedules,
+            row.submitted,
+            row.committed,
+            row.unresolved,
+            row.events,
+            row.unknown,
+            row.violations,
+            row.wall_ms,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 /// The markdown table header matching [`format_row`].
 pub fn table_header() -> String {
     [
@@ -572,6 +637,45 @@ mod tests {
         assert!(json.contains("\"experiment\": \"T5 real-cluster loadgen"));
         assert!(json.contains("\"throughput_tps\": 12300.0"));
         assert!(json.contains("\"converged\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn t6_json_is_well_formed() {
+        let rows = vec![
+            T6Report {
+                backend: "echo".into(),
+                transport: "tcp".into(),
+                runs: 50,
+                distinct_schedules: 50,
+                submitted: 12_000,
+                committed: 12_000,
+                unresolved: 0,
+                events: 77_000,
+                unknown: 0,
+                violations: 0,
+                wall_ms: 40_000,
+            },
+            T6Report {
+                backend: "bracha".into(),
+                transport: "mesh".into(),
+                runs: 1,
+                distinct_schedules: 1,
+                submitted: 100,
+                committed: 100,
+                unresolved: 0,
+                events: 644,
+                unknown: 0,
+                violations: 0,
+                wall_ms: 200,
+            },
+        ];
+        let json = t6_json(true, 0xC4A0, &rows);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"experiment\": \"T6 chaos soak"));
+        assert!(json.contains("\"backend\": \"echo\""));
+        assert!(json.contains("\"transport\": \"mesh\""));
+        assert!(json.contains("\"distinct_schedules\": 50"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -1,0 +1,815 @@
+//! The chaos runner: drive a live cluster under a nemesis schedule,
+//! then validate the recorded history.
+//!
+//! One [`run_seeded`] call is a complete Jepsen-style experiment:
+//!
+//! 1. boot an `n`-node cluster — loopback TCP with client gateways, or
+//!    the in-process channel mesh — with a seeded
+//!    [`at_net::FaultInjector`] under every link and a shared
+//!    [`at_node::EventProbe`] over every node;
+//! 2. hammer it with one closed-loop client per node (pipelined
+//!    transfers over the real wire protocol on TCP), while the nemesis
+//!    walks the schedule: partitions, wire loss, duplication, delay,
+//!    forced disconnects, warm crash/restarts, batch-timer skew;
+//! 3. heal, drain, and wait for quiescent convergence
+//!    ([`at_node::try_await_convergence`], which names the divergent
+//!    digest pair if it fails);
+//! 4. pin the final state with one read per account, then feed the
+//!    merged event recording plus the final reports through the *same*
+//!    validator battery the schedule explorer applies to simulated
+//!    executions ([`at_check::validate_recorded`]): bounded
+//!    linearizability, per-source FIFO-exactly-once, conflict-freedom,
+//!    digest agreement, supply conservation — plus the live-cluster
+//!    extras: zero real frame loss and zero lost acknowledgements when
+//!    no crash was scheduled.
+//!
+//! Every violation carries the seed, and the schedule is a pure
+//! function of the seed — the repro story `chaos_soak` prints.
+
+use crate::nemesis::{generate_schedule, NemesisChoice};
+use at_broadcast::auth::NoAuth;
+use at_broadcast::bracha::BrachaBroadcast;
+use at_broadcast::echo::EchoBroadcast;
+use at_broadcast::{AccountOrderBackend, SecureBroadcast};
+use at_check::{validate_recorded, Failure, FailureKind, RecordedRun};
+use at_engine::replica::EnginePayload;
+use at_engine::EngineConfig;
+use at_model::codec::{Decode, Encode};
+use at_model::{AccountId, Amount, ProcessId};
+use at_net::transport::FaultInjector;
+use at_net::VirtualTime;
+use at_node::{
+    start_mesh_cluster_with, start_tcp_cluster_with, try_await_convergence, Client, ClusterOptions,
+    ConvergenceOptions, EventProbe, NodeConfig, NodeHandle, NodeReport, ResponseBody, TcpOptions,
+};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which transport a chaos run exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosTransport {
+    /// Loopback TCP with client gateways (crash/restart supported).
+    Tcp,
+    /// The in-process channel mesh (no sockets; crash steps skipped).
+    Mesh,
+}
+
+impl ChaosTransport {
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosTransport::Tcp => "tcp",
+            ChaosTransport::Mesh => "mesh",
+        }
+    }
+}
+
+/// Shape of one chaos experiment (everything except the seed).
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Cluster size (processes == accounts).
+    pub n: usize,
+    /// Initial balance of every account (deep, so admission noise never
+    /// obscures a real violation).
+    pub initial: u64,
+    /// Transfers each node's client submits over the run.
+    pub quota: usize,
+    /// Max transfers a client keeps in flight (closed loop).
+    pub pipeline: usize,
+    /// Nemesis disruptions per generated schedule.
+    pub disruptions: usize,
+    /// Replica batch size cap.
+    pub batch: usize,
+    /// Replica batch window (µs).
+    pub window_us: u64,
+    /// Node budget of the final linearizability check.
+    pub check_nodes: usize,
+    /// How long the post-heal drain may take before the run is declared
+    /// non-convergent.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            n: 4,
+            initial: 1_000_000,
+            quota: 60,
+            pipeline: 16,
+            disruptions: 5,
+            batch: 32,
+            window_us: 500,
+            check_nodes: 500_000,
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The outcome of one chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Backend label (`echo` / `bracha` / `acctorder`).
+    pub backend: String,
+    /// Transport label (`tcp` / `mesh`).
+    pub transport: &'static str,
+    /// Cluster size.
+    pub n: usize,
+    /// The schedule seed (full repro key together with the config).
+    pub seed: u64,
+    /// The executed schedule.
+    pub schedule: Vec<NemesisChoice>,
+    /// Transfers submitted across all clients.
+    pub submitted: u64,
+    /// Commit acknowledgements received.
+    pub committed: u64,
+    /// Rejection acknowledgements received.
+    pub rejected: u64,
+    /// Submissions whose acknowledgement was lost to a connection break
+    /// (only possible around a crash step).
+    pub unresolved: u64,
+    /// Submissions still awaiting their acknowledgement when the client
+    /// drain deadline expired (slow drain, not loss; expected 0).
+    pub timed_out: u64,
+    /// Engine events the probe recorded.
+    pub events_recorded: usize,
+    /// Whether the cluster reached quiescent digest agreement.
+    pub converged: bool,
+    /// Final ledger digest (replica 0).
+    pub digest: u64,
+    /// Final per-account balances (replica 0) — the determinism oracle.
+    pub balances: Vec<u64>,
+    /// Real frame loss across all transports (must be 0 after
+    /// heal-and-drain).
+    pub dropped_frames: u64,
+    /// Validator violations (empty = the run upheld the paper's
+    /// guarantees under this fault script).
+    pub violations: Vec<Failure>,
+    /// Whether the linearizability check exhausted its budget (neither
+    /// verdict; should be false).
+    pub unknown: bool,
+}
+
+impl ChaosReport {
+    /// One compact log line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{} seed {}: {} steps, {} submitted, {} committed, {} rejected, {} unresolved, \
+             {} timed out, {} events, converged={}, dropped={}, violations={}{}",
+            self.backend,
+            self.transport,
+            self.seed,
+            self.schedule.len(),
+            self.submitted,
+            self.committed,
+            self.rejected,
+            self.unresolved,
+            self.timed_out,
+            self.events_recorded,
+            self.converged,
+            self.dropped_frames,
+            self.violations.len(),
+            if self.unknown { " (unknown)" } else { "" },
+        )
+    }
+}
+
+/// Loss counters harvested from node incarnations retired mid-run (a
+/// `CrashRestart` step drops the old incarnation's `NodeReport`, and
+/// its counters with it — the validator must still see them).
+#[derive(Clone, Copy, Debug, Default)]
+struct LossCounters {
+    dropped: u64,
+    lost_ingest: u64,
+    malformed: u64,
+}
+
+/// Wall-clock the schedule itself spends (run windows + crash downtime).
+fn schedule_wall(schedule: &[NemesisChoice]) -> Duration {
+    let ms: u64 = schedule
+        .iter()
+        .map(|choice| match choice {
+            NemesisChoice::Run { ms } => u64::from(*ms),
+            NemesisChoice::CrashRestart { down_ms, .. } => u64::from(*down_ms) + 200,
+            _ => 2,
+        })
+        .sum();
+    Duration::from_millis(ms)
+}
+
+/// Per-client tally.
+#[derive(Default)]
+struct Tally {
+    submitted: u64,
+    committed: u64,
+    rejected: u64,
+    /// Acknowledgements lost for good to a broken connection.
+    unresolved: u64,
+    /// Acknowledgements merely still outstanding when the client's
+    /// drain deadline expired — slow, not lost.
+    timed_out: u64,
+}
+
+/// The `k`-th transfer of client `i`: rotating destination, varying
+/// amount — deterministic, so a replayed run submits the same workload.
+fn workload(i: usize, k: usize, n: usize) -> (AccountId, Amount) {
+    let dest = (i + 1 + (k % (n - 1))) % n;
+    (AccountId::new(dest as u32), Amount::new(1 + (k % 3) as u64))
+}
+
+/// A TCP chaos client: closed-loop pipelined submissions against the
+/// node's gateway, reconnecting (to the *current* directory address)
+/// whenever a crash or stop breaks the connection.
+fn tcp_client_loop(
+    i: usize,
+    n: usize,
+    quota: usize,
+    pipeline: usize,
+    addrs: Arc<Mutex<Vec<SocketAddr>>>,
+    submissions_open: Arc<AtomicBool>,
+    deadline: Instant,
+) -> Tally {
+    let mut tally = Tally::default();
+    let mut sent = 0usize;
+    let mut client: Option<Client> = None;
+    loop {
+        let submitting = sent < quota && submissions_open.load(Ordering::Relaxed);
+        let outstanding = client.as_ref().map_or(0, Client::outstanding);
+        if !submitting && outstanding == 0 {
+            return tally;
+        }
+        if Instant::now() >= deadline {
+            // Still-outstanding acks at the deadline are slow, not
+            // lost — classified apart from connection-break losses.
+            tally.timed_out += outstanding;
+            return tally;
+        }
+        let Some(c) = client.as_mut() else {
+            let addr = addrs.lock().expect("addrs poisoned")[i];
+            match Client::connect(addr) {
+                Ok(c) => client = Some(c),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+            continue;
+        };
+        let mut io_err = false;
+        while submitting && sent < quota && c.outstanding() < pipeline as u64 {
+            let (dest, amount) = workload(i, sent, n);
+            match c.submit_transfer(dest, amount) {
+                Ok(_) => {
+                    sent += 1;
+                    tally.submitted += 1;
+                }
+                Err(_) => {
+                    io_err = true;
+                    break;
+                }
+            }
+        }
+        if !io_err {
+            match c.recv_response(Duration::from_millis(20)) {
+                Ok(Some(response)) => match response.body {
+                    ResponseBody::Committed { .. } => tally.committed += 1,
+                    ResponseBody::Rejected { .. } => tally.rejected += 1,
+                    ResponseBody::Balance { .. } => {}
+                },
+                Ok(None) => {}
+                Err(_) => io_err = true,
+            }
+        }
+        if io_err {
+            // The connection died (node crash or gateway stop): every
+            // in-flight acknowledgement on it is gone for good.
+            tally.unresolved += c.outstanding();
+            client = None;
+        }
+    }
+}
+
+/// A mesh chaos client: the same closed loop over an in-process session.
+fn mesh_client_loop<B>(
+    handle: &NodeHandle<B>,
+    i: usize,
+    n: usize,
+    quota: usize,
+    pipeline: usize,
+    deadline: Instant,
+) -> Tally
+where
+    B: SecureBroadcast<EnginePayload>,
+{
+    let mut client = handle.local_client();
+    let mut tally = Tally::default();
+    let mut sent = 0usize;
+    let mut outstanding = 0u64;
+    while (sent < quota || outstanding > 0) && Instant::now() < deadline {
+        while sent < quota && outstanding < pipeline as u64 {
+            let (dest, amount) = workload(i, sent, n);
+            client.submit_transfer(dest, amount);
+            sent += 1;
+            outstanding += 1;
+            tally.submitted += 1;
+        }
+        if let Some(response) = client.recv_response(Duration::from_millis(20)) {
+            match response.body {
+                ResponseBody::Committed { .. } => {
+                    tally.committed += 1;
+                    outstanding -= 1;
+                }
+                ResponseBody::Rejected { .. } => {
+                    tally.rejected += 1;
+                    outstanding -= 1;
+                }
+                ResponseBody::Balance { .. } => {}
+            }
+        }
+    }
+    // A local client's channel never breaks: leftovers can only be
+    // deadline-slow acks.
+    tally.timed_out += outstanding;
+    tally
+}
+
+/// Applies one nemesis step to the fault plane (everything except
+/// crash/restart, which needs the cluster itself).
+fn apply_fault_step(faults: &FaultInjector, n: usize, choice: &NemesisChoice) {
+    let p = ProcessId::new;
+    match *choice {
+        NemesisChoice::Run { ms } => std::thread::sleep(Duration::from_millis(u64::from(ms))),
+        NemesisChoice::PartitionLink { from, to } => faults.set_blocked(p(from), p(to), true),
+        NemesisChoice::SplitBrain { boundary } => {
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    if a != b && ((a <= boundary) != (b <= boundary)) {
+                        faults.set_blocked(p(a), p(b), true);
+                    }
+                }
+            }
+        }
+        NemesisChoice::Degrade {
+            from,
+            to,
+            drop_pct,
+            dup_pct,
+            delay_us,
+        } => {
+            let mut profile = faults.link(p(from), p(to));
+            profile.drop_pct = drop_pct;
+            profile.dup_pct = dup_pct;
+            profile.delay_us = delay_us;
+            faults.set_link(p(from), p(to), profile);
+        }
+        NemesisChoice::Disconnect { from, to } => faults.force_disconnect(p(from), p(to)),
+        NemesisChoice::Heal => faults.heal_all(),
+        NemesisChoice::CrashRestart { .. } | NemesisChoice::SkewTimers { .. } => {
+            unreachable!("handled by the cluster-side executor")
+        }
+    }
+}
+
+/// Folds the final cluster state + recording into the report, running
+/// the shared validator battery.
+#[allow(clippy::too_many_arguments)]
+fn finalize(
+    config: &ChaosConfig,
+    backend: &str,
+    transport: ChaosTransport,
+    seed: u64,
+    schedule: &[NemesisChoice],
+    tallies: Vec<Tally>,
+    reports: Vec<NodeReport>,
+    converged: bool,
+    convergence_failure: Option<Failure>,
+    carried_loss: LossCounters,
+    pin_failure: Option<String>,
+    probe: &EventProbe,
+) -> ChaosReport {
+    let n = config.n;
+    let mut violations = Vec::new();
+    if let Some(failure) = convergence_failure {
+        violations.push(failure);
+    }
+    if let Some(detail) = pin_failure {
+        // The state-pinning reads are part of the certification: a run
+        // whose final state never entered the history is *unchecked*,
+        // not clean.
+        violations.push(Failure {
+            kind: FailureKind::Incomplete,
+            detail,
+        });
+    }
+
+    // Final reports plus the loss counters harvested from incarnations
+    // a CrashRestart step retired (their counters die with the loop).
+    let dropped: u64 = reports.iter().map(|r| r.dropped_frames).sum::<u64>() + carried_loss.dropped;
+    let lost_ingest: u64 =
+        reports.iter().map(|r| r.lost_ingest).sum::<u64>() + carried_loss.lost_ingest;
+    let malformed: u64 =
+        reports.iter().map(|r| r.malformed_frames).sum::<u64>() + carried_loss.malformed;
+    if dropped + lost_ingest + malformed > 0 {
+        violations.push(Failure {
+            kind: FailureKind::FrameLoss,
+            detail: format!(
+                "reliable regime broken after heal-and-drain: dropped={dropped} \
+                 lost_ingest={lost_ingest} malformed={malformed}"
+            ),
+        });
+    }
+
+    let crashed = schedule
+        .iter()
+        .any(|c| matches!(c, NemesisChoice::CrashRestart { .. }));
+    let submitted: u64 = tallies.iter().map(|t| t.submitted).sum();
+    let committed: u64 = tallies.iter().map(|t| t.committed).sum();
+    let rejected: u64 = tallies.iter().map(|t| t.rejected).sum();
+    let unresolved: u64 = tallies.iter().map(|t| t.unresolved).sum();
+    let timed_out: u64 = tallies.iter().map(|t| t.timed_out).sum();
+    if submitted != committed + rejected + unresolved + timed_out {
+        violations.push(Failure {
+            kind: FailureKind::Incomplete,
+            detail: format!(
+                "ack accounting broke: {submitted} submitted vs {committed} committed + \
+                 {rejected} rejected + {unresolved} unresolved + {timed_out} timed out"
+            ),
+        });
+    }
+    if !crashed && unresolved > 0 {
+        violations.push(Failure {
+            kind: FailureKind::Incomplete,
+            detail: format!("{unresolved} acknowledgements lost without any crash in the schedule"),
+        });
+    }
+    if timed_out > 0 {
+        // Distinct from loss: the drain was too slow for the client
+        // deadline. Still a failed certification, but the diagnosis
+        // (and the fix — longer drain_timeout) differs.
+        violations.push(Failure {
+            kind: FailureKind::Incomplete,
+            detail: format!(
+                "{timed_out} acknowledgements still outstanding when the client drain \
+                 deadline expired (slow drain, not loss)"
+            ),
+        });
+    }
+
+    let events = probe.take_sorted();
+    let events_recorded = events.len();
+    let run = RecordedRun {
+        n,
+        initial: config.initial,
+        events,
+        digests: reports.iter().map(|r| (r.node, r.digest)).collect(),
+        supplies: reports
+            .iter()
+            .map(|r| (r.node, r.balances.iter().map(|b| b.units()).sum()))
+            .collect(),
+    };
+    let (failure, unknown) = validate_recorded(&run, |_| true, config.check_nodes);
+    if let Some(failure) = failure {
+        // A timed-out convergence wait already reported this divergence
+        // (with the offending digest pair named): don't double-count
+        // the same defect.
+        let duplicate_divergence = failure.kind == FailureKind::Divergence
+            && violations.iter().any(|v| v.kind == FailureKind::Divergence);
+        if !duplicate_divergence {
+            violations.push(failure);
+        }
+    }
+
+    ChaosReport {
+        backend: backend.to_string(),
+        transport: transport.label(),
+        n,
+        seed,
+        schedule: schedule.to_vec(),
+        submitted,
+        committed,
+        rejected,
+        unresolved,
+        timed_out,
+        events_recorded,
+        converged,
+        digest: reports.first().map_or(0, |r| r.digest),
+        balances: reports
+            .first()
+            .map(|r| r.balances.iter().map(|b| b.units()).collect())
+            .unwrap_or_default(),
+        dropped_frames: dropped,
+        violations,
+        unknown,
+    }
+}
+
+fn node_config(config: &ChaosConfig) -> NodeConfig {
+    NodeConfig::new(
+        EngineConfig::sharded_batched(4, config.batch, VirtualTime::from_micros(config.window_us)),
+        Amount::new(config.initial),
+    )
+}
+
+fn convergence_failure(timeout: &at_node::ConvergenceTimeout) -> Failure {
+    Failure {
+        kind: if timeout.divergent.is_some() {
+            FailureKind::Divergence
+        } else {
+            FailureKind::Incomplete
+        },
+        detail: timeout.to_string(),
+    }
+}
+
+/// Runs one chaos experiment over loopback TCP (see the [module
+/// docs](self) for the phases).
+pub fn run_chaos_tcp<B, F>(
+    config: &ChaosConfig,
+    backend: &str,
+    seed: u64,
+    schedule: &[NemesisChoice],
+    make: F,
+) -> ChaosReport
+where
+    B: SecureBroadcast<EnginePayload> + 'static,
+    B::Msg: Encode + Decode + Send + 'static,
+    F: Fn(ProcessId) -> B,
+{
+    let n = config.n;
+    let faults = FaultInjector::new(seed);
+    let probe = EventProbe::new();
+    let options = ClusterOptions::tcp(TcpOptions::default())
+        .with_faults(faults.clone())
+        .with_probe(probe.clone());
+    let mut cluster =
+        start_tcp_cluster_with(n, node_config(config), options, make).expect("cluster start");
+
+    let addrs = Arc::new(Mutex::new(cluster.client_addrs.clone()));
+    let submissions_open = Arc::new(AtomicBool::new(true));
+    let deadline = Instant::now() + schedule_wall(schedule) + config.drain_timeout;
+    let clients: Vec<_> = (0..n)
+        .map(|i| {
+            let addrs = Arc::clone(&addrs);
+            let open = Arc::clone(&submissions_open);
+            let (quota, pipeline) = (config.quota, config.pipeline);
+            std::thread::spawn(move || {
+                tcp_client_loop(i, n, quota, pipeline, addrs, open, deadline)
+            })
+        })
+        .collect();
+
+    // The nemesis walks the schedule while the clients hammer.
+    let mut carried_loss = LossCounters::default();
+    for choice in schedule {
+        match *choice {
+            NemesisChoice::CrashRestart { node, down_ms } => {
+                let i = node as usize;
+                // Harvest the dying incarnation's loss counters — they
+                // die with its loop, and the FrameLoss gate must see
+                // loss from *before* the crash too. Transport drops are
+                // read just before the stop; ingest/decode losses come
+                // from `stop_counted`, which includes anything the stop
+                // itself discarded at grace expiry.
+                let handle = cluster.handles[i].as_ref().expect("victim running");
+                carried_loss.dropped += handle.report().dropped_frames;
+                let (replica, lost_ingest, malformed) = cluster.stop_node_counted(i);
+                carried_loss.lost_ingest += lost_ingest;
+                carried_loss.malformed += malformed;
+                std::thread::sleep(Duration::from_millis(u64::from(down_ms)));
+                cluster.restart_node(i, replica).expect("restart");
+                addrs.lock().expect("addrs poisoned")[i] = cluster.client_addrs[i];
+            }
+            NemesisChoice::SkewTimers { node, pct } => {
+                if let Some(handle) = cluster.handles[node as usize].as_ref() {
+                    handle.set_timer_skew(pct);
+                }
+            }
+            ref fault => apply_fault_step(&faults, n, fault),
+        }
+    }
+    faults.heal_all(); // idempotent: generated schedules end healed
+    submissions_open.store(false, Ordering::Relaxed);
+    let tallies: Vec<Tally> = clients
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    // Heal-and-drain: quiescent digest agreement across every node,
+    // crashed-and-restarted ones included (TCP outboxes replay what
+    // they missed).
+    let handles: Vec<_> = cluster.running().collect();
+    let outcome = try_await_convergence(
+        &handles,
+        ConvergenceOptions {
+            timeout: config.drain_timeout,
+            poll: Duration::from_millis(25),
+        },
+    );
+    drop(handles);
+    let (reports, converged, failure) = match outcome {
+        Ok(reports) => (reports, true, None),
+        Err(timeout) => {
+            let failure = convergence_failure(&timeout);
+            (timeout.last_reports.clone(), false, Some(failure))
+        }
+    };
+
+    let mut pin_failure = None;
+    if converged {
+        // Pin the converged state into the history: one read per
+        // account at node 0 (recorded as ReadObserved by the probe).
+        // These reads are part of the certification — a failure here
+        // means the final state never entered the history, so it is
+        // reported, not swallowed.
+        let pin = Client::connect(addrs.lock().expect("addrs poisoned")[0])
+            .map_err(|err| format!("state-pinning client failed to connect: {err}"))
+            .and_then(|mut reader| {
+                for account in 0..n as u32 {
+                    reader
+                        .read_balance(AccountId::new(account), Duration::from_secs(5))
+                        .map_err(|err| format!("state-pinning read of account {account}: {err}"))?;
+                }
+                Ok(())
+            });
+        pin_failure = pin.err();
+    }
+    cluster.stop_all();
+
+    finalize(
+        config,
+        backend,
+        ChaosTransport::Tcp,
+        seed,
+        schedule,
+        tallies,
+        reports,
+        converged,
+        failure,
+        carried_loss,
+        pin_failure,
+        &probe,
+    )
+}
+
+/// Runs one chaos experiment over the in-process channel mesh.
+/// [`NemesisChoice::CrashRestart`] steps are skipped (mesh endpoints
+/// cannot be re-wired); generated mesh schedules never contain them.
+pub fn run_chaos_mesh<B, F>(
+    config: &ChaosConfig,
+    backend: &str,
+    seed: u64,
+    schedule: &[NemesisChoice],
+    make: F,
+) -> ChaosReport
+where
+    B: SecureBroadcast<EnginePayload> + 'static,
+    B::Msg: Encode + Decode + Send + 'static,
+    F: Fn(ProcessId) -> B,
+{
+    let n = config.n;
+    let faults = FaultInjector::new(seed);
+    let probe = EventProbe::new();
+    let options = ClusterOptions::default()
+        .with_faults(faults.clone())
+        .with_probe(probe.clone());
+    let handles = Arc::new(start_mesh_cluster_with(
+        n,
+        node_config(config),
+        &options,
+        make,
+    ));
+
+    let deadline = Instant::now() + schedule_wall(schedule) + config.drain_timeout;
+    let clients: Vec<_> = (0..n)
+        .map(|i| {
+            let handles = Arc::clone(&handles);
+            let (quota, pipeline) = (config.quota, config.pipeline);
+            std::thread::spawn(move || {
+                mesh_client_loop(&handles[i], i, n, quota, pipeline, deadline)
+            })
+        })
+        .collect();
+
+    for choice in schedule {
+        match *choice {
+            NemesisChoice::CrashRestart { down_ms, .. } => {
+                // No re-wirable endpoints on the mesh: keep the
+                // schedule's timing shape without the crash.
+                std::thread::sleep(Duration::from_millis(u64::from(down_ms)));
+            }
+            NemesisChoice::SkewTimers { node, pct } => handles[node as usize].set_timer_skew(pct),
+            ref fault => apply_fault_step(&faults, n, fault),
+        }
+    }
+    faults.heal_all();
+    let tallies: Vec<Tally> = clients
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    let refs: Vec<&NodeHandle<B>> = handles.iter().collect();
+    let outcome = try_await_convergence(
+        &refs,
+        ConvergenceOptions {
+            timeout: config.drain_timeout,
+            poll: Duration::from_millis(25),
+        },
+    );
+    drop(refs);
+    let (reports, converged, failure) = match outcome {
+        Ok(reports) => (reports, true, None),
+        Err(timeout) => {
+            let failure = convergence_failure(&timeout);
+            (timeout.last_reports.clone(), false, Some(failure))
+        }
+    };
+
+    let mut pin_failure = None;
+    if converged {
+        // Pin the converged state: reads through node 0's local client
+        // (reported on failure — see the TCP runner).
+        let mut reader = handles[0].local_client();
+        for account in 0..n as u32 {
+            if reader
+                .read(AccountId::new(account), Duration::from_secs(5))
+                .is_none()
+            {
+                pin_failure = Some(format!("state-pinning read of account {account} timed out"));
+                break;
+            }
+        }
+    }
+    let handles = Arc::try_unwrap(handles)
+        .unwrap_or_else(|_| panic!("client threads joined, no handle clones remain"));
+    for handle in handles {
+        handle.stop();
+    }
+
+    finalize(
+        config,
+        backend,
+        ChaosTransport::Mesh,
+        seed,
+        schedule,
+        tallies,
+        reports,
+        converged,
+        failure,
+        LossCounters::default(),
+        pin_failure,
+        &probe,
+    )
+}
+
+/// The production backend line-up of a soak (labels match at-check's).
+pub fn chaos_backends() -> Vec<&'static str> {
+    vec!["echo", "bracha", "acctorder"]
+}
+
+/// Runs one experiment with the schedule generated from `seed`,
+/// dispatching on backend label and transport. Crash steps are only
+/// generated for TCP runs.
+pub fn run_seeded(
+    config: &ChaosConfig,
+    backend: &str,
+    transport: ChaosTransport,
+    seed: u64,
+) -> ChaosReport {
+    let allow_crash = transport == ChaosTransport::Tcp;
+    let schedule = generate_schedule(seed, config.n, config.disruptions, allow_crash);
+    run_with_schedule(config, backend, transport, seed, &schedule)
+}
+
+/// [`run_seeded`] with an explicit schedule (the replay entry point).
+pub fn run_with_schedule(
+    config: &ChaosConfig,
+    backend: &str,
+    transport: ChaosTransport,
+    seed: u64,
+    schedule: &[NemesisChoice],
+) -> ChaosReport {
+    let n = config.n;
+    match (backend, transport) {
+        ("echo", ChaosTransport::Tcp) => run_chaos_tcp(config, backend, seed, schedule, |me| {
+            EchoBroadcast::<EnginePayload, NoAuth>::new(me, n, NoAuth)
+        }),
+        ("echo", ChaosTransport::Mesh) => run_chaos_mesh(config, backend, seed, schedule, |me| {
+            EchoBroadcast::<EnginePayload, NoAuth>::new(me, n, NoAuth)
+        }),
+        ("bracha", ChaosTransport::Tcp) => run_chaos_tcp(config, backend, seed, schedule, |me| {
+            BrachaBroadcast::<EnginePayload>::new(me, n)
+        }),
+        ("bracha", ChaosTransport::Mesh) => run_chaos_mesh(config, backend, seed, schedule, |me| {
+            BrachaBroadcast::<EnginePayload>::new(me, n)
+        }),
+        ("acctorder", ChaosTransport::Tcp) => {
+            run_chaos_tcp(config, backend, seed, schedule, |me| {
+                AccountOrderBackend::<EnginePayload, NoAuth>::new(me, n, NoAuth)
+            })
+        }
+        ("acctorder", ChaosTransport::Mesh) => {
+            run_chaos_mesh(config, backend, seed, schedule, |me| {
+                AccountOrderBackend::<EnginePayload, NoAuth>::new(me, n, NoAuth)
+            })
+        }
+        (other, _) => panic!("unknown backend {other:?} (echo|bracha|acctorder)"),
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end smoke of the chaos runner: real clusters under real
+//! nemesis schedules, validated by the shared at-check battery.
+
+use at_chaos::{
+    format_nemesis_schedule, run_seeded, run_with_schedule, ChaosConfig, ChaosTransport,
+    NemesisChoice,
+};
+use std::time::Duration;
+
+fn quick_config() -> ChaosConfig {
+    ChaosConfig {
+        quota: 30,
+        disruptions: 3,
+        drain_timeout: Duration::from_secs(20),
+        ..ChaosConfig::default()
+    }
+}
+
+#[test]
+fn tcp_cluster_survives_a_seeded_nemesis_schedule() {
+    let config = quick_config();
+    let report = run_seeded(&config, "echo", ChaosTransport::Tcp, 7);
+    assert!(
+        report.violations.is_empty(),
+        "schedule {}: {:?}",
+        format_nemesis_schedule(&report.schedule),
+        report.violations
+    );
+    assert!(report.converged);
+    assert_eq!(report.dropped_frames, 0);
+    assert!(report.submitted > 0);
+    assert!(report.committed > 0);
+    assert!(!report.unknown);
+    // The probe actually recorded the run (submissions, deliveries, and
+    // the final pinning reads).
+    assert!(report.events_recorded as u64 > report.committed);
+}
+
+#[test]
+fn mesh_cluster_survives_a_seeded_nemesis_schedule() {
+    let config = quick_config();
+    let report = run_seeded(&config, "bracha", ChaosTransport::Mesh, 3);
+    assert!(
+        report.violations.is_empty(),
+        "schedule {}: {:?}",
+        format_nemesis_schedule(&report.schedule),
+        report.violations
+    );
+    assert!(report.converged);
+    assert_eq!(report.dropped_frames, 0);
+    // No crash on the mesh, so every acknowledgement must resolve.
+    assert_eq!(report.unresolved, 0);
+    assert_eq!(report.submitted, report.committed + report.rejected);
+}
+
+#[test]
+fn tcp_crash_restart_schedule_recovers_and_validates() {
+    let config = quick_config();
+    // A hand-built schedule that definitely crashes a node mid-traffic.
+    let schedule = vec![
+        NemesisChoice::Run { ms: 30 },
+        NemesisChoice::Heal,
+        NemesisChoice::CrashRestart {
+            node: 2,
+            down_ms: 40,
+        },
+        NemesisChoice::Run { ms: 40 },
+        NemesisChoice::Heal,
+        NemesisChoice::Run { ms: 50 },
+    ];
+    let report = run_with_schedule(&config, "acctorder", ChaosTransport::Tcp, 5, &schedule);
+    assert!(
+        report.violations.is_empty(),
+        "schedule {}: {:?}",
+        format_nemesis_schedule(&report.schedule),
+        report.violations
+    );
+    assert!(report.converged, "restarted node must catch up");
+    assert_eq!(report.dropped_frames, 0);
+}

@@ -38,7 +38,9 @@ use at_broadcast::auth::NoAuth;
 use at_broadcast::bracha::BrachaBroadcast;
 use at_broadcast::echo::EchoBroadcast;
 use at_broadcast::secure::{AccountOrderBackend, SecureBroadcast};
-use at_engine::probe::{check_fifo_contract, history_from_events, rejections_locally_justified};
+use at_engine::probe::{
+    check_fifo_contract, history_from_events, rejections_locally_justified, TimedEvent,
+};
 use at_engine::{EngineActor, EngineConfig, EnginePayload};
 use at_model::{
     linearizable_bounded, AccountId, Amount, BoundedOutcome, CheckBudget, Ledger, ProcessId,
@@ -268,6 +270,11 @@ pub enum FailureKind {
     Supply,
     /// The execution failed to quiesce within the step cap.
     Incomplete,
+    /// A transport gave up on frames (`dropped_frames() > 0` or
+    /// discarded ingest), so the reliable-channel regime the protocols
+    /// assume did not hold — live-cluster runs (`at-chaos`) must end
+    /// with every injected fault healed *and* zero real loss.
+    FrameLoss,
 }
 
 /// One invariant violation with its human-readable evidence.
@@ -422,8 +429,146 @@ where
     sim
 }
 
-/// Drains the execution, injects the final reads, and checks every
-/// invariant. Returns `(failure, unknown)`.
+/// One finished execution reduced to what the invariants need — the
+/// common denominator of a simulator run and a recorded live-cluster
+/// run (`at-chaos` builds one from an `at_node::EventProbe` recording
+/// plus the cluster's final reports; [`evaluate`] builds one from a
+/// drained simulation).
+#[derive(Clone, Debug)]
+pub struct RecordedRun {
+    /// System size (processes == accounts).
+    pub n: usize,
+    /// Initial balance of every account.
+    pub initial: u64,
+    /// The merged engine event stream, in a real-time-consistent order.
+    pub events: Vec<TimedEvent>,
+    /// Final ledger digest of every replica in the agreement set.
+    pub digests: Vec<(ProcessId, u64)>,
+    /// Final total supply of every correct replica.
+    pub supplies: Vec<(ProcessId, u64)>,
+}
+
+/// Checks every safety invariant of one [`RecordedRun`] — the same
+/// battery [`explore`] applies per simulated schedule, over artifacts
+/// any runtime can produce. Returns `(failure, unknown)` where
+/// `unknown` marks a linearizability check that exhausted its node
+/// budget (neither verdict).
+///
+/// The battery, in order: negative admission responses are justified by
+/// the rejecting replica's local balance
+/// ([`at_engine::probe::rejections_locally_justified`]); every backend
+/// delivery stream is per-source FIFO-exactly-once
+/// ([`at_engine::probe::check_fifo_contract`]); no `(source, seq)`
+/// resolves to two different transfers at correct observers (from the
+/// `Applied` event streams); agreement-set digests agree; every correct
+/// replica conserves the supply; and the reconstructed client history
+/// linearizes ([`at_model::linearizable_bounded`]).
+pub fn validate_recorded(
+    run: &RecordedRun,
+    is_correct: impl Fn(ProcessId) -> bool,
+    check_nodes: usize,
+) -> (Option<Failure>, bool) {
+    let n = run.n;
+    // Negative responses stay out of the real-time history (see
+    // `at_engine::probe`) but must each be justified by the rejecting
+    // replica's local balance.
+    if let Err((_, observer, event)) =
+        rejections_locally_justified(&run.events, &is_correct, |account| {
+            (account.index() as usize) < n
+        })
+    {
+        return (
+            Some(Failure {
+                kind: FailureKind::UnjustifiedRejection,
+                detail: format!("replica {observer} rejected a fundable submission: {event:?}"),
+            }),
+            false,
+        );
+    }
+
+    // The backend delivery contract, observed at every correct replica
+    // (including a crash/restart victim: loss shortens its delivered
+    // prefix but never reorders it).
+    if let Err(violation) = check_fifo_contract(&run.events, &is_correct) {
+        return (
+            Some(Failure {
+                kind: FailureKind::Contract,
+                detail: violation.to_string(),
+            }),
+            false,
+        );
+    }
+
+    // Agreement: conflicting applications anywhere, digest divergence
+    // within the agreement set.
+    let mut by_seq: BTreeMap<(ProcessId, u64), BTreeSet<Transfer>> = BTreeMap::new();
+    for (_, observer, event) in &run.events {
+        if let at_engine::replica::EngineEvent::Applied { transfer } = event {
+            if is_correct(*observer) {
+                by_seq
+                    .entry((transfer.originator, transfer.seq.value()))
+                    .or_default()
+                    .insert(*transfer);
+            }
+        }
+    }
+    if let Some(((source, seq), transfers)) = by_seq.iter().find(|(_, set)| set.len() > 1) {
+        return (
+            Some(Failure {
+                kind: FailureKind::Conflict,
+                detail: format!(
+                    "({source}, seq {seq}) resolved to {} different transfers: {transfers:?}",
+                    transfers.len()
+                ),
+            }),
+            false,
+        );
+    }
+    if run.digests.windows(2).any(|w| w[0].1 != w[1].1) {
+        return (
+            Some(Failure {
+                kind: FailureKind::Divergence,
+                detail: format!("correct replicas diverged: digests {:?}", run.digests),
+            }),
+            false,
+        );
+    }
+
+    // Conservation at every correct replica.
+    let expected_supply = run.initial * n as u64;
+    for (p, supply) in &run.supplies {
+        if *supply != expected_supply {
+            return (
+                Some(Failure {
+                    kind: FailureKind::Supply,
+                    detail: format!("replica {p}: supply {supply} != {expected_supply}"),
+                }),
+                false,
+            );
+        }
+    }
+
+    // Linearizability of the reconstructed history.
+    let history = history_from_events(&run.events, &is_correct);
+    let initial = Ledger::uniform(n, Amount::new(run.initial));
+    match linearizable_bounded(&history, &initial, CheckBudget::nodes(check_nodes)) {
+        BoundedOutcome::Linearizable { .. } => (None, false),
+        BoundedOutcome::NotLinearizable => (
+            Some(Failure {
+                kind: FailureKind::NotLinearizable,
+                detail: format!("history:\n{history}"),
+            }),
+            false,
+        ),
+        // Exhaustion is always "unchecked", even at explored == 0 (a
+        // zero-node budget must not silently certify executions).
+        BoundedOutcome::BudgetExhausted { .. } => (None, true),
+    }
+}
+
+/// Drains the execution, injects the final reads, reduces the simulation
+/// to a [`RecordedRun`], and applies [`validate_recorded`]. Returns
+/// `(failure, unknown)`.
 fn evaluate<B: SecureBroadcast<EnginePayload>>(
     scenario: &CheckScenario,
     mut sim: Simulation<EngineActor<B>>,
@@ -463,107 +608,30 @@ fn evaluate<B: SecureBroadcast<EnginePayload>>(
     assert!(sim.run_until_quiet(100_000), "reads must not enqueue work");
     let events = sim.take_events();
 
-    // Negative responses stay out of the real-time history (see
-    // `at_engine::probe`) but must each be justified by the rejecting
-    // replica's local balance.
-    if let Err((_, observer, event)) = rejections_locally_justified(
-        &events,
-        |p| scenario.is_correct(p),
-        |account| (account.index() as usize) < n,
-    ) {
-        return (
-            Some(Failure {
-                kind: FailureKind::UnjustifiedRejection,
-                detail: format!("replica {observer} rejected a fundable submission: {event:?}"),
-            }),
-            false,
-        );
-    }
-
-    // (b) the backend delivery contract, observed at every correct
-    // replica (including a crash/restart victim: loss shortens its
-    // delivered prefix but never reorders it).
-    if let Err(violation) = check_fifo_contract(&events, |p| scenario.is_correct(p)) {
-        return (
-            Some(Failure {
-                kind: FailureKind::Contract,
-                detail: violation.to_string(),
-            }),
-            false,
-        );
-    }
-
-    // (c) agreement: conflicting applications and digest divergence.
+    // Reduce the finished simulation to runtime-agnostic artifacts and
+    // hand them to the shared validator battery. The per-(source, seq)
+    // conflict check reads the correct observers' `Applied` event
+    // streams — the applications themselves, as any runtime records
+    // them — instead of reaching into simulator replica internals.
     let honest: Vec<(ProcessId, &at_engine::ShardedReplica<B>)> = ProcessId::all(n)
         .filter(|p| scenario.is_correct(*p))
         .map(|p| (p, sim.actor(p).as_honest().expect("correct actor")))
         .collect();
-    for source in ProcessId::all(n) {
-        let mut by_seq: BTreeMap<u64, BTreeSet<Transfer>> = BTreeMap::new();
-        for (_, replica) in &honest {
-            for (seq, transfer) in replica.applied_from(source) {
-                by_seq.entry(*seq).or_default().insert(*transfer);
-            }
-        }
-        if let Some((seq, transfers)) = by_seq.iter().find(|(_, set)| set.len() > 1) {
-            return (
-                Some(Failure {
-                    kind: FailureKind::Conflict,
-                    detail: format!(
-                        "({source}, seq {seq}) resolved to {} different transfers: {transfers:?}",
-                        transfers.len()
-                    ),
-                }),
-                false,
-            );
-        }
-    }
-    let digests: Vec<(ProcessId, u64)> = honest
-        .iter()
-        .filter(|(p, _)| scenario.in_agreement_set(*p))
-        .map(|(p, replica)| (*p, replica.digest()))
-        .collect();
-    if digests.windows(2).any(|w| w[0].1 != w[1].1) {
-        return (
-            Some(Failure {
-                kind: FailureKind::Divergence,
-                detail: format!("correct replicas diverged: digests {digests:?}"),
-            }),
-            false,
-        );
-    }
-
-    // (d) conservation at every correct replica.
-    let expected_supply = Amount::new(scenario.initial * n as u64);
-    for (p, replica) in &honest {
-        let supply = replica.ledger().total_supply();
-        if supply != expected_supply {
-            return (
-                Some(Failure {
-                    kind: FailureKind::Supply,
-                    detail: format!("replica {p}: supply {supply} != {expected_supply}"),
-                }),
-                false,
-            );
-        }
-    }
-
-    // (a) linearizability of the reconstructed history.
-    let history = history_from_events(&events, |p| scenario.is_correct(p));
-    let initial = Ledger::uniform(n, Amount::new(scenario.initial));
-    match linearizable_bounded(&history, &initial, CheckBudget::nodes(check_nodes)) {
-        BoundedOutcome::Linearizable { .. } => (None, false),
-        BoundedOutcome::NotLinearizable => (
-            Some(Failure {
-                kind: FailureKind::NotLinearizable,
-                detail: format!("history:\n{history}"),
-            }),
-            false,
-        ),
-        // Exhaustion is always "unchecked", even at explored == 0 (a
-        // zero-node budget must not silently certify executions).
-        BoundedOutcome::BudgetExhausted { .. } => (None, true),
-    }
+    let run = RecordedRun {
+        n,
+        initial: scenario.initial,
+        events,
+        digests: honest
+            .iter()
+            .filter(|(p, _)| scenario.in_agreement_set(*p))
+            .map(|(p, replica)| (*p, replica.digest()))
+            .collect(),
+        supplies: honest
+            .iter()
+            .map(|(p, replica)| (*p, replica.ledger().total_supply().units()))
+            .collect(),
+    };
+    validate_recorded(&run, |p| scenario.is_correct(p), check_nodes)
 }
 
 /// The generic exploration loop: random walks, then the bounded DFS.
@@ -721,6 +789,59 @@ mod tests {
         };
         assert!(report.table_row().starts_with("| s | bracha | 10 | 9 |"));
         assert!(ExplorationReport::table_header().contains("violations"));
+    }
+
+    #[test]
+    fn validate_recorded_flags_synthetic_violations() {
+        use at_engine::replica::EngineEvent;
+        use at_model::{AccountId, SeqNo};
+        use at_net::VirtualTime;
+        let p = ProcessId::new;
+        let a = AccountId::new;
+        let clean = RecordedRun {
+            n: 3,
+            initial: 10,
+            events: vec![],
+            digests: vec![(p(0), 7), (p(1), 7), (p(2), 7)],
+            supplies: vec![(p(0), 30), (p(1), 30), (p(2), 30)],
+        };
+        let (failure, unknown) = validate_recorded(&clean, |_| true, 1000);
+        assert!(failure.is_none() && !unknown);
+
+        // Digest divergence.
+        let mut diverged = clean.clone();
+        diverged.digests[2].1 = 8;
+        let (failure, _) = validate_recorded(&diverged, |_| true, 1000);
+        assert_eq!(failure.unwrap().kind, FailureKind::Divergence);
+
+        // Supply loss.
+        let mut leaky = clean.clone();
+        leaky.supplies[1].1 = 29;
+        let (failure, _) = validate_recorded(&leaky, |_| true, 1000);
+        assert_eq!(failure.unwrap().kind, FailureKind::Supply);
+
+        // Conflicting applications of one (source, seq) — straight from
+        // the Applied event streams, no replica internals involved.
+        let mut conflicted = clean.clone();
+        let t1 = Transfer::new(a(0), a(1), Amount::new(5), p(0), SeqNo::new(1));
+        let t2 = Transfer::new(a(0), a(2), Amount::new(5), p(0), SeqNo::new(1));
+        conflicted.events = vec![
+            (
+                VirtualTime::ZERO,
+                p(1),
+                EngineEvent::Applied { transfer: t1 },
+            ),
+            (
+                VirtualTime::ZERO,
+                p(2),
+                EngineEvent::Applied { transfer: t2 },
+            ),
+        ];
+        let (failure, _) = validate_recorded(&conflicted, |_| true, 1000);
+        assert_eq!(failure.unwrap().kind, FailureKind::Conflict);
+        // The same stream at a Byzantine observer is exempt.
+        let (failure, _) = validate_recorded(&conflicted, |q| q == p(1), 1000);
+        assert!(failure.is_none());
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub use explorer::{
     Schedule,
 };
 pub use harness::{
-    explore, standard_check_scenarios, CheckAdversary, CheckBackend, CheckScenario, Counterexample,
-    ExplorationReport, ExploreBudget, Failure, FailureKind,
+    explore, standard_check_scenarios, validate_recorded, CheckAdversary, CheckBackend,
+    CheckScenario, Counterexample, ExplorationReport, ExploreBudget, Failure, FailureKind,
+    RecordedRun,
 };

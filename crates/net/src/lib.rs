@@ -62,4 +62,6 @@ pub use sim::{
     Actor, Context, ContextOutputs, EntryKind, LinkFault, PendingEntry, SimStats, Simulation,
 };
 pub use time::VirtualTime;
-pub use transport::{InboundFrame, RecvOutcome, Transport};
+pub use transport::{
+    FaultInjector, InboundFrame, LinkProfile, LinkVerdict, RecvOutcome, Transport,
+};

@@ -2,16 +2,53 @@
 //! mesh or real loopback TCP, and wait for convergence.
 
 use crate::gateway::ClientGateway;
-use crate::mesh::channel_mesh;
+use crate::mesh::{channel_mesh, channel_mesh_faulty};
 use crate::node::{Node, NodeConfig, NodeHandle, NodeReport};
+use crate::probe::EventProbe;
 use crate::tcp::{peer_directory, PeerDirectory, TcpOptions, TcpTransport};
 use at_broadcast::SecureBroadcast;
 use at_engine::replica::EnginePayload;
 use at_engine::ShardedReplica;
 use at_model::codec::{Decode, Encode};
 use at_model::ProcessId;
+use at_net::transport::FaultInjector;
+use std::fmt;
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
+
+/// Everything a cluster start needs beyond the node configuration: the
+/// TCP knobs plus the optional chaos attachments.
+#[derive(Clone, Default)]
+pub struct ClusterOptions {
+    /// TCP transport tuning (ignored by mesh clusters).
+    pub tcp: TcpOptions,
+    /// Nemesis fault injector shared by every node's transport.
+    pub faults: Option<FaultInjector>,
+    /// Shared history recorder attached to every node.
+    pub probe: Option<EventProbe>,
+}
+
+impl ClusterOptions {
+    /// Plain options wrapping the given TCP knobs (no chaos).
+    pub fn tcp(tcp: TcpOptions) -> Self {
+        ClusterOptions {
+            tcp,
+            ..ClusterOptions::default()
+        }
+    }
+
+    /// Attaches a fault injector.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Attaches an event probe.
+    pub fn with_probe(mut self, probe: EventProbe) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+}
 
 /// A running TCP loopback cluster.
 pub struct TcpCluster<B: SecureBroadcast<EnginePayload>> {
@@ -23,7 +60,7 @@ pub struct TcpCluster<B: SecureBroadcast<EnginePayload>> {
     /// The client gateway address of each node.
     pub client_addrs: Vec<SocketAddr>,
     config: NodeConfig,
-    options: TcpOptions,
+    options: ClusterOptions,
 }
 
 /// Starts `n` nodes over in-process channels (no sockets); `make` builds
@@ -34,12 +71,32 @@ where
     B::Msg: Encode + Decode + Send + 'static,
     F: Fn(ProcessId) -> B,
 {
-    channel_mesh(n, 65_536)
+    start_mesh_cluster_with(n, config, &ClusterOptions::default(), make)
+}
+
+/// [`start_mesh_cluster`] with chaos attachments: the mesh links obey
+/// `options.faults` and every node records into `options.probe`.
+pub fn start_mesh_cluster_with<B, F>(
+    n: usize,
+    config: NodeConfig,
+    options: &ClusterOptions,
+    make: F,
+) -> Vec<NodeHandle<B>>
+where
+    B: SecureBroadcast<EnginePayload> + 'static,
+    B::Msg: Encode + Decode + Send + 'static,
+    F: Fn(ProcessId) -> B,
+{
+    let endpoints = match &options.faults {
+        Some(faults) => channel_mesh_faulty(n, 65_536, faults.clone()),
+        None => channel_mesh(n, 65_536),
+    };
+    endpoints
         .into_iter()
         .enumerate()
         .map(|(i, mesh)| {
             let me = ProcessId::new(i as u32);
-            Node::start(me, n, config, make(me), mesh, None)
+            Node::start_probed(me, n, config, make(me), mesh, None, options.probe.clone())
         })
         .collect()
 }
@@ -50,6 +107,23 @@ pub fn start_tcp_cluster<B, F>(
     n: usize,
     config: NodeConfig,
     options: TcpOptions,
+    make: F,
+) -> std::io::Result<TcpCluster<B>>
+where
+    B: SecureBroadcast<EnginePayload> + 'static,
+    B::Msg: Encode + Decode + Send + 'static,
+    F: Fn(ProcessId) -> B,
+{
+    start_tcp_cluster_with(n, config, ClusterOptions::tcp(options), make)
+}
+
+/// [`start_tcp_cluster`] with chaos attachments: every node's transport
+/// consults `options.faults` and records into `options.probe` (both
+/// survive node restarts through the cluster handle).
+pub fn start_tcp_cluster_with<B, F>(
+    n: usize,
+    config: NodeConfig,
+    options: ClusterOptions,
     make: F,
 ) -> std::io::Result<TcpCluster<B>>
 where
@@ -69,17 +143,23 @@ where
     let mut client_addrs = Vec::with_capacity(n);
     for (i, listener) in listeners.into_iter().enumerate() {
         let me = ProcessId::new(i as u32);
-        let transport =
-            TcpTransport::start(me, listener, std::sync::Arc::clone(&directory), options)?;
+        let transport = TcpTransport::start_with_faults(
+            me,
+            listener,
+            std::sync::Arc::clone(&directory),
+            options.tcp,
+            options.faults.clone(),
+        )?;
         let gateway = ClientGateway::bind("127.0.0.1:0")?;
         client_addrs.push(gateway.local_addr()?);
-        handles.push(Some(Node::start(
+        handles.push(Some(Node::start_probed(
             me,
             n,
             config,
             make(me),
             transport,
             Some(gateway),
+            options.probe.clone(),
         )));
     }
     Ok(TcpCluster {
@@ -105,23 +185,42 @@ where
         self.handles[i].take().expect("node already stopped").stop()
     }
 
+    /// [`TcpCluster::stop_node`] that also returns the incarnation's
+    /// final `(lost_ingest, malformed_frames)` counters (see
+    /// [`NodeHandle::stop_counted`]) — they die with the node loop, and
+    /// a loss-gating harness must fold them into its run totals.
+    pub fn stop_node_counted(&mut self, i: usize) -> (ShardedReplica<B>, u64, u64) {
+        self.handles[i]
+            .take()
+            .expect("node already stopped")
+            .stop_counted()
+    }
+
     /// Restarts node `i` from warm replica state on a fresh port
     /// (announced through the live directory; peers reconnect and
-    /// replay everything it missed) with a fresh client gateway.
+    /// replay everything it missed) with a fresh client gateway. Fault
+    /// injector and probe attachments carry over.
     pub fn restart_node(&mut self, i: usize, replica: ShardedReplica<B>) -> std::io::Result<()> {
         assert!(self.handles[i].is_none(), "node {i} is still running");
         let me = replica.me();
         let listener = TcpListener::bind("127.0.0.1:0")?;
         self.directory.lock().expect("directory poisoned")[i] = listener.local_addr()?;
-        let transport = TcpTransport::start(
+        let transport = TcpTransport::start_with_faults(
             me,
             listener,
             std::sync::Arc::clone(&self.directory),
-            self.options,
+            self.options.tcp,
+            self.options.faults.clone(),
         )?;
         let gateway = ClientGateway::bind("127.0.0.1:0")?;
         self.client_addrs[i] = gateway.local_addr()?;
-        self.handles[i] = Some(Node::resume(replica, self.config, transport, Some(gateway)));
+        self.handles[i] = Some(Node::resume_probed(
+            replica,
+            self.config,
+            transport,
+            Some(gateway),
+            self.options.probe.clone(),
+        ));
         Ok(())
     }
 
@@ -140,11 +239,104 @@ where
     }
 }
 
+/// Tuning of a convergence wait (see [`try_await_convergence`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ConvergenceOptions {
+    /// Total time to wait before giving up.
+    pub timeout: Duration,
+    /// Interval between report polls. Under injected delay a cluster
+    /// legitimately converges slowly; a chaos harness stretches both
+    /// knobs instead of flaking on a fixed schedule.
+    pub poll: Duration,
+}
+
+impl ConvergenceOptions {
+    /// The given timeout with the default 20ms poll.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        ConvergenceOptions {
+            timeout,
+            poll: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Default for ConvergenceOptions {
+    fn default() -> Self {
+        ConvergenceOptions::with_timeout(Duration::from_secs(30))
+    }
+}
+
+/// Diagnostic payload of a convergence timeout: what the cluster looked
+/// like when the deadline expired, instead of a bare `None`.
+#[derive(Clone, Debug)]
+pub struct ConvergenceTimeout {
+    /// The final reports polled before giving up.
+    pub last_reports: Vec<NodeReport>,
+    /// The first divergent digest pair in the final poll (`None` when
+    /// the digests agreed but some replica was still non-quiescent).
+    pub divergent: Option<((ProcessId, u64), (ProcessId, u64))>,
+}
+
+impl fmt::Display for ConvergenceTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.divergent {
+            Some(((p, d), (q, e))) => write!(
+                f,
+                "convergence timed out: digests diverge ({p}: {d:016x} vs {q}: {e:016x})"
+            ),
+            None => {
+                let pending: u64 = self.last_reports.iter().map(|r| r.pending).sum();
+                write!(
+                    f,
+                    "convergence timed out: digests agree but {pending} entries still pending"
+                )
+            }
+        }
+    }
+}
+
 /// Polls `handles` until every replica reports the same ledger digest
 /// twice in a row with empty pending queues (quiescent convergence),
-/// returning the final reports — or `None` on timeout. (Runtime
-/// counters like `applied` are deliberately not compared: they reset on
-/// a warm restart; the digest is the replica-state ground truth.)
+/// returning the final reports — or the last observed state on timeout.
+/// (Runtime counters like `applied` are deliberately not compared: they
+/// reset on a warm restart; the digest is the replica-state ground
+/// truth.)
+pub fn try_await_convergence<B>(
+    handles: &[&NodeHandle<B>],
+    options: ConvergenceOptions,
+) -> Result<Vec<NodeReport>, ConvergenceTimeout>
+where
+    B: SecureBroadcast<EnginePayload>,
+{
+    let deadline = Instant::now() + options.timeout;
+    let mut previous: Option<Vec<NodeReport>> = None;
+    loop {
+        let reports: Vec<NodeReport> = handles.iter().map(|h| h.report()).collect();
+        let divergent = reports.windows(2).find_map(|w| {
+            (w[0].digest != w[1].digest)
+                .then(|| ((w[0].node, w[0].digest), (w[1].node, w[1].digest)))
+        });
+        let quiescent = reports.iter().all(|r| r.pending == 0);
+        if divergent.is_none() && quiescent {
+            if previous.as_ref() == Some(&reports) {
+                return Ok(reports);
+            }
+            previous = Some(reports.clone());
+        } else {
+            previous = None;
+        }
+        if Instant::now() >= deadline {
+            return Err(ConvergenceTimeout {
+                last_reports: reports,
+                divergent,
+            });
+        }
+        std::thread::sleep(options.poll);
+    }
+}
+
+/// [`try_await_convergence`] with the default poll interval, collapsing
+/// the diagnostic to `None` — the original fixed-shape helper.
 pub fn await_convergence<B>(
     handles: &[&NodeHandle<B>],
     timeout: Duration,
@@ -152,23 +344,5 @@ pub fn await_convergence<B>(
 where
     B: SecureBroadcast<EnginePayload>,
 {
-    let deadline = Instant::now() + timeout;
-    let mut previous: Option<Vec<NodeReport>> = None;
-    loop {
-        let reports: Vec<NodeReport> = handles.iter().map(|h| h.report()).collect();
-        let digests_equal = reports.windows(2).all(|w| w[0].digest == w[1].digest);
-        let quiescent = reports.iter().all(|r| r.pending == 0);
-        if digests_equal && quiescent {
-            if previous.as_ref() == Some(&reports) {
-                return Some(reports);
-            }
-            previous = Some(reports);
-        } else {
-            previous = None;
-        }
-        if Instant::now() >= deadline {
-            return None;
-        }
-        std::thread::sleep(Duration::from_millis(20));
-    }
+    try_await_convergence(handles, ConvergenceOptions::with_timeout(timeout)).ok()
 }

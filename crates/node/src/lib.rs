@@ -23,7 +23,11 @@
 //!   gateway, and a pipelining [`Client`] library with
 //!   acknowledgement tracking;
 //! * [`cluster`] — N-node loopback clusters (mesh or TCP) and the
-//!   [`await_convergence`] poll used by tests and the `loadgen` bench.
+//!   [`await_convergence`] poll used by tests and the `loadgen` bench;
+//! * [`probe`] — the shared [`EventProbe`] recorder that turns a live
+//!   cluster run into the same checkable event stream the simulator
+//!   produces (consumed by `at-chaos` and at-check's recorded-run
+//!   validators).
 //!
 //! See [`Node`] for a runnable three-node cluster example, and the
 //! README's *Running a real cluster* section for the TCP story.
@@ -36,14 +40,20 @@ pub mod cluster;
 pub mod gateway;
 pub mod mesh;
 pub mod node;
+pub mod probe;
 pub mod tcp;
 pub mod wire;
 
 pub use client::Client;
-pub use cluster::{await_convergence, start_mesh_cluster, start_tcp_cluster, TcpCluster};
+pub use cluster::{
+    await_convergence, start_mesh_cluster, start_mesh_cluster_with, start_tcp_cluster,
+    start_tcp_cluster_with, try_await_convergence, ClusterOptions, ConvergenceOptions,
+    ConvergenceTimeout, TcpCluster,
+};
 pub use gateway::ClientGateway;
-pub use mesh::{channel_mesh, ChannelMesh};
+pub use mesh::{channel_mesh, channel_mesh_faulty, ChannelMesh};
 pub use node::{LocalClient, Node, NodeConfig, NodeHandle, NodeReport};
+pub use probe::EventProbe;
 pub use tcp::{peer_directory, PeerDirectory, TcpOptions, TcpTransport};
 pub use wire::{
     ClientOp, ClientRequest, ClientResponse, Frame, FrameBuffer, ResponseBody, WireError,

@@ -26,6 +26,7 @@
 //! machines — so the loop thread is the only place replica state lives.
 
 use crate::gateway::{ClientGateway, GatewayEvent, GatewayStop};
+use crate::probe::EventProbe;
 use crate::wire::{
     decode_peer_payload, encode_peer_payload, ClientOp, ClientRequest, ClientResponse, ResponseBody,
 };
@@ -118,6 +119,7 @@ enum Command {
     Request { conn: u64, request: ClientRequest },
     ClientGone { conn: u64 },
     Inspect(Sender<NodeReport>),
+    SetTimerSkew(u32),
     Stop,
 }
 
@@ -156,6 +158,15 @@ impl<B: at_broadcast::SecureBroadcast<EnginePayload>> NodeHandle<B> {
         rx.recv().expect("node loop gone")
     }
 
+    /// Skews this node's armed timers to `pct` percent of their nominal
+    /// delay (100 = nominal; 300 = a batch window firing 3× late). The
+    /// chaos nemesis uses this to drive replicas' batch flush cadences
+    /// apart — a correctness-neutral perturbation the validators must
+    /// absorb.
+    pub fn set_timer_skew(&self, pct: u32) {
+        let _ = self.commands.send(Command::SetTimerSkew(pct.max(1)));
+    }
+
     /// Opens an in-process client session (same request/response
     /// semantics as a TCP client, minus the socket).
     pub fn local_client(&self) -> LocalClient {
@@ -177,13 +188,31 @@ impl<B: at_broadcast::SecureBroadcast<EnginePayload>> NodeHandle<B> {
     /// transport outboxes (so peers verifiably hold everything this node
     /// sent), tears the transport down, and returns the replica — warm
     /// state for a later [`Node::resume`].
-    pub fn stop(mut self) -> ShardedReplica<B> {
+    pub fn stop(self) -> ShardedReplica<B> {
+        self.stop_counted().0
+    }
+
+    /// [`NodeHandle::stop`] that also returns this incarnation's final
+    /// `(lost_ingest, malformed_frames)` counters — read *after* the
+    /// loop exits, so they include losses the stop itself incurred (a
+    /// grace-expired stop counts its discarded ingest after any earlier
+    /// [`NodeHandle::report`] could have seen it). Harnesses that gate
+    /// on zero loss across crash/restart cycles need these; the
+    /// restarted incarnation starts fresh counters.
+    pub fn stop_counted(mut self) -> (ShardedReplica<B>, u64, u64) {
+        let stats = Arc::clone(&self.stats);
         let _ = self.commands.send(Command::Stop);
-        self.join
+        let replica = self
+            .join
             .take()
             .expect("stop called once")
             .join()
-            .expect("node loop panicked")
+            .expect("node loop panicked");
+        (
+            replica,
+            stats.lost_ingest.load(Ordering::Relaxed),
+            stats.malformed_frames.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -332,8 +361,23 @@ where
         transport: T,
         gateway: Option<ClientGateway>,
     ) -> NodeHandle<B> {
+        Node::start_probed(me, n, config, backend, transport, gateway, None)
+    }
+
+    /// [`Node::start`] with an optional cluster [`EventProbe`]: every
+    /// engine event the loop observes is recorded against the probe's
+    /// shared epoch, yielding the history the chaos validators consume.
+    pub fn start_probed<T: Transport + 'static>(
+        me: ProcessId,
+        n: usize,
+        config: NodeConfig,
+        backend: B,
+        transport: T,
+        gateway: Option<ClientGateway>,
+        probe: Option<EventProbe>,
+    ) -> NodeHandle<B> {
         let replica = ShardedReplica::with_backend(me, n, config.initial, config.engine, backend);
-        Node::resume(replica, config, transport, gateway)
+        Node::resume_probed(replica, config, transport, gateway, probe)
     }
 
     /// Resumes a node from a warm replica (state preserved across a
@@ -344,6 +388,18 @@ where
         config: NodeConfig,
         transport: T,
         gateway: Option<ClientGateway>,
+    ) -> NodeHandle<B> {
+        Node::resume_probed(replica, config, transport, gateway, None)
+    }
+
+    /// [`Node::resume`] with an optional cluster [`EventProbe`] (a
+    /// restarted node keeps appending to the same recording).
+    pub fn resume_probed<T: Transport + 'static>(
+        replica: ShardedReplica<B>,
+        config: NodeConfig,
+        transport: T,
+        gateway: Option<ClientGateway>,
+        probe: Option<EventProbe>,
     ) -> NodeHandle<B> {
         let (commands, command_rx) = channel();
         let stats: Arc<NodeStats> = Arc::default();
@@ -382,6 +438,9 @@ where
                     decode_inflight: Arc::new(AtomicU64::new(0)),
                     stopping: false,
                     gateway: gateway_stop,
+                    probe,
+                    invocation_stamp: None,
+                    timer_skew_pct: 100,
                 }
                 .run()
             })
@@ -445,6 +504,15 @@ where
     decode_inflight: Arc<AtomicU64>,
     stopping: bool,
     gateway: Option<GatewayStop>,
+    /// The cluster's shared history recorder, when attached.
+    probe: Option<EventProbe>,
+    /// Probe stamp taken *before* the current submit handler ran — the
+    /// conservative invocation time of the resulting `Submitted` event
+    /// (see `crate::probe`'s stamping discipline).
+    invocation_stamp: Option<at_net::VirtualTime>,
+    /// Armed-timer delays are scaled to this percentage of nominal (the
+    /// nemesis's batch-timer skew; 100 = no skew).
+    timer_skew_pct: u32,
 }
 
 impl<B, T> NodeLoop<B, T>
@@ -486,6 +554,9 @@ where
                     }
                     Ok(Command::Inspect(reply)) => {
                         let _ = reply.send(self.report());
+                    }
+                    Ok(Command::SetTimerSkew(pct)) => {
+                        self.timer_skew_pct = pct;
                     }
                     Ok(Command::Stop) => {
                         if stop_deadline.is_none() {
@@ -550,6 +621,18 @@ where
                 let drained =
                     self.typed.is_empty() && self.decode_inflight.load(Ordering::Acquire) == 0;
                 if idle && drained && self.transport.is_flushed() {
+                    // Quiesce before the last sweep: from here the
+                    // transport may not acknowledge anything new, so a
+                    // frame a peer holds unacked replays to the next
+                    // incarnation instead of being pruned against a
+                    // loop that has exited. Without this, an inbound
+                    // frame acked in the window between the sweep below
+                    // and `transport.shutdown()` is lost for good — on
+                    // echo-style broadcasts (which never retransmit)
+                    // that wedges the instance forever, a liveness hole
+                    // the chaos soak caught (seed 50363: one batch's
+                    // echoes swallowed, 12 transfers never acked).
+                    self.transport.quiesce();
                     // Last-chance sweep: the transport may have acked a
                     // frame into its inbox after our final poll. An
                     // acked-but-unprocessed frame is never replayed, so
@@ -715,11 +798,24 @@ where
         }
         let now = Instant::now();
         for (delay, timer) in outputs.timers {
-            let at = now + Duration::from_micros(delay.as_micros());
+            let skewed = delay.as_micros() * u64::from(self.timer_skew_pct) / 100;
+            let at = now + Duration::from_micros(skewed);
             self.timers.push(TimerEntry(at, timer));
         }
         let events: Vec<_> = self.events.drain(..).collect();
         for (_, _, event) in events {
+            if let Some(probe) = &self.probe {
+                // Submitted carries the pre-handler invocation stamp;
+                // everything else is stamped post-effect (both ends are
+                // conservative — see `crate::probe`).
+                let at = match event {
+                    EngineEvent::Submitted { .. } => {
+                        self.invocation_stamp.unwrap_or_else(|| probe.stamp())
+                    }
+                    _ => probe.stamp(),
+                };
+                probe.record(at, me, event.clone());
+            }
             match event {
                 EngineEvent::Submitted { transfer } => {
                     if let Some(request) = self.current_request.take() {
@@ -770,13 +866,21 @@ where
                 amount,
             } => {
                 self.current_request = Some((conn, request.id));
+                self.invocation_stamp = self.probe.as_ref().map(EventProbe::stamp);
                 self.drive(|replica, ctx| replica.submit(destination, amount, ctx));
                 // Whatever happened, the synchronous event consumed the
                 // association (Submitted stored it, Rejected answered).
                 self.current_request = None;
+                self.invocation_stamp = None;
             }
             ClientOp::Read { account } => {
                 let amount = self.replica.balance(account);
+                if self.probe.is_some() {
+                    // Surface the read as a history operation: the
+                    // emitted ReadObserved flows through `flush` into
+                    // the probe before the client sees the response.
+                    self.drive(|replica, ctx| replica.read_op(account, ctx));
+                }
                 self.respond(
                     conn,
                     ClientResponse {

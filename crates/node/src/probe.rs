@@ -1,0 +1,137 @@
+//! The cluster history probe: wall-clock event recording for live runs.
+//!
+//! The simulator hands at-check a complete `(time, process, event)`
+//! stream for free; a real cluster has to *record* one. An
+//! [`EventProbe`] is a shared, thread-safe recorder every [`crate::Node`]
+//! in a cluster appends its [`at_engine::replica::EngineEvent`]s to,
+//! stamped against one common monotonic epoch — so the merged, sorted
+//! stream is a valid real-time order and feeds the *same* validators
+//! (`at_engine::probe::history_from_events`,
+//! `at_check::validate_recorded`) the simulator's executions do.
+//!
+//! # Stamping discipline
+//!
+//! Linearizability checking tolerates *widened* operation intervals but
+//! not narrowed ones, so the node loop stamps conservatively:
+//!
+//! * a transfer's [`EngineEvent::Submitted`] carries a stamp taken
+//!   **before** its submit handler ran (the operation cannot have taken
+//!   effect earlier than that — admission happens inside the handler);
+//! * completions, rejections, applications, deliveries, and reads are
+//!   stamped when the handler's outputs are flushed, **after** the
+//!   effect — and before any client acknowledgement leaves the node, so
+//!   the stamp lies inside the client-visible interval.
+//!
+//! Events survive a node's crash: the probe outlives the node loop, so a
+//! warm-restarted node keeps appending to the same recording.
+//!
+//! [`EngineEvent::Submitted`]: at_engine::replica::EngineEvent::Submitted
+
+use at_engine::probe::TimedEvent;
+use at_engine::replica::EngineEvent;
+use at_model::ProcessId;
+use at_net::VirtualTime;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct ProbeInner {
+    epoch: Instant,
+    events: Mutex<Vec<TimedEvent>>,
+}
+
+/// A shared recorder of engine events across a live cluster (see the
+/// [module docs](self)). Cloning shares the recording.
+#[derive(Clone)]
+pub struct EventProbe {
+    inner: Arc<ProbeInner>,
+}
+
+impl EventProbe {
+    /// A fresh probe; its creation instant is the cluster's epoch.
+    pub fn new() -> Self {
+        EventProbe {
+            inner: Arc::new(ProbeInner {
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The current probe time (microseconds since the epoch, as the
+    /// virtual-time type the validators consume).
+    pub fn stamp(&self) -> VirtualTime {
+        VirtualTime::from_micros(self.inner.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Records one event observed at `process` at probe time `at`.
+    pub fn record(&self, at: VirtualTime, process: ProcessId, event: EngineEvent) {
+        self.inner
+            .events
+            .lock()
+            .expect("probe poisoned")
+            .push((at, process, event));
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.events.lock().expect("probe poisoned").len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the recording, sorted into a real-time-consistent total
+    /// order: stably by stamp, so each node's own (already monotone)
+    /// event order survives ties.
+    pub fn take_sorted(&self) -> Vec<TimedEvent> {
+        let mut events = std::mem::take(&mut *self.inner.events.lock().expect("probe poisoned"));
+        events.sort_by_key(|(at, _, _)| *at);
+        events
+    }
+}
+
+impl Default for EventProbe {
+    fn default() -> Self {
+        EventProbe::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_model::{AccountId, Amount};
+
+    fn read_event(balance: u64) -> EngineEvent {
+        EngineEvent::ReadObserved {
+            account: AccountId::new(0),
+            balance: Amount::new(balance),
+        }
+    }
+
+    #[test]
+    fn records_merge_sorted_by_stamp_with_stable_ties() {
+        let probe = EventProbe::new();
+        assert!(probe.is_empty());
+        let t5 = VirtualTime::from_micros(5);
+        let t9 = VirtualTime::from_micros(9);
+        probe.record(t9, ProcessId::new(1), read_event(1));
+        probe.record(t5, ProcessId::new(0), read_event(2));
+        probe.record(t5, ProcessId::new(2), read_event(3));
+        assert_eq!(probe.len(), 3);
+        let events = probe.take_sorted();
+        assert_eq!(events[0].1, ProcessId::new(0)); // t5, first pushed
+        assert_eq!(events[1].1, ProcessId::new(2)); // t5, second pushed
+        assert_eq!(events[2].1, ProcessId::new(1)); // t9
+        assert!(probe.is_empty(), "take_sorted drains");
+    }
+
+    #[test]
+    fn stamps_are_monotone() {
+        let probe = EventProbe::new();
+        let a = probe.stamp();
+        let b = probe.stamp();
+        assert!(b >= a);
+    }
+}

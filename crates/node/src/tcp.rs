@@ -41,6 +41,29 @@
 //! versions, and oversized length prefixes terminate the offending
 //! connection (the dialer will reconnect and replay) without panicking.
 //!
+//! # Fault injection
+//!
+//! [`TcpTransport::start_with_faults`] attaches an
+//! [`at_net::FaultInjector`] whose per-link profiles the *dialing*
+//! writer consults before every `Data` write — faults act on the wire,
+//! underneath the replay layer, so the reliability machinery above is
+//! what gets exercised:
+//!
+//! * a **blocked** link keeps the dialer from connecting (and breaks a
+//!   live connection at the next write) — a directed partition whose
+//!   heal triggers reconnect + outbox replay;
+//! * a **drop** roll breaks the connection *without* writing the frame:
+//!   the frame (and anything written-but-unacked before it) is replayed
+//!   after reconnect, driving the receiver's dedup cursor;
+//! * a **duplicate** roll writes the frame twice — the second copy lands
+//!   in the receiver's replay-overlap path;
+//! * **delay** sleeps the writer, adding per-link latency;
+//! * a **forced disconnect** ([`FaultInjector::force_disconnect`]) tears
+//!   the connection down once at the next write.
+//!
+//! None of these faults loses a frame — [`Transport::dropped_frames`]
+//! still counts only genuine outbox-capacity expiry.
+//!
 //! # Trust model
 //!
 //! The peer listener realises the paper's *authenticated channels* the
@@ -55,7 +78,7 @@
 
 use crate::wire::{encode_frame, Frame, FrameBuffer};
 use at_model::ProcessId;
-use at_net::transport::{InboundFrame, RecvOutcome, Transport};
+use at_net::transport::{FaultInjector, InboundFrame, RecvOutcome, Transport};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -220,10 +243,18 @@ struct Shared {
     recv: Mutex<Vec<RecvState>>,
     outboxes: Vec<Arc<Outbox>>,
     shutdown: AtomicBool,
+    /// Draining for shutdown: reader connections stop delivering *and
+    /// acknowledging* new `Data` frames, so nothing can be pruned from a
+    /// peer's replay window without the node loop having a chance to
+    /// retrieve it (see [`Transport::quiesce`]). Unacked frames replay
+    /// to the next incarnation instead.
+    draining: AtomicBool,
     /// Connections terminated for malformed/unexpected frames —
     /// diagnostics only, *not* loss: a peer link that drops here
     /// reconnects and replays, and stranger junk never carried data.
     poisoned_conns: AtomicU64,
+    /// Nemesis hook: per-link wire faults (see the module docs).
+    faults: Option<FaultInjector>,
 }
 
 /// The TCP transport endpoint (see the module docs).
@@ -245,6 +276,18 @@ impl TcpTransport {
         directory: PeerDirectory,
         options: TcpOptions,
     ) -> std::io::Result<TcpTransport> {
+        TcpTransport::start_with_faults(me, listener, directory, options, None)
+    }
+
+    /// [`TcpTransport::start`] with a nemesis fault injector attached to
+    /// every outgoing link (see the module docs for the fault model).
+    pub fn start_with_faults(
+        me: ProcessId,
+        listener: TcpListener,
+        directory: PeerDirectory,
+        options: TcpOptions,
+        faults: Option<FaultInjector>,
+    ) -> std::io::Result<TcpTransport> {
         let n = directory.lock().expect("directory poisoned").len();
         assert!(me.as_usize() < n, "process id out of range");
         let listen_addr = listener.local_addr()?;
@@ -262,7 +305,9 @@ impl TcpTransport {
             recv: Mutex::new(vec![RecvState::default(); n]),
             outboxes: (0..n).map(|_| Arc::new(Outbox::new())).collect(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             poisoned_conns: AtomicU64::new(0),
+            faults,
         });
 
         let mut threads = Vec::new();
@@ -351,6 +396,16 @@ impl Transport for TcpTransport {
             .all(|(j, outbox)| j == me || outbox.is_flushed())
     }
 
+    /// See [`Transport::quiesce`]: readers stop delivering and — the
+    /// load-bearing part — stop *acknowledging*, so every frame a peer
+    /// still holds unacked replays to the node's next incarnation
+    /// instead of being silently pruned. An ack racing this flag is
+    /// harmless: acks are only ever sent *after* the corresponding
+    /// frames reached the inbox, so whatever it covers is retrievable.
+    fn quiesce(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
     fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         for outbox in &self.shared.outboxes {
@@ -399,6 +454,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// Handles one accepted connection: handshake, then `Data` frames in,
 /// acknowledgements out.
 fn reader_conn(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<()> {
+    if shared.draining.load(Ordering::SeqCst) {
+        // Quiesced: refuse even the handshake — its `HelloAck` resume
+        // point is itself a cumulative acknowledgement, and it could
+        // cover a frame delivered into the dying inbox after the node
+        // loop's final sweep. Peers reconnect against the next
+        // incarnation instead.
+        return Ok(());
+    }
     stream.set_nodelay(true)?;
     // Periodic read timeouts let the thread observe shutdown.
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
@@ -440,6 +503,12 @@ fn reader_conn(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<()> {
 /// Sends one cumulative `DataAck` for `peer`, unless this connection's
 /// epoch has been superseded; returns whether an ack was written.
 fn send_ack(stream: &TcpStream, shared: &Shared, peer: usize, epoch: u64) -> std::io::Result<bool> {
+    if shared.draining.load(Ordering::SeqCst) {
+        // Quiesced: an ack now could prune a frame from the peer's
+        // replay window that the stopping node loop will never process.
+        // Leave everything unacked; it replays to the next incarnation.
+        return Ok(false);
+    }
     let through = {
         let recv = shared.recv.lock().expect("recv state poisoned");
         let state = &recv[peer];
@@ -469,6 +538,12 @@ fn data_loop(
     let peer = node.as_usize();
     let mut first_data = true;
     loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            // Quiesced: stop accepting. The best-effort exit ack in
+            // `reader_conn` is suppressed too (see `send_ack`), so
+            // everything undelivered stays in the peer's outbox.
+            return Ok(());
+        }
         let frame = match reader.next(shared)? {
             Some(frame) => frame,
             None => return Ok(()),
@@ -547,8 +622,16 @@ fn data_loop(
 fn writer_loop(peer: usize, directory: PeerDirectory, shared: Arc<Shared>) {
     let outbox = Arc::clone(&shared.outboxes[peer]);
     while !shared.shutdown.load(Ordering::Relaxed) {
+        if let Some(faults) = &shared.faults {
+            // A blocked link keeps the dialer offline entirely; heal
+            // triggers the reconnect-and-replay path.
+            if faults.link(shared.me, ProcessId::new(peer as u32)).blocked {
+                std::thread::sleep(shared.options.reconnect_delay);
+                continue;
+            }
+        }
         let addr = directory.lock().expect("directory poisoned")[peer];
-        match writer_conn(addr, &shared, &outbox) {
+        match writer_conn(addr, peer, &shared, &outbox) {
             Ok(()) => break, // clean shutdown
             Err(_) => std::thread::sleep(shared.options.reconnect_delay),
         }
@@ -557,6 +640,7 @@ fn writer_loop(peer: usize, directory: PeerDirectory, shared: Arc<Shared>) {
 
 fn writer_conn(
     addr: SocketAddr,
+    peer: usize,
     shared: &Arc<Shared>,
     outbox: &Arc<Outbox>,
 ) -> std::io::Result<()> {
@@ -625,7 +709,42 @@ fn writer_conn(
         };
         match next {
             Some(bytes) => {
-                if let Err(err) = (&stream).write_all(&bytes) {
+                // Wire faults act here, underneath the replay layer: a
+                // "lost" or force-disconnected frame breaks the
+                // connection *before* the write, so the outbox replays
+                // it (and every written-but-unacked predecessor) on
+                // reconnect.
+                let mut copies = 1;
+                if let Some(faults) = &shared.faults {
+                    // One verdict (profile + disconnect + both coin
+                    // flips) under a single injector lock acquisition.
+                    let verdict = faults.sample(shared.me, ProcessId::new(peer as u32));
+                    if verdict.disconnect {
+                        break Err(std::io::Error::other("nemesis: forced disconnect"));
+                    }
+                    if verdict.profile.blocked {
+                        break Err(std::io::Error::other("nemesis: link partitioned"));
+                    }
+                    if verdict.drop {
+                        break Err(std::io::Error::other("nemesis: frame lost on the wire"));
+                    }
+                    if verdict.profile.delay_us > 0 {
+                        std::thread::sleep(Duration::from_micros(u64::from(
+                            verdict.profile.delay_us,
+                        )));
+                    }
+                    if verdict.duplicate {
+                        copies = 2;
+                    }
+                }
+                let mut failed = None;
+                for _ in 0..copies {
+                    if let Err(err) = (&stream).write_all(&bytes) {
+                        failed = Some(err);
+                        break;
+                    }
+                }
+                if let Some(err) = failed {
                     break Err(err);
                 }
                 cursor += 1;
@@ -638,6 +757,15 @@ fn writer_conn(
                     .expect("outbox poisoned");
                 if state.closed {
                     break Ok(());
+                }
+                drop(state);
+                // An idle connection only learns of its death on the
+                // next write — which may never come, stranding unacked
+                // frames in the replay window (e.g. against a peer that
+                // quiesced and restarted). The ack reader sees the EOF
+                // immediately: follow it into a reconnect.
+                if ack_handle.is_finished() {
+                    break Err(std::io::Error::other("peer closed the connection"));
                 }
             }
         }
@@ -818,4 +946,140 @@ mod tests {
     }
 
     const MAX_JUNK: u32 = crate::wire::MAX_FRAME_LEN + 7;
+
+    fn start_faulty_pair(seed: u64) -> (TcpTransport, TcpTransport, FaultInjector) {
+        let faults = FaultInjector::new(seed);
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dir = peer_directory(vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()]);
+        let opts = TcpOptions {
+            reconnect_delay: Duration::from_millis(2),
+            ack_interval: 4,
+            ..TcpOptions::default()
+        };
+        let t0 =
+            TcpTransport::start_with_faults(p(0), l0, Arc::clone(&dir), opts, Some(faults.clone()))
+                .unwrap();
+        let t1 =
+            TcpTransport::start_with_faults(p(1), l1, dir, opts, Some(faults.clone())).unwrap();
+        (t0, t1, faults)
+    }
+
+    #[test]
+    fn quiesced_endpoint_never_acks_so_frames_replay_to_the_next_incarnation() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dir = peer_directory(vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()]);
+        let opts = TcpOptions {
+            reconnect_delay: Duration::from_millis(2),
+            ack_interval: 1,
+            ..TcpOptions::default()
+        };
+        let mut t0 = TcpTransport::start(p(0), l0, Arc::clone(&dir), opts).unwrap();
+        let mut t1 = TcpTransport::start(p(1), l1, Arc::clone(&dir), opts).unwrap();
+        t0.send(p(1), vec![1]);
+        assert_eq!(recv_frame(&mut t1).payload, vec![1]);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !t0.is_flushed() {
+            assert!(std::time::Instant::now() < deadline, "first frame unacked");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Quiesce the receiver, then send: the frame may still slip
+        // into t1's dying inbox, but it must never be *acknowledged* —
+        // t0's replay window must keep holding it.
+        t1.quiesce();
+        t0.send(p(1), vec![2]);
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(
+            !t0.is_flushed(),
+            "a quiesced endpoint acknowledged a frame its consumer never saw"
+        );
+
+        // The next incarnation of node 1 receives the replay.
+        t1.shutdown();
+        let l1b = TcpListener::bind("127.0.0.1:0").unwrap();
+        dir.lock().unwrap()[1] = l1b.local_addr().unwrap();
+        let mut t1b = TcpTransport::start(p(1), l1b, dir, opts).unwrap();
+        assert_eq!(recv_frame(&mut t1b).payload, vec![2]);
+        assert_eq!(t0.dropped_frames(), 0);
+        t0.shutdown();
+        t1b.shutdown();
+    }
+
+    #[test]
+    fn wire_loss_is_repaired_by_reconnect_and_replay() {
+        let (mut t0, mut t1, faults) = start_faulty_pair(17);
+        faults.set_link(
+            p(0),
+            p(1),
+            at_net::transport::LinkProfile {
+                drop_pct: 25,
+                dup_pct: 10,
+                ..Default::default()
+            },
+        );
+        for i in 0..100u8 {
+            t0.send(p(1), vec![i]);
+        }
+        // Every frame arrives exactly once, in order, despite 25% wire
+        // loss (reconnect + replay) and 10% duplication (seq dedup).
+        for expected in 0..100u8 {
+            let frame = recv_frame(&mut t1);
+            assert_eq!(frame.payload, vec![expected]);
+        }
+        faults.heal_all();
+        assert_eq!(t0.dropped_frames(), 0);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !t0.is_flushed() {
+            assert!(std::time::Instant::now() < deadline, "outbox never drained");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    #[test]
+    fn asymmetric_partition_buffers_one_direction_until_heal() {
+        let (mut t0, mut t1, faults) = start_faulty_pair(3);
+        faults.set_blocked(p(0), p(1), true);
+        for i in 0..5u8 {
+            t0.send(p(1), vec![i]);
+        }
+        // Blocked direction stalls…
+        assert_eq!(
+            t1.recv_timeout(Duration::from_millis(100)),
+            RecvOutcome::TimedOut
+        );
+        // …while the reverse link still flows (asymmetric).
+        t1.send(p(0), vec![42]);
+        assert_eq!(recv_frame(&mut t0).payload, vec![42]);
+        // Heal: the outbox replays everything in order.
+        faults.heal_all();
+        for expected in 0..5u8 {
+            assert_eq!(recv_frame(&mut t1).payload, vec![expected]);
+        }
+        assert_eq!(t0.dropped_frames(), 0);
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    #[test]
+    fn forced_disconnect_replays_without_loss() {
+        let (mut t0, mut t1, faults) = start_faulty_pair(9);
+        t0.send(p(1), vec![0]);
+        assert_eq!(recv_frame(&mut t1).payload, vec![0]);
+        faults.force_disconnect(p(0), p(1));
+        for i in 1..20u8 {
+            t0.send(p(1), vec![i]);
+        }
+        for expected in 1..20u8 {
+            assert_eq!(recv_frame(&mut t1).payload, vec![expected]);
+        }
+        // The one-shot disconnect was consumed by the run.
+        assert!(faults.is_quiet());
+        assert_eq!(t0.dropped_frames(), 0);
+        t0.shutdown();
+        t1.shutdown();
+    }
 }
