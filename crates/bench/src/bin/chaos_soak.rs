@@ -16,8 +16,9 @@
 //! that regenerates the fault script bit-for-bit from its seed (the
 //! execution is wall-clock; tight races may need a few replays), and
 //! is appended to
-//! `CHAOS_counterexample.txt` (uploaded as a CI artifact). Aggregates
-//! land in `BENCH_t6.json`.
+//! `CHAOS_counterexample.txt` (uploaded as a CI artifact) together with
+//! every still-reachable node's final at-obs metrics snapshot — the
+//! post-mortem counters. Aggregates land in `BENCH_t6.json`.
 //!
 //! Run with `cargo run -p at-bench --bin chaos_soak --release`. Flags:
 //!
@@ -199,6 +200,17 @@ fn main() {
                         text.push_str(&format!("  {:?}: {}\n", violation.kind, violation.detail));
                     }
                     eprintln!("{text}");
+                    // Post-mortem counters next to the repro line: each
+                    // still-reachable node's at-obs registry as scraped
+                    // just before shutdown.
+                    for rendered in &report.metrics {
+                        text.push_str("metrics:\n");
+                        for line in rendered.lines() {
+                            text.push_str("  ");
+                            text.push_str(line);
+                            text.push('\n');
+                        }
+                    }
                     failures.push(text);
                 }
             }

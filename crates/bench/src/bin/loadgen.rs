@@ -11,8 +11,15 @@
 //!
 //! Run with `cargo run -p at-bench --bin loadgen --release`. Flags:
 //!
+//! After the measurement it scrapes every node's at-obs registry over
+//! the wire protocol ([`Client::stats`]), prints the cluster-wide
+//! per-stage latency table and the per-backend message counters, and
+//! dumps the raw per-node snapshots to `BENCH_t5_metrics.txt`.
+//!
 //! * `--smoke` — CI shape: small cluster, ~2s measurement, asserts
-//!   convergence and nonzero committed throughput;
+//!   convergence, nonzero committed throughput, a working stats
+//!   round-trip, and agreement between the at-obs end-to-end p99 and
+//!   the client-measured wall-clock p99;
 //! * `--duration-secs N` (default 10), `--nodes N` (default 4),
 //!   `--backend echo|bracha|acctorder` (default echo),
 //!   `--batch N` (default 128), `--window-us N` (default 1000),
@@ -30,6 +37,7 @@ use at_model::codec::{Decode, Encode};
 use at_model::{AccountId, Amount, ProcessId};
 use at_net::VirtualTime;
 use at_node::{await_convergence, start_tcp_cluster, Client, NodeConfig, ResponseBody, TcpOptions};
+use at_obs::{HistogramSnapshot, Snapshot, Stage};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -179,7 +187,7 @@ fn drain(
     }
 }
 
-fn run<B, F>(args: &Args, make: F) -> T5Report
+fn run<B, F>(args: &Args, make: F) -> (T5Report, Vec<Snapshot>)
 where
     B: SecureBroadcast<EnginePayload> + 'static,
     B::Msg: Encode + Decode + Send + 'static,
@@ -247,10 +255,23 @@ where
         None => (false, 0, 0),
     };
     drop(handles);
+
+    // Scrape every node's at-obs registry over the live wire protocol —
+    // the same `Client::stats()` a production operator would use.
+    let snapshots: Vec<Snapshot> = cluster
+        .client_addrs
+        .iter()
+        .map(|addr| {
+            let mut client = Client::connect(*addr).expect("stats client connect");
+            client
+                .stats(Duration::from_secs(5))
+                .expect("stats round-trip over TCP")
+        })
+        .collect();
     cluster.stop_all();
 
     let (p50, p99) = percentiles(&mut latencies);
-    T5Report {
+    let report = T5Report {
         backend: args.backend.clone(),
         n,
         batch: args.batch,
@@ -266,6 +287,66 @@ where
         converged,
         balance_digest: digest,
         dropped_frames: dropped,
+    };
+    (report, snapshots)
+}
+
+/// The named stage histogram merged across every node's snapshot.
+fn merged_stage(snapshots: &[Snapshot], stage: Stage) -> HistogramSnapshot {
+    let mut merged = HistogramSnapshot::default();
+    for snap in snapshots {
+        if let Some(hist) = snap.histogram(stage.metric_name()) {
+            merged.merge(hist);
+        }
+    }
+    merged
+}
+
+/// Sum of one counter across every node's snapshot.
+fn summed_counter(snapshots: &[Snapshot], name: &str) -> u64 {
+    snapshots.iter().filter_map(|s| s.counter(name)).sum()
+}
+
+/// The cluster-wide per-stage latency table plus the per-backend message
+/// counters, from the scraped per-node snapshots.
+fn print_observability(snapshots: &[Snapshot]) {
+    println!(
+        "\n# per-stage latency (merged across {} nodes)",
+        snapshots.len()
+    );
+    println!(
+        "{:<10} {:>10} {:>9} {:>8} {:>8} {:>9} {:>10}",
+        "stage", "count", "mean_us", "p50<=", "p99<=", "p999<=", "max_us"
+    );
+    for stage in Stage::ALL {
+        let hist = merged_stage(snapshots, stage);
+        println!(
+            "{:<10} {:>10} {:>9} {:>8} {:>8} {:>9} {:>10}",
+            stage.label(),
+            hist.count,
+            hist.mean(),
+            hist.quantile_hi(0.50),
+            hist.quantile_hi(0.99),
+            hist.quantile_hi(0.999),
+            hist.max,
+        );
+    }
+    println!("\n# message counters (summed across nodes)");
+    for name in [
+        "node_peer_msgs_in_total",
+        "node_peer_msgs_out_total",
+        "node_committed_total",
+        "node_rejected_total",
+        "broadcast_delivered_total",
+        "broadcast_signs_total",
+        "broadcast_verifies_total",
+        "transport_frames_out_total",
+        "transport_bytes_out_total",
+        "transport_frames_in_total",
+        "transport_bytes_in_total",
+        "transport_reconnects_total",
+    ] {
+        println!("{name} {}", summed_counter(snapshots, name));
     }
 }
 
@@ -278,7 +359,7 @@ fn main() {
         n, args.backend, args.batch, args.window_us, args.pipeline, args.duration
     );
 
-    let report = match args.backend.as_str() {
+    let (report, snapshots) = match args.backend.as_str() {
         "echo" => run(&args, |me| {
             EchoBroadcast::<EnginePayload, NoAuth>::new(me, n, NoAuth)
         }),
@@ -306,9 +387,19 @@ fn main() {
         report.dropped_frames,
     );
 
+    print_observability(&snapshots);
+
     let json = t5_json(&report, args.smoke);
     std::fs::write("BENCH_t5.json", &json).expect("write BENCH_t5.json");
     println!("wrote BENCH_t5.json ({} bytes)", json.len());
+
+    let rendered: String = snapshots
+        .iter()
+        .map(Snapshot::render)
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::write("BENCH_t5_metrics.txt", &rendered).expect("write BENCH_t5_metrics.txt");
+    println!("wrote BENCH_t5_metrics.txt ({} bytes)", rendered.len());
 
     // Hard gates: the reliable regime and replica agreement always hold;
     // throughput must be nonzero in smoke and ≥ 10k tps in a full run on
@@ -321,6 +412,28 @@ fn main() {
         report.committed + report.rejected,
         "transfers stranded without an acknowledgement"
     );
+    // The scrape itself already proved the stats round-trip (it panics
+    // on failure); in smoke the at-obs numbers must also *agree* with
+    // the client-side measurement. The e2e stage counts exactly the
+    // committed requests (one sample per Completed ack), and its span —
+    // gateway ingress to ack enqueue — nests inside the client's
+    // wall-clock submit-to-ack interval, which additionally holds
+    // socket transit and client-side pipeline queueing. The p99 check
+    // is therefore one-sided, with log-bucket slack (bucket upper
+    // bounds overshoot by < 25%).
+    let e2e = merged_stage(&snapshots, Stage::EndToEnd);
+    assert_eq!(
+        e2e.count, report.committed,
+        "e2e stage samples must count exactly the committed transfers"
+    );
+    if args.smoke {
+        let obs_p99 = e2e.quantile_hi(0.99);
+        let wall_p99 = report.latency_p99_us;
+        assert!(
+            obs_p99 > 0 && obs_p99 <= wall_p99.saturating_mul(2).saturating_add(20_000),
+            "at-obs e2e p99<={obs_p99}µs disagrees with wall-clock p99 {wall_p99}µs"
+        );
+    }
     if !args.smoke && args.backend == "echo" && n == 4 {
         assert!(
             report.throughput_tps >= 10_000.0,

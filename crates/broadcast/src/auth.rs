@@ -11,11 +11,17 @@
 //!   per-event processing cost rather than computed. Used by the
 //!   throughput/latency experiments, whose results depend on message and
 //!   round complexity, not on cycles spent in field arithmetic.
+//!
+//! A third realisation, [`ObservedAuth`], wraps either of the above and
+//! feeds per-operation counts and latencies into an [`at_obs`] registry
+//! — the runtime's window into where signature CPU actually goes.
 
 use at_crypto::{KeyStore, Signature};
 use at_model::ProcessId;
+use at_obs::{Counter, Recorder, Stage};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A pluggable signing scheme.
 pub trait Authenticator: Clone + Send {
@@ -80,6 +86,79 @@ impl Authenticator for NoAuth {
 
     fn verify(&self, _signer: ProcessId, _bytes: &[u8], _sig: &()) -> bool {
         true
+    }
+}
+
+/// An [`Authenticator`] decorator that meters the one it wraps: every
+/// `sign`/`verify` bumps `auth_signs_total`/`auth_verifies_total` and
+/// records its wall-clock latency into the [`Stage::Sign`] /
+/// [`Stage::Verify`] histograms of the recorder's registry. Handles are
+/// pre-resolved at construction, so the per-operation overhead is two
+/// relaxed atomics and a clock read.
+#[derive(Clone)]
+pub struct ObservedAuth<A: Authenticator> {
+    inner: A,
+    recorder: Recorder,
+    signs: Arc<Counter>,
+    verifies: Arc<Counter>,
+}
+
+impl<A: Authenticator> ObservedAuth<A> {
+    /// Wraps `inner`, metering into `recorder`'s registry.
+    pub fn new(inner: A, recorder: Recorder) -> Self {
+        let registry = recorder.registry();
+        ObservedAuth {
+            inner,
+            signs: registry.counter("auth_signs_total"),
+            verifies: registry.counter("auth_verifies_total"),
+            recorder,
+        }
+    }
+
+    /// The wrapped authenticator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Signing operations metered so far.
+    pub fn signs(&self) -> u64 {
+        self.signs.get()
+    }
+
+    /// Verification operations metered so far.
+    pub fn verifies(&self) -> u64 {
+        self.verifies.get()
+    }
+}
+
+impl<A: Authenticator> Authenticator for ObservedAuth<A> {
+    type Sig = A::Sig;
+
+    fn sign(&self, signer: ProcessId, bytes: &[u8]) -> Self::Sig {
+        let started = Instant::now();
+        let sig = self.inner.sign(signer, bytes);
+        self.recorder.record(Stage::Sign, started.elapsed());
+        self.signs.inc();
+        sig
+    }
+
+    fn verify(&self, signer: ProcessId, bytes: &[u8], sig: &Self::Sig) -> bool {
+        let started = Instant::now();
+        let ok = self.inner.verify(signer, bytes, sig);
+        self.recorder.record(Stage::Verify, started.elapsed());
+        self.verifies.inc();
+        ok
+    }
+}
+
+impl<A: Authenticator> fmt::Debug for ObservedAuth<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ObservedAuth(signs={}, verifies={})",
+            self.signs.get(),
+            self.verifies.get()
+        )
     }
 }
 

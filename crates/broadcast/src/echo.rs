@@ -609,6 +609,58 @@ mod tests {
     }
 
     #[test]
+    fn final_with_q_shares_meters_exactly_q_share_verifies() {
+        // Satellite check for the at-obs accounting: a fresh endpoint
+        // receiving a valid FINAL with a q-share certificate performs
+        // exactly 1 sender-signature verify plus q per-share verifies,
+        // and the ObservedAuth decorator routes every one of them into
+        // the registry (counter and Stage::Verify histogram agree).
+        let ed = EdAuth::deterministic(4, 9);
+        let registry = at_obs::Registry::new("node 3");
+        let auth = crate::auth::ObservedAuth::new(ed.clone(), registry.recorder());
+        let mut endpoint: EchoBroadcast<u64, _> = EchoBroadcast::new(p(3), 4, auth.clone());
+        let q = endpoint.quorum();
+        assert_eq!(q, 3);
+
+        let seq = SeqNo::new(1);
+        let payload = 11u64;
+        let digest = payload_digest(&payload);
+        let sig = ed.sign(p(0), &send_bytes(p(0), seq, digest));
+        let certificate: Vec<(ProcessId, _)> = (0..q as u32)
+            .map(|i| (p(i), ed.sign(p(i), &echo_bytes(p(0), seq, digest))))
+            .collect();
+
+        let before = auth.verifies();
+        let mut step = Step::new();
+        endpoint.on_message(
+            p(0),
+            EchoMsg::Final {
+                source: p(0),
+                seq,
+                payload,
+                sig,
+                certificate,
+            },
+            &mut step,
+        );
+        assert_eq!(step.deliveries.len(), 1, "valid certificate delivers");
+        let per_share = auth.verifies() - before - 1; // minus the sender-sig check
+        assert_eq!(per_share, q as u64, "exactly q per-share verifies");
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("auth_verifies_total"),
+            Some(auth.verifies()),
+            "counter matches the decorator's own tally"
+        );
+        let hist = snap.histogram("stage_verify_us").expect("registered");
+        assert_eq!(
+            hist.count,
+            auth.verifies(),
+            "one histogram sample per verify"
+        );
+    }
+
+    #[test]
     fn equivocating_sender_cannot_get_two_certificates() {
         // A Byzantine sender sends payload 1 to half the processes and
         // payload 2 to the other half. Quorum is ⌈(4+1+1)/2⌉ = 3 > 2, so

@@ -149,6 +149,11 @@ pub struct ChaosReport {
     /// Whether the linearizability check exhausted its budget (neither
     /// verdict; should be false).
     pub unknown: bool,
+    /// Rendered [`at_obs`] registry snapshot per still-running node,
+    /// scraped just before shutdown — the post-mortem counters a
+    /// counterexample report embeds (a node whose loop died mid-run
+    /// simply has no entry).
+    pub metrics: Vec<String>,
 }
 
 impl ChaosReport {
@@ -384,6 +389,7 @@ fn finalize(
     carried_loss: LossCounters,
     pin_failure: Option<String>,
     probe: &EventProbe,
+    metrics: Vec<String>,
 ) -> ChaosReport {
     let n = config.n;
     let mut violations = Vec::new();
@@ -498,7 +504,20 @@ fn finalize(
         dropped_frames: dropped,
         violations,
         unknown,
+        metrics,
     }
+}
+
+/// Scrapes every reachable node's rendered metrics (half-dead clusters
+/// included: a node whose loop is gone is skipped, not waited on).
+fn scrape_metrics<'a, B>(handles: impl Iterator<Item = &'a NodeHandle<B>>) -> Vec<String>
+where
+    B: SecureBroadcast<EnginePayload> + 'a,
+{
+    handles
+        .filter_map(|h| h.try_metrics(Duration::from_secs(2)))
+        .map(|snapshot| snapshot.render())
+        .collect()
 }
 
 fn node_config(config: &ChaosConfig) -> NodeConfig {
@@ -631,6 +650,7 @@ where
             });
         pin_failure = pin.err();
     }
+    let metrics = scrape_metrics(cluster.running());
     cluster.stop_all();
 
     finalize(
@@ -646,6 +666,7 @@ where
         carried_loss,
         pin_failure,
         &probe,
+        metrics,
     )
 }
 
@@ -737,6 +758,7 @@ where
             }
         }
     }
+    let metrics = scrape_metrics(handles.iter());
     let handles = Arc::try_unwrap(handles)
         .unwrap_or_else(|_| panic!("client threads joined, no handle clones remain"));
     for handle in handles {
@@ -756,6 +778,7 @@ where
         LossCounters::default(),
         pin_failure,
         &probe,
+        metrics,
     )
 }
 

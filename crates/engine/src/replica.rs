@@ -53,7 +53,10 @@ use at_broadcast::{Batch, Batcher};
 use at_core::figure4::TransferMsg;
 use at_model::{AccountId, Amount, ProcessId, SeqNo, Transfer};
 use at_net::{Actor, Context, VirtualTime};
+use at_obs::{Recorder, Stage};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// The payload every engine backend carries: a batch of transfers.
 pub type EnginePayload = Batch<TransferMsg>;
@@ -139,6 +142,17 @@ pub enum EngineEvent {
     },
 }
 
+/// Pre-resolved observability handles (attached by real runtimes via
+/// [`ShardedReplica::set_recorder`]; absent under the simulator, so the
+/// simulated hot loop never reads the wall clock).
+struct EngineObs {
+    recorder: Recorder,
+    /// `engine_batch_size` — occupancy of each broadcast batch.
+    batch_size: Arc<at_obs::Histogram>,
+    /// `engine_rejected_total` — submissions failing admission.
+    rejected: Arc<at_obs::Counter>,
+}
+
 /// One process of the sharded, batched consensusless payment engine,
 /// generic over the secure-broadcast backend `B`.
 pub struct ShardedReplica<B: SecureBroadcast<EnginePayload> = DefaultEngineBroadcast> {
@@ -177,6 +191,8 @@ pub struct ShardedReplica<B: SecureBroadcast<EnginePayload> = DefaultEngineBroad
     reserved: Amount,
     /// Batches delivered whose items failed well-formedness (diagnostics).
     malformed_dropped: u64,
+    /// Observability handles, when a runtime attached a recorder.
+    obs: Option<EngineObs>,
 }
 
 impl ShardedReplica<DefaultEngineBroadcast> {
@@ -232,7 +248,22 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
             next_own_seq: SeqNo::ZERO,
             reserved: Amount::ZERO,
             malformed_dropped: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches an [`at_obs`] recorder: batch occupancy, admission
+    /// rejections, and [`Stage::Apply`] drain latency feed its registry
+    /// from here on. Real runtimes (`at_node`) call this once before
+    /// driving the replica; the simulator leaves it unset, keeping the
+    /// simulated hot loop free of wall-clock reads.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        let registry = recorder.registry();
+        self.obs = Some(EngineObs {
+            batch_size: registry.histogram("engine_batch_size"),
+            rejected: registry.counter("engine_rejected_total"),
+            recorder,
+        });
     }
 
     /// This process's identity.
@@ -302,6 +333,9 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
     ) {
         let available = self.available();
         if amount > available || !self.ledger.contains(destination) {
+            if let Some(obs) = &self.obs {
+                obs.rejected.inc();
+            }
             ctx.emit(EngineEvent::Rejected {
                 destination,
                 amount,
@@ -342,6 +376,9 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
         ctx: &mut Context<'_, B::Msg, EngineEvent>,
     ) {
         ctx.emit(EngineEvent::BatchBroadcast { size: batch.len() });
+        if let Some(obs) = &self.obs {
+            obs.batch_size.record(batch.len() as u64);
+        }
         let mut step = Step::new();
         self.broadcast.broadcast(batch, &mut step);
         self.absorb(step, ctx);
@@ -480,6 +517,7 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
     /// repeating until a fixed point (one application can unblock
     /// others) — Figure 4 line 13.
     fn drain(&mut self, ctx: &mut Context<'_, B::Msg, EngineEvent>) {
+        let started = self.obs.as_ref().map(|_| Instant::now());
         loop {
             let position = self.pending.iter().position(|(q, msg)| self.valid(*q, msg));
             let Some(position) = position else {
@@ -507,6 +545,9 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
                 self.reserved = self.reserved.saturating_sub(t.amount);
                 ctx.emit(EngineEvent::Completed { transfer: t });
             }
+        }
+        if let (Some(obs), Some(started)) = (&self.obs, started) {
+            obs.recorder.record(Stage::Apply, started.elapsed());
         }
     }
 }

@@ -63,5 +63,5 @@ pub use sim::{
 };
 pub use time::VirtualTime;
 pub use transport::{
-    FaultInjector, InboundFrame, LinkProfile, LinkVerdict, RecvOutcome, Transport,
+    FaultInjector, InboundFrame, LinkProfile, LinkVerdict, RecvOutcome, Transport, TransportStats,
 };

@@ -35,8 +35,80 @@
 
 use at_model::ProcessId;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Shared, lock-free frame/byte totals a transport keeps for
+/// observability. Cloning shares the counters; implementations note
+/// traffic from whatever threads move it, and consumers read totals at
+/// snapshot time via [`Transport::stats`].
+#[derive(Clone, Debug, Default)]
+pub struct TransportStats {
+    inner: Arc<TransportStatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct TransportStatsInner {
+    frames_out: AtomicU64,
+    bytes_out: AtomicU64,
+    frames_in: AtomicU64,
+    bytes_in: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl TransportStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        TransportStats::default()
+    }
+
+    /// Counts one accepted outbound frame of `bytes` payload bytes.
+    pub fn note_send(&self, bytes: usize) {
+        self.inner.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_out
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one delivered inbound frame of `bytes` payload bytes.
+    pub fn note_recv(&self, bytes: usize) {
+        self.inner.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_in
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one link repair (reconnect or replay-window recovery).
+    pub fn note_reconnect(&self) {
+        self.inner.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Outbound frames accepted so far.
+    pub fn frames_out(&self) -> u64 {
+        self.inner.frames_out.load(Ordering::Relaxed)
+    }
+
+    /// Outbound payload bytes accepted so far.
+    pub fn bytes_out(&self) -> u64 {
+        self.inner.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Inbound frames delivered so far.
+    pub fn frames_in(&self) -> u64 {
+        self.inner.frames_in.load(Ordering::Relaxed)
+    }
+
+    /// Inbound payload bytes delivered so far.
+    pub fn bytes_in(&self) -> u64 {
+        self.inner.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Link repairs performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.inner.reconnects.load(Ordering::Relaxed)
+    }
+}
 
 /// One frame received from the mesh.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -106,6 +178,12 @@ pub trait Transport: Send {
     /// Releases transport resources (threads, sockets). Further `send`s
     /// are silently discarded.
     fn shutdown(&mut self) {}
+
+    /// The transport's traffic totals, when it keeps them (`None` for
+    /// implementations without instrumentation).
+    fn stats(&self) -> Option<TransportStats> {
+        None
+    }
 }
 
 /// Per-directed-link fault profile consulted by fault-aware transports

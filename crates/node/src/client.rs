@@ -13,6 +13,7 @@ use crate::wire::{
     encode_frame, ClientOp, ClientRequest, ClientResponse, Frame, FrameBuffer, ResponseBody,
 };
 use at_model::{AccountId, Amount};
+use at_obs::Snapshot;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -23,6 +24,10 @@ pub struct Client {
     buffer: FrameBuffer,
     next_id: u64,
     outstanding: u64,
+    /// Stats responses that arrived while waiting for operation
+    /// responses (pipelining can interleave them); consumed by
+    /// [`Client::stats`].
+    pending_stats: Vec<(u64, Snapshot)>,
 }
 
 impl Client {
@@ -37,6 +42,7 @@ impl Client {
             buffer: FrameBuffer::new(),
             next_id: 0,
             outstanding: 0,
+            pending_stats: Vec::new(),
         })
     }
 
@@ -84,6 +90,9 @@ impl Client {
                     }
                     return Ok(Some(response));
                 }
+                Ok(Some(Frame::StatsResponse { id, snapshot })) => {
+                    self.pending_stats.push((id, snapshot));
+                }
                 Ok(Some(_)) => {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
@@ -112,6 +121,31 @@ impl Client {
                 }
                 Err(err) => return Err(err),
             }
+        }
+    }
+
+    /// Scrapes the node's metric snapshot (a synchronous round trip).
+    /// Pipelined transfer acknowledgements that arrive first are
+    /// consumed and counted, not lost.
+    pub fn stats(&mut self, timeout: Duration) -> std::io::Result<Snapshot> {
+        let id = self.next_id;
+        self.next_id += 1;
+        (&self.stream).write_all(&encode_frame(&Frame::StatsRequest { id }))?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(at) = self.pending_stats.iter().position(|(got, _)| *got == id) {
+                return Ok(self.pending_stats.swap_remove(at).1);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "no stats response",
+                ));
+            }
+            // Drains interleaved operation responses; stats responses
+            // land in `pending_stats` for the check above.
+            let _ = self.recv_response(remaining)?;
         }
     }
 

@@ -9,6 +9,7 @@
 //! connection.
 
 use crate::wire::{encode_frame, ClientRequest, ClientResponse, Frame, FrameBuffer};
+use at_obs::Snapshot;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -16,7 +17,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// An event surfaced to the node loop by the gateway.
 pub(crate) enum GatewayEvent {
@@ -26,11 +27,34 @@ pub(crate) enum GatewayEvent {
         conn: u64,
         /// The request.
         request: ClientRequest,
+        /// When the gateway read the request off the socket — the start
+        /// of the `stage_gateway_us` and `stage_e2e_us` spans.
+        received: Instant,
+    },
+    /// A client asked for the node's metric snapshot.
+    Stats {
+        /// Connection id (routes the response).
+        conn: u64,
+        /// Request id to echo.
+        id: u64,
     },
     /// A client connection ended.
     Gone {
         /// Connection id to unregister.
         conn: u64,
+    },
+}
+
+/// What the node loop sends back to a client connection's writer thread.
+pub(crate) enum ClientDelivery {
+    /// An operation outcome.
+    Response(ClientResponse),
+    /// A metric snapshot answering a [`Frame::StatsRequest`].
+    Stats {
+        /// The request id being answered.
+        id: u64,
+        /// The captured metrics.
+        snapshot: Snapshot,
     },
 }
 
@@ -74,7 +98,7 @@ impl ClientGateway {
     pub(crate) fn run(
         self,
         conn_counter: Arc<AtomicU64>,
-        registry: Arc<Mutex<HashMap<u64, Sender<ClientResponse>>>>,
+        registry: Arc<Mutex<HashMap<u64, Sender<ClientDelivery>>>>,
         deliver: impl Fn(GatewayEvent) + Send + Clone + 'static,
     ) -> GatewayStop {
         let flag = Arc::new(AtomicBool::new(false));
@@ -92,7 +116,7 @@ impl ClientGateway {
                     }
                     let Ok(stream) = stream else { continue };
                     let conn = conn_counter.fetch_add(1, Ordering::Relaxed);
-                    let (tx, rx) = channel::<ClientResponse>();
+                    let (tx, rx) = channel::<ClientDelivery>();
                     registry.lock().expect("registry poisoned").insert(conn, tx);
                     // Writer: responses out. Exits when the registry
                     // entry is removed (channel disconnects) or the
@@ -101,8 +125,16 @@ impl ClientGateway {
                         let _ = std::thread::Builder::new()
                             .name("at-node-client-writer".into())
                             .spawn(move || {
-                                while let Ok(response) = rx.recv() {
-                                    let bytes = encode_frame(&Frame::Response(response));
+                                while let Ok(delivery) = rx.recv() {
+                                    let frame = match delivery {
+                                        ClientDelivery::Response(response) => {
+                                            Frame::Response(response)
+                                        }
+                                        ClientDelivery::Stats { id, snapshot } => {
+                                            Frame::StatsResponse { id, snapshot }
+                                        }
+                                    };
+                                    let bytes = encode_frame(&frame);
                                     if (&write_stream).write_all(&bytes).is_err() {
                                         break;
                                     }
@@ -149,7 +181,14 @@ fn client_reader(
             match buffer.next_frame() {
                 Ok(Some(Frame::HelloClient)) if !greeted => greeted = true,
                 Ok(Some(Frame::Request(request))) if greeted => {
-                    deliver(GatewayEvent::Request { conn, request });
+                    deliver(GatewayEvent::Request {
+                        conn,
+                        request,
+                        received: Instant::now(),
+                    });
+                }
+                Ok(Some(Frame::StatsRequest { id })) if greeted => {
+                    deliver(GatewayEvent::Stats { conn, id });
                 }
                 Ok(Some(_)) => return, // protocol violation
                 Ok(None) => break,

@@ -24,7 +24,7 @@
 //! afterwards.
 
 use at_model::ProcessId;
-use at_net::transport::{FaultInjector, InboundFrame, RecvOutcome, Transport};
+use at_net::transport::{FaultInjector, InboundFrame, RecvOutcome, Transport, TransportStats};
 use std::collections::VecDeque;
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::time::{Duration, Instant};
@@ -62,6 +62,8 @@ pub struct ChannelMesh {
     limbo: Vec<VecDeque<(Release, InboundFrame)>>,
     dropped: u64,
     closed: bool,
+    /// Traffic totals for observability ([`Transport::stats`]).
+    stats: TransportStats,
 }
 
 /// Builds a fully connected mesh of `n` endpoints whose inboxes hold up
@@ -97,6 +99,7 @@ fn mesh_with(n: usize, capacity: usize, faults: Option<FaultInjector>) -> Vec<Ch
             limbo: (0..n).map(|_| VecDeque::new()).collect(),
             dropped: 0,
             closed: false,
+            stats: TransportStats::new(),
         })
         .collect()
 }
@@ -171,6 +174,7 @@ impl Transport for ChannelMesh {
             return;
         }
         self.pump_limbo();
+        self.stats.note_send(payload.len());
         let frame = InboundFrame {
             from: self.me,
             payload,
@@ -189,6 +193,11 @@ impl Transport for ChannelMesh {
         // (drop roll / forced disconnect), park for the link latency, or
         // deliver now.
         let dropped_on_wire = verdict.disconnect || verdict.drop;
+        if dropped_on_wire {
+            // The modelled retransmission after a wire loss is this
+            // mesh's equivalent of a TCP reconnect-and-replay.
+            self.stats.note_reconnect();
+        }
         let mut hold = Duration::from_micros(u64::from(profile.delay_us));
         if dropped_on_wire {
             hold = hold.max(REPAIR_DELAY);
@@ -214,7 +223,10 @@ impl Transport for ChannelMesh {
         }
         self.pump_limbo();
         match self.inbox.recv_timeout(timeout) {
-            Ok(frame) => RecvOutcome::Frame(frame),
+            Ok(frame) => {
+                self.stats.note_recv(frame.payload.len());
+                RecvOutcome::Frame(frame)
+            }
             Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
             // All senders gone (every peer endpoint dropped, including
             // our own clone): nothing can ever arrive again.
@@ -228,6 +240,10 @@ impl Transport for ChannelMesh {
 
     fn is_flushed(&self) -> bool {
         self.limbo.iter().all(VecDeque::is_empty)
+    }
+
+    fn stats(&self) -> Option<TransportStats> {
+        Some(self.stats.clone())
     }
 
     fn shutdown(&mut self) {

@@ -25,7 +25,7 @@
 //! itself stays single-threaded — the protocols are sequential state
 //! machines — so the loop thread is the only place replica state lives.
 
-use crate::gateway::{ClientGateway, GatewayEvent, GatewayStop};
+use crate::gateway::{ClientDelivery, ClientGateway, GatewayEvent, GatewayStop};
 use crate::probe::EventProbe;
 use crate::wire::{
     decode_peer_payload, encode_peer_payload, ClientOp, ClientRequest, ClientResponse, ResponseBody,
@@ -36,6 +36,7 @@ use at_model::codec::{Decode, Encode};
 use at_model::{Amount, ProcessId};
 use at_net::transport::{RecvOutcome, Transport};
 use at_net::{Actor, Context, VirtualTime};
+use at_obs::{Recorder, Registry, Snapshot, Stage};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
@@ -116,14 +117,27 @@ struct NodeStats {
 
 /// Commands into the event loop.
 enum Command {
-    Request { conn: u64, request: ClientRequest },
-    ClientGone { conn: u64 },
+    Request {
+        conn: u64,
+        request: ClientRequest,
+        /// Ingress instant (gateway read or local-client submit) — start
+        /// of the gateway and end-to-end stage spans.
+        received: Instant,
+    },
+    Stats {
+        conn: u64,
+        id: u64,
+    },
+    ClientGone {
+        conn: u64,
+    },
     Inspect(Sender<NodeReport>),
+    Metrics(Sender<Snapshot>),
     SetTimerSkew(u32),
     Stop,
 }
 
-type ResponseRegistry = Arc<Mutex<HashMap<u64, Sender<ClientResponse>>>>;
+type ResponseRegistry = Arc<Mutex<HashMap<u64, Sender<ClientDelivery>>>>;
 
 /// A handle to a running [`Node`]: submit work, inspect state, stop it.
 pub struct NodeHandle<B: at_broadcast::SecureBroadcast<EnginePayload>> {
@@ -156,6 +170,31 @@ impl<B: at_broadcast::SecureBroadcast<EnginePayload>> NodeHandle<B> {
             .send(Command::Inspect(tx))
             .expect("node loop gone");
         rx.recv().expect("node loop gone")
+    }
+
+    /// Fetches the node's [`at_obs`] metric snapshot, built on the loop
+    /// thread so it folds in backend crypto counters and transport
+    /// totals ([`crate::Client::stats`] scrapes the same numbers over
+    /// TCP).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node loop has already terminated.
+    pub fn metrics(&self) -> Snapshot {
+        let (tx, rx) = channel();
+        self.commands
+            .send(Command::Metrics(tx))
+            .expect("node loop gone");
+        rx.recv().expect("node loop gone")
+    }
+
+    /// [`NodeHandle::metrics`] that returns `None` instead of panicking
+    /// when the loop is gone or unresponsive (chaos post-mortems run
+    /// against half-dead clusters).
+    pub fn try_metrics(&self, timeout: Duration) -> Option<Snapshot> {
+        let (tx, rx) = channel();
+        self.commands.send(Command::Metrics(tx)).ok()?;
+        rx.recv_timeout(timeout).ok()
     }
 
     /// Skews this node's armed timers to `pct` percent of their nominal
@@ -221,7 +260,7 @@ pub struct LocalClient {
     conn: u64,
     next_id: u64,
     commands: Sender<Command>,
-    responses: Receiver<ClientResponse>,
+    responses: Receiver<ClientDelivery>,
 }
 
 impl LocalClient {
@@ -239,6 +278,7 @@ impl LocalClient {
                     amount,
                 },
             },
+            received: Instant::now(),
         });
         id
     }
@@ -253,15 +293,38 @@ impl LocalClient {
                 id,
                 op: ClientOp::Read { account },
             },
+            received: Instant::now(),
         });
         let deadline = Instant::now() + timeout;
         loop {
             let remaining = deadline.checked_duration_since(Instant::now())?;
             match self.responses.recv_timeout(remaining) {
-                Ok(ClientResponse {
+                Ok(ClientDelivery::Response(ClientResponse {
                     id: got,
                     body: ResponseBody::Balance { amount },
-                }) if got == id => return Some(amount),
+                })) if got == id => return Some(amount),
+                Ok(_) => continue, // a pipelined transfer ack; caller lost interest
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Fetches the node's metric snapshot (round trip; same numbers as
+    /// [`NodeHandle::metrics`] and the TCP `StatsRequest`).
+    pub fn stats(&mut self, timeout: Duration) -> Option<Snapshot> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let _ = self.commands.send(Command::Stats {
+            conn: self.conn,
+            id,
+        });
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            match self.responses.recv_timeout(remaining) {
+                Ok(ClientDelivery::Stats { id: got, snapshot }) if got == id => {
+                    return Some(snapshot)
+                }
                 Ok(_) => continue, // a pipelined transfer ack; caller lost interest
                 Err(_) => return None,
             }
@@ -269,8 +332,18 @@ impl LocalClient {
     }
 
     /// Waits up to `timeout` for the next response (any request).
+    /// Interleaved stats snapshots are skipped, not lost to the caller's
+    /// response stream.
     pub fn recv_response(&mut self, timeout: Duration) -> Option<ClientResponse> {
-        self.responses.recv_timeout(timeout).ok()
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            match self.responses.recv_timeout(remaining) {
+                Ok(ClientDelivery::Response(response)) => return Some(response),
+                Ok(ClientDelivery::Stats { .. }) => continue,
+                Err(_) => return None,
+            }
+        }
     }
 }
 
@@ -405,6 +478,10 @@ where
         let stats: Arc<NodeStats> = Arc::default();
         let registry: ResponseRegistry = Arc::default();
         let conn_counter = Arc::new(AtomicU64::new(0));
+        let obs = Registry::new(format!("node {}", replica.me()));
+        let recorder = obs.recorder();
+        let mut replica = replica;
+        replica.set_recorder(recorder.clone());
 
         let gateway_stop = gateway.map(|gateway| {
             gateway.run(
@@ -419,6 +496,8 @@ where
         let join = std::thread::Builder::new()
             .name(format!("at-node-{}-loop", replica.me()))
             .spawn(move || {
+                let msgs_in = recorder.registry().counter("node_peer_msgs_in_total");
+                let msgs_out = recorder.registry().counter("node_peer_msgs_out_total");
                 NodeLoop {
                     replica,
                     transport,
@@ -441,6 +520,11 @@ where
                     probe,
                     invocation_stamp: None,
                     timer_skew_pct: 100,
+                    recorder,
+                    msgs_in,
+                    msgs_out,
+                    batch_pending: VecDeque::new(),
+                    broadcast_pending: VecDeque::new(),
                 }
                 .run()
             })
@@ -460,7 +544,16 @@ where
 fn commands_adapter(commands: Sender<Command>) -> impl Fn(GatewayEvent) + Send + Clone + 'static {
     move |event| {
         let command = match event {
-            GatewayEvent::Request { conn, request } => Command::Request { conn, request },
+            GatewayEvent::Request {
+                conn,
+                request,
+                received,
+            } => Command::Request {
+                conn,
+                request,
+                received,
+            },
+            GatewayEvent::Stats { conn, id } => Command::Stats { conn, id },
             GatewayEvent::Gone { conn } => Command::ClientGone { conn },
         };
         let _ = commands.send(command);
@@ -488,13 +581,14 @@ where
     /// loopback), per-source FIFO.
     typed: VecDeque<TypedMsg<B>>,
     timers: BinaryHeap<TimerEntry>,
-    /// Own-transfer seq → the client request awaiting its commit.
-    pending_acks: HashMap<u64, (u64, u64)>,
+    /// Own-transfer seq → the client request awaiting its commit, with
+    /// its gateway-ingress instant (the end-to-end span start).
+    pending_acks: HashMap<u64, (u64, u64, Instant)>,
     events: Vec<(VirtualTime, ProcessId, EngineEvent)>,
     started: Instant,
     /// The client request currently being submitted (associates the
     /// synchronous Submitted/Rejected event with its requester).
-    current_request: Option<(u64, u64)>,
+    current_request: Option<(u64, u64, Instant)>,
     workers: Vec<Sender<RawFrame>>,
     worker_threads: Vec<JoinHandle<()>>,
     decoded: Option<Receiver<TypedMsg<B>>>,
@@ -513,6 +607,21 @@ where
     /// Armed-timer delays are scaled to this percentage of nominal (the
     /// nemesis's batch-timer skew; 100 = no skew).
     timer_skew_pct: u32,
+    /// Stage-span recorder over the node's metric registry (shared with
+    /// the replica, the decode workers, and snapshot requests).
+    recorder: Recorder,
+    /// Peer protocol messages fed to the replica (pre-resolved handle).
+    msgs_in: Arc<at_obs::Counter>,
+    /// Peer protocol messages encoded onto the wire (pre-resolved).
+    msgs_out: Arc<at_obs::Counter>,
+    /// Admission instants of own transfers whose batch has not flushed
+    /// yet — `Submitted` pushes, `BatchBroadcast` pops its batch's worth
+    /// (both events are in admission order, so FIFO matches).
+    batch_pending: VecDeque<Instant>,
+    /// Flush instants of own batches still in their broadcast round
+    /// trip — popped by the local `BackendDelivery` of an own-source
+    /// instance (per-source FIFO delivery makes this match up).
+    broadcast_pending: VecDeque<Instant>,
 }
 
 impl<B, T> NodeLoop<B, T>
@@ -545,7 +654,15 @@ where
             // 2. Drain loop commands.
             loop {
                 match self.commands.try_recv() {
-                    Ok(Command::Request { conn, request }) => self.handle_request(conn, request),
+                    Ok(Command::Request {
+                        conn,
+                        request,
+                        received,
+                    }) => self.handle_request(conn, request, received),
+                    Ok(Command::Stats { conn, id }) => {
+                        let snapshot = self.metrics_snapshot();
+                        self.deliver(conn, ClientDelivery::Stats { id, snapshot });
+                    }
                     Ok(Command::ClientGone { conn }) => {
                         self.registry
                             .lock()
@@ -554,6 +671,9 @@ where
                     }
                     Ok(Command::Inspect(reply)) => {
                         let _ = reply.send(self.report());
+                    }
+                    Ok(Command::Metrics(reply)) => {
+                        let _ = reply.send(self.metrics_snapshot());
                     }
                     Ok(Command::SetTimerSkew(pct)) => {
                         self.timer_skew_pct = pct;
@@ -589,6 +709,7 @@ where
             let mut worked = false;
             while let Some((from, msg)) = self.typed.pop_front() {
                 worked = true;
+                self.msgs_in.inc();
                 self.drive(|replica, ctx| replica.on_message(from, msg, ctx));
             }
 
@@ -721,13 +842,16 @@ where
             let out = out_tx.clone();
             let stats = Arc::clone(&self.stats);
             let inflight = Arc::clone(&self.decode_inflight);
+            let recorder = self.recorder.clone();
             self.workers.push(tx);
             self.worker_threads.push(
                 std::thread::Builder::new()
                     .name(format!("at-node-decode-{w}"))
                     .spawn(move || {
                         while let Ok((from, payload)) = rx.recv() {
+                            let t = Instant::now();
                             let result = decode_peer_payload::<B::Msg>(&payload);
+                            recorder.record(Stage::WireDecode, t.elapsed());
                             match result {
                                 Ok(msg) => {
                                     let sent = out.send((from, msg));
@@ -752,7 +876,10 @@ where
     /// to preserve per-source FIFO), or decodes inline without workers.
     fn ingest_raw(&mut self, from: ProcessId, payload: Vec<u8>) {
         if self.workers.is_empty() {
-            match decode_peer_payload::<B::Msg>(&payload) {
+            let t = Instant::now();
+            let result = decode_peer_payload::<B::Msg>(&payload);
+            self.recorder.record(Stage::WireDecode, t.elapsed());
+            match result {
                 Ok(msg) => self.typed.push_back((from, msg)),
                 Err(_) => {
                     self.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
@@ -793,7 +920,11 @@ where
             if to == me {
                 self.typed.push_back((me, msg));
             } else {
-                self.transport.send(to, encode_peer_payload(&msg));
+                let t = Instant::now();
+                let payload = encode_peer_payload(&msg);
+                self.recorder.record(Stage::WireEncode, t.elapsed());
+                self.msgs_out.inc();
+                self.transport.send(to, payload);
             }
         }
         let now = Instant::now();
@@ -818,13 +949,14 @@ where
             }
             match event {
                 EngineEvent::Submitted { transfer } => {
+                    self.batch_pending.push_back(Instant::now());
                     if let Some(request) = self.current_request.take() {
                         self.pending_acks.insert(transfer.seq.value(), request);
                     }
                 }
                 EngineEvent::Rejected { available, .. } => {
                     self.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                    if let Some((conn, id)) = self.current_request.take() {
+                    if let Some((conn, id, _)) = self.current_request.take() {
                         self.respond(
                             conn,
                             ClientResponse {
@@ -836,7 +968,11 @@ where
                 }
                 EngineEvent::Completed { transfer } => {
                     self.stats.committed.fetch_add(1, Ordering::Relaxed);
-                    if let Some((conn, id)) = self.pending_acks.remove(&transfer.seq.value()) {
+                    if let Some((conn, id, received)) =
+                        self.pending_acks.remove(&transfer.seq.value())
+                    {
+                        self.recorder.record(Stage::EndToEnd, received.elapsed());
+                        let t = Instant::now();
                         self.respond(
                             conn,
                             ClientResponse {
@@ -844,28 +980,54 @@ where
                                 body: ResponseBody::Committed { seq: transfer.seq },
                             },
                         );
+                        self.recorder.record(Stage::Ack, t.elapsed());
                     }
                 }
                 EngineEvent::Applied { .. } => {
                     self.stats.applied.fetch_add(1, Ordering::Relaxed);
                 }
-                EngineEvent::BatchBroadcast { .. }
-                | EngineEvent::BackendDelivery { .. }
-                | EngineEvent::ReadObserved { .. } => {}
+                EngineEvent::BatchBroadcast { size } => {
+                    // Close this batch's admission spans (Submitted and
+                    // BatchBroadcast both happen in admission order) and
+                    // open its broadcast round-trip span. A warm restart
+                    // can flush a batch admitted by the previous
+                    // incarnation, whose spans died with it — hence the
+                    // pop guard.
+                    let now = Instant::now();
+                    for _ in 0..size {
+                        if let Some(admitted) = self.batch_pending.pop_front() {
+                            self.recorder
+                                .record(Stage::Batch, now.duration_since(admitted));
+                        }
+                    }
+                    self.broadcast_pending.push_back(now);
+                }
+                EngineEvent::BackendDelivery { source, .. } => {
+                    // Own batches come back in FIFO order (per-source
+                    // delivery order is the broadcast contract).
+                    if source == me {
+                        if let Some(sent) = self.broadcast_pending.pop_front() {
+                            self.recorder.record(Stage::Broadcast, sent.elapsed());
+                        }
+                    }
+                }
+                EngineEvent::ReadObserved { .. } => {}
             }
         }
     }
 
-    fn handle_request(&mut self, conn: u64, request: ClientRequest) {
+    fn handle_request(&mut self, conn: u64, request: ClientRequest, received: Instant) {
         if self.stopping {
             return; // no new work while draining
         }
+        // Gateway span: socket read (or local submit) to loop pickup.
+        self.recorder.record(Stage::Gateway, received.elapsed());
         match request.op {
             ClientOp::Transfer {
                 destination,
                 amount,
             } => {
-                self.current_request = Some((conn, request.id));
+                self.current_request = Some((conn, request.id, received));
                 self.invocation_stamp = self.probe.as_ref().map(EventProbe::stamp);
                 self.drive(|replica, ctx| replica.submit(destination, amount, ctx));
                 // Whatever happened, the synchronous event consumed the
@@ -893,10 +1055,71 @@ where
     }
 
     fn respond(&self, conn: u64, response: ClientResponse) {
+        self.deliver(conn, ClientDelivery::Response(response));
+    }
+
+    fn deliver(&self, conn: u64, delivery: ClientDelivery) {
         let registry = self.registry.lock().expect("registry poisoned");
         if let Some(sender) = registry.get(&conn) {
-            let _ = sender.send(response);
+            let _ = sender.send(delivery);
         }
+    }
+
+    /// Builds the node's metric snapshot on the loop thread, where the
+    /// backend and transport live: externally-kept totals (backend
+    /// crypto ops, transport frame counts, loop counters) are folded
+    /// into registry counters by monotone delta, then the registry is
+    /// captured.
+    fn metrics_snapshot(&self) -> Snapshot {
+        let obs = self.recorder.registry();
+        let fold = |name: &str, total: u64| {
+            let counter = obs.counter(name);
+            counter.add(total.saturating_sub(counter.get()));
+        };
+        fold(
+            "node_committed_total",
+            self.stats.committed.load(Ordering::Relaxed),
+        );
+        fold(
+            "node_applied_total",
+            self.stats.applied.load(Ordering::Relaxed),
+        );
+        fold(
+            "node_rejected_total",
+            self.stats.rejected.load(Ordering::Relaxed),
+        );
+        fold(
+            "node_malformed_frames_total",
+            self.stats.malformed_frames.load(Ordering::Relaxed),
+        );
+        fold(
+            "node_lost_ingest_total",
+            self.stats.lost_ingest.load(Ordering::Relaxed),
+        );
+        let backend = self.replica.backend();
+        let ops = backend.crypto_ops();
+        fold("broadcast_signs_total", ops.signs);
+        fold("broadcast_verifies_total", ops.verifies);
+        fold(
+            "broadcast_delivered_total",
+            backend.delivered_count() as u64,
+        );
+        obs.gauge("broadcast_instances")
+            .set(backend.instance_count() as u64);
+        obs.gauge("engine_pending")
+            .set(self.replica.pending_count() as u64);
+        fold(
+            "transport_dropped_frames_total",
+            self.transport.dropped_frames(),
+        );
+        if let Some(ts) = self.transport.stats() {
+            fold("transport_frames_out_total", ts.frames_out());
+            fold("transport_bytes_out_total", ts.bytes_out());
+            fold("transport_frames_in_total", ts.frames_in());
+            fold("transport_bytes_in_total", ts.bytes_in());
+            fold("transport_reconnects_total", ts.reconnects());
+        }
+        obs.snapshot()
     }
 
     fn report(&self) -> NodeReport {

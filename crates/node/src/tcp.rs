@@ -78,7 +78,7 @@
 
 use crate::wire::{encode_frame, Frame, FrameBuffer};
 use at_model::ProcessId;
-use at_net::transport::{FaultInjector, InboundFrame, RecvOutcome, Transport};
+use at_net::transport::{FaultInjector, InboundFrame, RecvOutcome, Transport, TransportStats};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -255,6 +255,8 @@ struct Shared {
     poisoned_conns: AtomicU64,
     /// Nemesis hook: per-link wire faults (see the module docs).
     faults: Option<FaultInjector>,
+    /// Traffic totals for observability ([`Transport::stats`]).
+    stats: TransportStats,
 }
 
 /// The TCP transport endpoint (see the module docs).
@@ -308,6 +310,7 @@ impl TcpTransport {
             draining: AtomicBool::new(false),
             poisoned_conns: AtomicU64::new(0),
             faults,
+            stats: TransportStats::new(),
         });
 
         let mut threads = Vec::new();
@@ -362,6 +365,7 @@ impl Transport for TcpTransport {
         if self.shared.shutdown.load(Ordering::Relaxed) {
             return;
         }
+        self.shared.stats.note_send(payload.len());
         self.shared.outboxes[to.as_usize()].enqueue(
             payload,
             self.shared.options.outbox_capacity,
@@ -404,6 +408,10 @@ impl Transport for TcpTransport {
     /// frames reached the inbox, so whatever it covers is retrievable.
     fn quiesce(&mut self) {
         self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    fn stats(&self) -> Option<TransportStats> {
+        Some(self.shared.stats.clone())
     }
 
     fn shutdown(&mut self) {
@@ -580,6 +588,7 @@ fn data_loop(
         };
         first_data = false;
         if let Some(payload) = deliver {
+            let payload_len = payload.len();
             // Bounded hand-off to the node loop: a full inbox pauses
             // this reader (the frame stays unacked, so the peer's
             // outbox fills and backpressure propagates end to end)
@@ -590,7 +599,10 @@ fn data_loop(
             };
             loop {
                 match shared.incoming.try_send(frame) {
-                    Ok(()) => break,
+                    Ok(()) => {
+                        shared.stats.note_recv(payload_len);
+                        break;
+                    }
                     Err(TrySendError::Full(back)) => {
                         if shared.shutdown.load(Ordering::Relaxed) {
                             return Ok(()); // dying anyway; frame unacked
@@ -633,7 +645,10 @@ fn writer_loop(peer: usize, directory: PeerDirectory, shared: Arc<Shared>) {
         let addr = directory.lock().expect("directory poisoned")[peer];
         match writer_conn(addr, peer, &shared, &outbox) {
             Ok(()) => break, // clean shutdown
-            Err(_) => std::thread::sleep(shared.options.reconnect_delay),
+            Err(_) => {
+                shared.stats.note_reconnect();
+                std::thread::sleep(shared.options.reconnect_delay);
+            }
         }
     }
 }

@@ -18,7 +18,9 @@
 //!   `DataAck` flowing back — the reliability layer
 //!   [`crate::tcp::TcpTransport`] builds over reconnecting TCP;
 //! * **client links** (client ↔ node): `HelloClient`, then pipelined
-//!   `Request`/`Response` frames;
+//!   `Request`/`Response` frames, plus `StatsRequest`/`StatsResponse`
+//!   for scraping the node's [`at_obs`] metric snapshot over the same
+//!   link ([`crate::Client::stats`]);
 //! * **backend payloads**: the bytes inside `Data` are themselves
 //!   versioned ([`encode_peer_payload`]), so an in-process transport
 //!   that skips the TCP envelope still carries versioned bytes.
@@ -33,6 +35,7 @@
 
 use at_model::codec::{decode, Decode, Encode, Reader, Writer};
 use at_model::{AccountId, Amount, CodecError, ProcessId, SeqNo};
+use at_obs::Snapshot;
 use std::fmt;
 
 /// Current wire protocol version. Bumped on any incompatible change;
@@ -198,6 +201,19 @@ pub enum Frame {
     Request(ClientRequest),
     /// A node's answer.
     Response(ClientResponse),
+    /// A client's request for the node's metric snapshot, tagged with a
+    /// pipelining id like [`ClientRequest`].
+    StatsRequest {
+        /// Client-chosen request id (echoed in the response).
+        id: u64,
+    },
+    /// The node's metric snapshot, answering one [`Frame::StatsRequest`].
+    StatsResponse {
+        /// The request id being answered.
+        id: u64,
+        /// Every metric the node's registry held at capture time.
+        snapshot: Snapshot,
+    },
 }
 
 impl Encode for ClientRequest {
@@ -316,6 +332,15 @@ impl Encode for Frame {
                 w.put_u8(6);
                 response.encode(w);
             }
+            Frame::StatsRequest { id } => {
+                w.put_u8(7);
+                id.encode(w);
+            }
+            Frame::StatsResponse { id, snapshot } => {
+                w.put_u8(8);
+                id.encode(w);
+                snapshot.encode(w);
+            }
         }
     }
 }
@@ -340,6 +365,13 @@ impl Decode for Frame {
             4 => Ok(Frame::HelloClient),
             5 => Ok(Frame::Request(ClientRequest::decode(r)?)),
             6 => Ok(Frame::Response(ClientResponse::decode(r)?)),
+            7 => Ok(Frame::StatsRequest {
+                id: u64::decode(r)?,
+            }),
+            8 => Ok(Frame::StatsResponse {
+                id: u64::decode(r)?,
+                snapshot: Snapshot::decode(r)?,
+            }),
             tag => Err(CodecError::InvalidTag {
                 type_name: "Frame",
                 tag,
@@ -515,6 +547,16 @@ mod tests {
                     amount: Amount::new(1000),
                 },
             }),
+            Frame::StatsRequest { id: 12 },
+            Frame::StatsResponse {
+                id: 12,
+                snapshot: {
+                    let reg = at_obs::Registry::new("node 3");
+                    reg.counter("node_committed_total").add(7);
+                    reg.histogram("stage_apply_us").record(42);
+                    reg.snapshot()
+                },
+            },
         ];
         // Stream all frames as one byte soup, delivered in 7-byte chunks.
         let stream: Vec<u8> = frames.iter().flat_map(encode_frame).collect();

@@ -13,7 +13,49 @@ use at_node::wire::{
     ClientRequest, ClientResponse, Frame, FrameBuffer, ResponseBody, WireError, MAX_FRAME_LEN,
     WIRE_VERSION,
 };
+use at_obs::{MetricValue, NamedHistogram, Snapshot};
 use proptest::prelude::*;
+
+fn snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        any::<u64>(),
+        prop::collection::vec((any::<u64>(), any::<u64>()), 0..3),
+        prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(0u64..1_000_000, 0..6)),
+            0..2,
+        ),
+    )
+        .prop_map(|(label, scalars, hists)| Snapshot {
+            label: format!("node {}", label % 100),
+            counters: scalars
+                .iter()
+                .map(|(name, value)| MetricValue {
+                    name: format!("c{}_total", name % 8),
+                    value: *value,
+                })
+                .collect(),
+            gauges: scalars
+                .into_iter()
+                .map(|(name, value)| MetricValue {
+                    name: format!("g{name}"),
+                    value,
+                })
+                .collect(),
+            histograms: hists
+                .into_iter()
+                .map(|(name, samples)| {
+                    let h = at_obs::Histogram::new();
+                    for v in samples {
+                        h.record(v);
+                    }
+                    NamedHistogram {
+                        name: format!("stage_{}_us", name % 10),
+                        hist: h.snapshot(),
+                    }
+                })
+                .collect(),
+        })
+}
 
 fn transfer() -> impl Strategy<Value = Transfer> {
     (0u32..8, 0u32..8, 0u64..1000, 0u32..8, 1u64..100).prop_map(|(src, dst, amt, orig, seq)| {
@@ -56,9 +98,10 @@ fn frame() -> impl Strategy<Value = Frame> {
         any::<u64>(),
         prop::collection::vec(any::<u8>(), 0..128),
         client_request(),
-        0u32..8,
+        snapshot(),
+        0u32..16,
     )
-        .prop_map(|(a, b, payload, request, pick)| match pick % 7 {
+        .prop_map(|(a, b, payload, request, snapshot, pick)| match pick % 9 {
             0 => Frame::HelloNode {
                 node: ProcessId::new((a % 16) as u32),
                 epoch: b,
@@ -68,6 +111,8 @@ fn frame() -> impl Strategy<Value = Frame> {
             3 => Frame::DataAck { through: a },
             4 => Frame::HelloClient,
             5 => Frame::Request(request),
+            7 => Frame::StatsRequest { id: a },
+            8 => Frame::StatsResponse { id: a, snapshot },
             _ => Frame::Response(ClientResponse {
                 id: a,
                 body: match b % 3 {

@@ -1,0 +1,202 @@
+//! Log-bucketed latency histogram with sound quantile bounds.
+//!
+//! Values 0–3 get exact buckets; every larger value lands in a
+//! power-of-two decade split into 4 sub-buckets, so a bucket's width is
+//! at most 25% of its lower bound. Quantiles are therefore reported as
+//! *intervals* — the bucket bounds, tightened by the recorded min/max —
+//! that are guaranteed to contain the true sample quantile. 252 buckets
+//! cover the full `u64` range; recording is a few `Relaxed` atomic adds.
+
+use crate::snapshot::HistogramSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: 4 exact (0–3) plus 4 sub-buckets for each of the
+/// 62 power-of-two decades `[2^b, 2^(b+1))`, `b = 2..=63`.
+pub const BUCKET_COUNT: usize = 252;
+
+/// The bucket index a value lands in.
+pub fn bucket_index(value: u64) -> usize {
+    if value < 4 {
+        return value as usize;
+    }
+    let b = 63 - value.leading_zeros() as u64; // floor(log2(value)), >= 2
+    let sub = (value >> (b - 2)) & 3; // top two bits below the leading one
+    (4 * (b - 1) + sub) as usize
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `index`.
+///
+/// Every recorded value `v` satisfies
+/// `bucket_bounds(bucket_index(v)).0 <= v <= bucket_bounds(bucket_index(v)).1`.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKET_COUNT`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKET_COUNT, "bucket index {index} out of range");
+    if index < 4 {
+        return (index as u64, index as u64);
+    }
+    let b = (index as u64) / 4 + 1;
+    let sub = (index as u64) % 4;
+    let width = 1u64 << (b - 2);
+    let lo = (1u64 << b) + sub * width;
+    // The topmost bucket's hi is exactly u64::MAX; no overflow because
+    // width - 1 is added, not width.
+    (lo, lo + (width - 1))
+}
+
+/// A fixed-size, lock-free latency histogram.
+///
+/// All mutation is `Relaxed` atomics; concurrent recorders never lose
+/// counts. Snapshot totals are derived from the bucket array itself, so
+/// a snapshot taken mid-traffic is internally consistent (its `count`
+/// equals the sum of its bucket counts).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free: four `Relaxed` atomic RMWs.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded (sum of all bucket counts).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Captures the current state. The snapshot's `count` is exactly
+    /// the sum of its buckets; `sum`/`min`/`max` are read alongside and
+    /// may trail concurrent recorders by a sample.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                count += n;
+                buckets.push((index as u16, n));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Consecutive buckets abut: hi(i) + 1 == lo(i + 1).
+        for i in 0..BUCKET_COUNT - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo_next, "gap between buckets {i} and {}", i + 1);
+        }
+        assert_eq!(bucket_bounds(0).0, 0);
+        assert_eq!(bucket_bounds(BUCKET_COUNT - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_width_is_bounded_relative_to_lo() {
+        for i in 4..BUCKET_COUNT {
+            let (lo, hi) = bucket_bounds(i);
+            // Sub-bucketed decades: width <= lo / 4.
+            assert!(hi - lo <= lo / 4, "bucket {i}: [{lo}, {hi}] too wide");
+        }
+    }
+
+    #[test]
+    fn every_value_falls_in_its_bucket_bounds() {
+        let probes = [
+            0,
+            1,
+            2,
+            3,
+            4,
+            5,
+            7,
+            8,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [1u64, 1, 5, 100, 100, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 307);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        // Only touched buckets appear.
+        assert!(s.buckets.len() <= 3);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_inert() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!((s.min, s.max), (0, 0));
+        assert!(s.quantile(0.5).is_none());
+    }
+}

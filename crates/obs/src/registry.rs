@@ -1,0 +1,186 @@
+//! The per-node metric [`Registry`]: named counters, gauges, and
+//! histograms behind cheap shared handles.
+
+use crate::hist::Histogram;
+use crate::recorder::Recorder;
+use crate::snapshot::{MetricValue, NamedHistogram, Snapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing event count. Lock-free.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value. Lock-free.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    label: String,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// A node's metric namespace. Cloning shares the underlying metrics.
+///
+/// Resolving a name takes a mutex; the returned `Arc` handle is held by
+/// the instrumented code and recorded into lock-free, so steady-state
+/// cost is independent of the registry. Names are registered on first
+/// use — resolving the same name twice yields the same metric.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// A fresh registry labelled `label` (conventionally `node <i>`).
+    pub fn new(label: impl Into<String>) -> Self {
+        Registry {
+            inner: Arc::new(Inner {
+                label: label.into(),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// The registry's label.
+    pub fn label(&self) -> &str {
+        &self.inner.label
+    }
+
+    /// The named counter, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.counters.lock().expect("registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The named gauge, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.inner.gauges.lock().expect("registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The named histogram, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.histograms.lock().expect("registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// A [`Recorder`] with every [`crate::Stage`] histogram
+    /// pre-resolved for lock-free stage-span recording.
+    pub fn recorder(&self) -> Recorder {
+        Recorder::new(self.clone())
+    }
+
+    /// Captures every registered metric, name-sorted.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, c)| MetricValue {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, g)| MetricValue {
+                name: name.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, h)| NamedHistogram {
+                name: name.clone(),
+                hist: h.snapshot(),
+            })
+            .collect();
+        Snapshot {
+            label: self.inner.label.clone(),
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// [`Registry::snapshot`] rendered as text (see
+    /// [`Snapshot::render`]).
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_resolve_to_shared_metrics() {
+        let reg = Registry::new("node 0");
+        reg.counter("a_total").add(2);
+        reg.counter("a_total").inc();
+        assert_eq!(reg.counter("a_total").get(), 3);
+        reg.gauge("depth").set(7);
+        reg.gauge("depth").set(5);
+        assert_eq!(reg.gauge("depth").get(), 5);
+        reg.histogram("lat_us").record(40);
+        assert_eq!(reg.histogram("lat_us").count(), 1);
+    }
+
+    #[test]
+    fn clones_share_state_and_snapshots_sort_by_name() {
+        let reg = Registry::new("node 1");
+        let other = reg.clone();
+        other.counter("z_total").inc();
+        other.counter("a_total").inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.label, "node 1");
+        let names: Vec<&str> = snap.counters.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["a_total", "z_total"]);
+        assert!(reg.render().contains("counter a_total 1"));
+    }
+}

@@ -1,0 +1,385 @@
+//! Point-in-time metric snapshots: plain values, wire-codable with the
+//! workspace codec, renderable as text.
+
+use crate::hist::bucket_bounds;
+use at_model::codec::{Decode, Encode, Reader, Writer};
+use at_model::CodecError;
+use std::fmt::Write as _;
+
+/// A captured histogram: derived totals plus the non-zero buckets in
+/// index order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples (always equals the sum of `buckets` counts).
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Sound bounds `[lo, hi]` on the `q`-quantile sample (`0 < q <= 1`):
+    /// the true quantile of the recorded stream is guaranteed to lie in
+    /// the returned interval. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                let (lo, hi) = bucket_bounds(index as usize);
+                // The recorded min/max tighten the bucket bounds — and
+                // keep quantiles of a one-bucket stream exact.
+                return Some((lo.max(self.min), hi.min(self.max)));
+            }
+        }
+        // count is derived from buckets, so the walk always reaches it.
+        unreachable!("quantile target beyond bucket totals")
+    }
+
+    /// Upper bound of the `q`-quantile (0 when empty) — the headline
+    /// number tables print, sound in the "at most" direction.
+    pub fn quantile_hi(&self, q: f64) -> u64 {
+        self.quantile(q).map_or(0, |(_, hi)| hi)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Folds `other` into `self` bucket-by-bucket — the cross-node merge
+    /// behind cluster-wide latency tables. Quantile bounds of the merge
+    /// are as sound as of any single snapshot (buckets simply add).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ai, an)), Some(&&(bi, bn))) => {
+                    if ai < bi {
+                        merged.push((ai, an));
+                        a.next();
+                    } else if bi < ai {
+                        merged.push((bi, bn));
+                        b.next();
+                    } else {
+                        merged.push((ai, an + bn));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&pair), None) => {
+                    merged.push(pair);
+                    a.next();
+                }
+                (None, Some(&&pair)) => {
+                    merged.push(pair);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+impl Encode for HistogramSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        self.count.encode(w);
+        self.sum.encode(w);
+        self.min.encode(w);
+        self.max.encode(w);
+        w.put_u64(self.buckets.len() as u64);
+        for &(index, n) in &self.buckets {
+            index.encode(w);
+            n.encode(w);
+        }
+    }
+}
+
+impl Decode for HistogramSnapshot {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let count = u64::decode(r)?;
+        let sum = u64::decode(r)?;
+        let min = u64::decode(r)?;
+        let max = u64::decode(r)?;
+        let len = r.take_seq_len()?;
+        let mut buckets = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            buckets.push((u16::decode(r)?, u64::decode(r)?));
+        }
+        Ok(HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+}
+
+/// One named scalar metric (counter or gauge) in a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricValue {
+    /// The metric name.
+    pub name: String,
+    /// The value at capture time.
+    pub value: u64,
+}
+
+impl Encode for MetricValue {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.value.encode(w);
+    }
+}
+
+impl Decode for MetricValue {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MetricValue {
+            name: String::decode(r)?,
+            value: u64::decode(r)?,
+        })
+    }
+}
+
+/// One named histogram in a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NamedHistogram {
+    /// The metric name.
+    pub name: String,
+    /// The captured histogram.
+    pub hist: HistogramSnapshot,
+}
+
+impl Encode for NamedHistogram {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.hist.encode(w);
+    }
+}
+
+impl Decode for NamedHistogram {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(NamedHistogram {
+            name: String::decode(r)?,
+            hist: HistogramSnapshot::decode(r)?,
+        })
+    }
+}
+
+/// Everything a [`crate::Registry`] held at one instant. Name-sorted,
+/// wire-codable (this is the payload of `at-node`'s `StatsResponse`
+/// frame), and renderable as text.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The registry label (conventionally `node <i>`).
+    pub label: String,
+    /// All counters, ascending by name.
+    pub counters: Vec<MetricValue>,
+    /// All gauges, ascending by name.
+    pub gauges: Vec<MetricValue>,
+    /// All histograms, ascending by name.
+    pub histograms: Vec<NamedHistogram>,
+}
+
+impl Snapshot {
+    /// The named counter's value, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
+    }
+
+    /// The named gauge's value, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|m| m.name == name).map(|m| m.value)
+    }
+
+    /// The named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| &m.hist)
+    }
+
+    /// Renders the snapshot as the text block benches and chaos dumps
+    /// ship: one `counter`/`gauge` line per scalar, one `hist` line per
+    /// histogram with count/mean/min/max and upper quantile bounds.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.label);
+        for m in &self.counters {
+            let _ = writeln!(out, "counter {} {}", m.name, m.value);
+        }
+        for m in &self.gauges {
+            let _ = writeln!(out, "gauge {} {}", m.name, m.value);
+        }
+        for h in &self.histograms {
+            let s = &h.hist;
+            let _ = writeln!(
+                out,
+                "hist {} count={} mean={} min={} max={} p50<={} p99<={} p999<={}",
+                h.name,
+                s.count,
+                s.mean(),
+                s.min,
+                s.max,
+                s.quantile_hi(0.50),
+                s.quantile_hi(0.99),
+                s.quantile_hi(0.999),
+            );
+        }
+        out
+    }
+}
+
+impl Encode for Snapshot {
+    fn encode(&self, w: &mut Writer) {
+        self.label.encode(w);
+        self.counters.encode(w);
+        self.gauges.encode(w);
+        self.histograms.encode(w);
+    }
+}
+
+impl Decode for Snapshot {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Snapshot {
+            label: String::decode(r)?,
+            counters: Vec::decode(r)?,
+            gauges: Vec::decode(r)?,
+            histograms: Vec::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use at_model::codec::{decode, encode};
+
+    fn sample_snapshot() -> Snapshot {
+        let h = Histogram::new();
+        for v in [3u64, 17, 17, 90, 1000] {
+            h.record(v);
+        }
+        Snapshot {
+            label: "node 2".into(),
+            counters: vec![MetricValue {
+                name: "node_frames_in_total".into(),
+                value: 41,
+            }],
+            gauges: vec![MetricValue {
+                name: "engine_pending".into(),
+                value: 3,
+            }],
+            histograms: vec![NamedHistogram {
+                name: "stage_apply_us".into(),
+                hist: h.snapshot(),
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_the_codec() {
+        let snap = sample_snapshot();
+        let bytes = encode(&snap);
+        assert_eq!(decode::<Snapshot>(&bytes).expect("roundtrip"), snap);
+    }
+
+    #[test]
+    fn snapshot_decode_is_total_on_garbage() {
+        for len in 0..64usize {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let _ = decode::<Snapshot>(&bytes);
+        }
+    }
+
+    #[test]
+    fn lookups_and_render_cover_every_section() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counter("node_frames_in_total"), Some(41));
+        assert_eq!(snap.gauge("engine_pending"), Some(3));
+        assert_eq!(snap.counter("missing"), None);
+        let hist = snap.histogram("stage_apply_us").expect("present");
+        assert_eq!(hist.count, 5);
+        let text = snap.render();
+        assert!(text.contains("# node 2"));
+        assert!(text.contains("counter node_frames_in_total 41"));
+        assert!(text.contains("gauge engine_pending 3"));
+        assert!(text.contains("hist stage_apply_us count=5"));
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one_histogram() {
+        let (a, b, all) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [1u64, 40, 40, 900, 1_000_000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 40, 77_777] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+        // Merging with / into an empty snapshot is identity.
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&merged);
+        assert_eq!(empty, all.snapshot());
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn quantile_bounds_are_ordered_and_contain_the_samples() {
+        let h = Histogram::new();
+        let samples: Vec<u64> = (0..1000u64).map(|i| i * i % 7919).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.99, 0.999] {
+            let (lo, hi) = snap.quantile(q).expect("non-empty");
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let true_q = sorted[rank - 1];
+            assert!(
+                lo <= true_q && true_q <= hi,
+                "q={q}: {true_q} not in [{lo}, {hi}]"
+            );
+        }
+        assert!(snap.quantile_hi(0.5) <= snap.quantile_hi(0.99));
+        assert!(snap.quantile_hi(0.99) <= snap.quantile_hi(0.999));
+        assert!(snap.quantile_hi(0.999) <= snap.max);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the histogram: bucket-bound soundness and
+//! quantile monotonicity over arbitrary sample streams, plus a
+//! concurrent-recording test (no lost counts under contention).
+
+use at_obs::{bucket_bounds, bucket_index, Histogram, BUCKET_COUNT};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// Every value falls inside the bounds of the bucket it indexes to,
+    /// across the whole u64 range.
+    #[test]
+    fn samples_fall_within_reported_bucket_bounds(
+        raw in any::<u64>(),
+        shift in 0u32..64,
+    ) {
+        // Cover every magnitude, not just the uniform-u64 high end.
+        let v = raw >> shift;
+        let index = bucket_index(v);
+        prop_assert!(index < BUCKET_COUNT);
+        let (lo, hi) = bucket_bounds(index);
+        prop_assert!(lo <= v && v <= hi, "{} outside [{}, {}]", v, lo, hi);
+    }
+
+    /// For arbitrary sample streams: reported quantile intervals
+    /// contain the true sample quantile, and the upper bounds are
+    /// monotone — p50 <= p99 <= p999 <= max.
+    #[test]
+    fn quantile_bounds_are_sound_and_monotone(
+        samples in prop::collection::vec(any::<u64>(), 1..512),
+        shift in 0u32..56,
+    ) {
+        let hist = Histogram::new();
+        let samples: Vec<u64> = samples.iter().map(|v| v >> shift).collect();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let (lo, hi) = snap.quantile(q).expect("non-empty");
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            prop_assert!(lo <= truth && truth <= hi,
+                "q={}: true quantile {} outside [{}, {}]", q, truth, lo, hi);
+        }
+        let p50 = snap.quantile_hi(0.50);
+        let p99 = snap.quantile_hi(0.99);
+        let p999 = snap.quantile_hi(0.999);
+        prop_assert!(p50 <= p99, "p50 {} > p99 {}", p50, p99);
+        prop_assert!(p99 <= p999, "p99 {} > p999 {}", p99, p999);
+        prop_assert!(p999 <= snap.max, "p999 {} > max {}", p999, snap.max);
+    }
+
+    /// A snapshot's derived count always equals the sum of its buckets
+    /// and the sum of values matches, for any stream.
+    #[test]
+    fn snapshot_totals_are_self_consistent(
+        samples in prop::collection::vec(0u64..1_000_000, 0..256),
+    ) {
+        let hist = Histogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(snap.count, bucket_total);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+    }
+}
+
+/// Hammer one histogram from many threads: no recorded sample may be
+/// lost, and the totals must match exactly.
+#[test]
+fn concurrent_recording_loses_no_counts() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let hist = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                // Distinct per-thread value streams across magnitudes.
+                for i in 0..PER_THREAD {
+                    hist.record((i.wrapping_mul(2 * t + 1)) % (1 << (8 + t)));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("recorder thread panicked");
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(
+        snap.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+        THREADS * PER_THREAD
+    );
+    assert!(snap.quantile(0.5).is_some());
+}

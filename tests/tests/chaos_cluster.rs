@@ -30,8 +30,9 @@ fn node_config() -> NodeConfig {
 }
 
 /// Submits one transfer through a fresh, well-formed client and expects
-/// the commit acknowledgement — the "gateway still alive and serving"
-/// oracle between fuzz volleys.
+/// the commit acknowledgement, then scrapes the node's metrics over the
+/// same connection — the "gateway still alive and serving (introspection
+/// plane included)" oracle between fuzz volleys.
 fn assert_gateway_serves(addr: std::net::SocketAddr) {
     let mut client = Client::connect(addr).expect("well-formed client connects");
     client
@@ -44,6 +45,13 @@ fn assert_gateway_serves(addr: std::net::SocketAddr) {
     assert!(
         matches!(ack.body, ResponseBody::Committed { .. }),
         "expected commit, got {ack:?}"
+    );
+    let snapshot = client
+        .stats(Duration::from_secs(10))
+        .expect("stats round-trip over the fuzzed gateway");
+    assert!(
+        snapshot.counter("node_committed_total").unwrap_or(0) >= 1,
+        "scraped metrics must reflect the commit just acknowledged"
     );
 }
 
@@ -93,6 +101,34 @@ fn gateway_survives_hostile_client_frames() {
     let mut framed = (body.len() as u32).to_le_bytes().to_vec();
     framed.extend_from_slice(&body);
     conn.write_all(&framed).unwrap();
+    drop(conn);
+
+    // A stats request before any handshake (introspection is for
+    // greeted clients only — must be ignored, not served or panicked).
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(&encode_frame(&Frame::StatsRequest { id: 7 }))
+        .unwrap();
+    drop(conn);
+
+    // A truncated stats request: valid handshake, kind byte 7, id cut
+    // short mid-field.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(&encode_frame(&Frame::HelloClient)).unwrap();
+    let body = vec![WIRE_VERSION, 7, 1, 2, 3];
+    let mut framed = (body.len() as u32).to_le_bytes().to_vec();
+    framed.extend_from_slice(&body);
+    conn.write_all(&framed).unwrap();
+    drop(conn);
+
+    // A client pushing a StatsResponse — the server-to-client kind — at
+    // the gateway (direction confusion).
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(&encode_frame(&Frame::HelloClient)).unwrap();
+    conn.write_all(&encode_frame(&Frame::StatsResponse {
+        id: 9,
+        snapshot: at_obs::Snapshot::default(),
+    }))
+    .unwrap();
     drop(conn);
 
     // A slow client that never completes its frame, held open across
