@@ -2,7 +2,7 @@
 //! numbers justify the virtual-time cost constants used by the
 //! evaluation's modelled-crypto mode (DESIGN.md §4).
 
-use at_crypto::{KeyStore, Sha256, Sha512};
+use at_crypto::{verify_batch, KeyStore, PrecomputedKey, Sha256, Sha512, Signature};
 use at_model::ProcessId;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
@@ -26,6 +26,30 @@ fn bench_ed25519(c: &mut Criterion) {
     group.bench_function("sign", |b| b.iter(|| keys.keypair(signer).sign(msg)));
     group.bench_function("verify", |b| {
         b.iter(|| keys.public(signer).verify(msg, &sig).unwrap())
+    });
+
+    // The T7 hot-path variants: comb-table singles and the
+    // random-linear-combination certificate batch (q = 3, the echo
+    // quorum at n = 4). Table builds happen once, outside the timer,
+    // matching how EdAuth::warm() stages them in the live runtime.
+    let pre = PrecomputedKey::new(*keys.public(signer));
+    group.bench_function("verify_comb", |b| b.iter(|| pre.verify(msg, &sig).unwrap()));
+
+    let q = 3usize;
+    let qkeys = KeyStore::deterministic(q, 7);
+    let msgs: Vec<&[u8]> = (0..q).map(|_| msg.as_slice()).collect();
+    let sigs: Vec<Signature> = (0..q)
+        .map(|i| qkeys.keypair(ProcessId::new(i as u32)).sign(msg))
+        .collect();
+    let pres: Vec<PrecomputedKey> = (0..q)
+        .map(|i| PrecomputedKey::new(*qkeys.public(ProcessId::new(i as u32))))
+        .collect();
+    group.bench_function("verify_batch_q3", |b| {
+        b.iter(|| {
+            let items: Vec<(&PrecomputedKey, &[u8], &Signature)> =
+                (0..q).map(|i| (&pres[i], msgs[i], &sigs[i])).collect();
+            verify_batch(&items).unwrap()
+        })
     });
     group.finish();
 }

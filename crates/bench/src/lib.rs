@@ -531,6 +531,98 @@ pub fn t5_json(report: &T5Report, smoke: bool) -> String {
     )
 }
 
+/// One authenticated leg of the **T7** hot-path bench: the same
+/// loadgen shape run under real Ed25519 signatures, with the at-obs
+/// sign/verify stage spans scraped back out of the cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct T7AuthRow {
+    /// Committed transfers per wall-clock second.
+    pub throughput_tps: f64,
+    /// Mean of the merged `stage_sign_us` histogram (µs).
+    pub sign_mean_us: u64,
+    /// Mean of the merged `stage_verify_us` histogram (µs) — under the
+    /// batched authenticator this is the *amortized* per-signature cost
+    /// of the random-linear-combination certificate check.
+    pub verify_mean_us: u64,
+    /// Signing operations metered across the cluster.
+    pub sign_count: u64,
+    /// Signature verifications metered across the cluster (batch passes
+    /// count once per covered signature).
+    pub verify_count: u64,
+}
+
+/// Renders the **T7** hot-path report as `BENCH_t7.json` (hand-rolled,
+/// no serde): the NoAuth headline run against the recorded T5 baseline,
+/// plus the serial-vs-batched Ed25519 comparison.
+pub fn t7_json(
+    smoke: bool,
+    headline: &T5Report,
+    t5_baseline_tps: f64,
+    t5_baseline_p99_us: u64,
+    serial: &T7AuthRow,
+    batched: &T7AuthRow,
+) -> String {
+    let speedup_vs_t5 = if t5_baseline_tps > 0.0 {
+        headline.throughput_tps / t5_baseline_tps
+    } else {
+        0.0
+    };
+    let p99_improvement = if t5_baseline_p99_us > 0 && headline.latency_p99_us > 0 {
+        t5_baseline_p99_us as f64 / headline.latency_p99_us as f64
+    } else {
+        0.0
+    };
+    let verify_mean_speedup = if batched.verify_mean_us > 0 {
+        serial.verify_mean_us as f64 / batched.verify_mean_us as f64
+    } else {
+        0.0
+    };
+    let auth_row = |row: &T7AuthRow| {
+        format!(
+            "{{\"throughput_tps\": {:.1}, \"sign_mean_us\": {}, \"verify_mean_us\": {}, \
+             \"sign_count\": {}, \"verify_count\": {}}}",
+            row.throughput_tps,
+            row.sign_mean_us,
+            row.verify_mean_us,
+            row.sign_count,
+            row.verify_count,
+        )
+    };
+    format!(
+        "{{\n  \"experiment\": \"T7 hot-path (batched ed25519 verify, zero-copy decode, \
+         coalesced socket I/O)\",\n  \"smoke\": {smoke},\n  \"headline\": {{\n    \
+         \"backend\": \"{}\",\n    \"n\": {},\n    \"batch\": {},\n    \"window_us\": {},\n    \
+         \"pipeline\": {},\n    \"duration_ms\": {},\n    \"submitted\": {},\n    \
+         \"committed\": {},\n    \"rejected\": {},\n    \"throughput_tps\": {:.1},\n    \
+         \"latency_p50_us\": {},\n    \"latency_p99_us\": {},\n    \"converged\": {},\n    \
+         \"dropped_frames\": {}\n  }},\n  \"t5_baseline_tps\": {:.1},\n  \
+         \"t5_baseline_p99_us\": {},\n  \"speedup_vs_t5\": {:.2},\n  \
+         \"p99_improvement\": {:.2},\n  \"auth_serial\": {},\n  \"auth_batched\": {},\n  \
+         \"verify_mean_speedup\": {:.2},\n  \"batch_verify_enabled\": true\n}}\n",
+        headline.backend,
+        headline.n,
+        headline.batch,
+        headline.window_us,
+        headline.pipeline,
+        headline.duration_ms,
+        headline.submitted,
+        headline.committed,
+        headline.rejected,
+        headline.throughput_tps,
+        headline.latency_p50_us,
+        headline.latency_p99_us,
+        headline.converged,
+        headline.dropped_frames,
+        t5_baseline_tps,
+        t5_baseline_p99_us,
+        speedup_vs_t5,
+        p99_improvement,
+        auth_row(serial),
+        auth_row(batched),
+        verify_mean_speedup,
+    )
+}
+
 /// One `(backend, transport)` row of the **T6** chaos soak
 /// (`chaos_soak` bin): aggregate outcome of N seeded nemesis schedules
 /// against a live cluster.
@@ -637,6 +729,49 @@ mod tests {
         assert!(json.contains("\"experiment\": \"T5 real-cluster loadgen"));
         assert!(json.contains("\"throughput_tps\": 12300.0"));
         assert!(json.contains("\"converged\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn t7_json_is_well_formed_and_computes_speedups() {
+        let headline = T5Report {
+            backend: "echo".into(),
+            n: 4,
+            batch: 128,
+            window_us: 1000,
+            pipeline: 1024,
+            duration_ms: 10_000,
+            submitted: 3_000_000,
+            committed: 3_000_000,
+            rejected: 0,
+            throughput_tps: 300_000.0,
+            latency_p50_us: 2_500,
+            latency_p99_us: 8_000,
+            converged: true,
+            balance_digest: 42,
+            dropped_frames: 0,
+        };
+        let serial = T7AuthRow {
+            throughput_tps: 20_000.0,
+            sign_mean_us: 120,
+            verify_mean_us: 200,
+            sign_count: 10_000,
+            verify_count: 40_000,
+        };
+        let batched = T7AuthRow {
+            throughput_tps: 60_000.0,
+            sign_mean_us: 120,
+            verify_mean_us: 40,
+            sign_count: 30_000,
+            verify_count: 120_000,
+        };
+        let json = t7_json(false, &headline, 30_000.0, 104_000, &serial, &batched);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"experiment\": \"T7 hot-path"));
+        assert!(json.contains("\"speedup_vs_t5\": 10.00"));
+        assert!(json.contains("\"p99_improvement\": 13.00"));
+        assert!(json.contains("\"verify_mean_speedup\": 5.00"));
+        assert!(json.contains("\"batch_verify_enabled\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -15,7 +15,7 @@
 //! *consistency* that prevents equivocation — and, one level up, double
 //! spending.
 
-use crate::auth::Authenticator;
+use crate::auth::{Authenticator, BatchVerifyItem};
 use crate::types::{CryptoOps, SourceOrderBuffer, Step};
 use at_model::codec::{encode, Writer};
 use at_model::{Encode, ProcessId, SeqNo};
@@ -401,15 +401,34 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
         {
             return;
         }
-        // Validate the certificate: distinct signers, valid shares, quorum.
+        // Validate the certificate: distinct signers, valid shares,
+        // quorum. Every share signs the same echo bytes, so the whole
+        // certificate is checked in one batched pass; only a failing
+        // batch falls back to per-share verification (inside
+        // `verify_batch`) to attribute the bad shares.
+        let echo = echo_bytes(source, seq, digest);
+        let items: Vec<BatchVerifyItem<'_, A::Sig>> = certificate
+            .iter()
+            .map(|(signer, share)| BatchVerifyItem {
+                signer: *signer,
+                bytes: &echo,
+                sig: share,
+            })
+            .collect();
+        self.ops.verifies += certificate.len() as u64;
         let mut signers = BTreeMap::new();
-        for (signer, share) in &certificate {
-            self.ops.verifies += 1;
-            if self
-                .auth
-                .verify(*signer, &echo_bytes(source, seq, digest), share)
-            {
-                signers.insert(*signer, ());
+        match self.auth.verify_batch(&items) {
+            Ok(()) => {
+                for (signer, _) in &certificate {
+                    signers.insert(*signer, ());
+                }
+            }
+            Err(bad) => {
+                for (index, (signer, _)) in certificate.iter().enumerate() {
+                    if bad.binary_search(&index).is_err() {
+                        signers.insert(*signer, ());
+                    }
+                }
             }
         }
         if signers.len() < self.quorum() {

@@ -54,7 +54,7 @@ pub mod types;
 pub mod wire;
 
 pub use account_order::{AccountDelivery, AccountOrderBroadcast, AccountOrderMsg};
-pub use auth::{Authenticator, EdAuth, NoAuth, ObservedAuth};
+pub use auth::{Authenticator, BatchVerifyItem, EdAuth, NoAuth, ObservedAuth};
 pub use batch::{Batch, Batcher};
 pub use bracha::{BrachaBroadcast, BrachaMsg};
 pub use echo::{EchoBroadcast, EchoMsg};

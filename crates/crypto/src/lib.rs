@@ -50,7 +50,9 @@ pub mod keys;
 pub mod scalar;
 pub mod sha2;
 
-pub use keys::{KeyStore, Keypair, PublicKey, Signature, SignatureError};
+pub use keys::{
+    verify_batch, KeyStore, Keypair, PrecomputedKey, PublicKey, Signature, SignatureError,
+};
 pub use sha2::{Sha256, Sha512};
 
 /// Convenience: SHA-256 digest of a canonical encoding.

@@ -6,6 +6,7 @@ use at_crypto::bigint::{U256, U512};
 use at_crypto::edwards::EdwardsPoint;
 use at_crypto::field::{prime, FieldElement};
 use at_crypto::scalar::{order, Scalar};
+use at_crypto::{verify_batch, KeyStore, PrecomputedKey, Signature};
 use proptest::prelude::*;
 
 fn u256() -> impl Strategy<Value = U256> {
@@ -143,5 +144,89 @@ proptest! {
 
         let decoded = EdwardsPoint::decompress(&lhs.compress()).unwrap();
         prop_assert!(decoded.equals(lhs));
+    }
+}
+
+/// A ready-to-batch share set: per-signer precomputed keys, distinct
+/// messages, and valid signatures over them.
+fn share_set(n: usize, seed: u64) -> (Vec<PrecomputedKey>, Vec<Vec<u8>>, Vec<Signature>) {
+    let store = KeyStore::deterministic(n, seed);
+    let keys: Vec<PrecomputedKey> = (0..n)
+        .map(|i| PrecomputedKey::new(*store.public(at_model::ProcessId::new(i as u32))))
+        .collect();
+    let messages: Vec<Vec<u8>> = (0..n)
+        .map(|i| format!("share {i} of system {seed}").into_bytes())
+        .collect();
+    let sigs: Vec<Signature> = (0..n)
+        .map(|i| {
+            store
+                .keypair(at_model::ProcessId::new(i as u32))
+                .sign(&messages[i])
+        })
+        .collect();
+    (keys, messages, sigs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Batch verification agrees with per-share verification on random
+    /// share sets, and single-item tampering — a flipped signature bit,
+    /// a wrong signer, a swapped payload — is attributed to exactly the
+    /// tampered index by the serial fallback.
+    #[test]
+    fn batch_verify_agrees_with_per_share_and_attributes_tampering(
+        n in 1usize..5,
+        seed in any::<u64>(),
+        bad in 0usize..5,
+        kind in 0u8..3,
+    ) {
+        let (keys, messages, sigs) = share_set(n, seed);
+        let items: Vec<(&PrecomputedKey, &[u8], &Signature)> = (0..n)
+            .map(|i| (&keys[i], messages[i].as_slice(), &sigs[i]))
+            .collect();
+        // Untampered: the batch holds iff every share holds serially.
+        for (key, msg, sig) in &items {
+            prop_assert!(key.verify(msg, sig).is_ok());
+        }
+        prop_assert_eq!(verify_batch(&items), Ok(()));
+
+        // Tamper exactly one item.
+        let bad = bad % n;
+        let mut tampered = items.clone();
+        let flipped_sig;
+        let wrong_key;
+        match kind {
+            0 => {
+                // Flip one bit of the signature's S half.
+                let mut bytes = sigs[bad].to_bytes();
+                bytes[40] ^= 0x04;
+                flipped_sig = Signature::from_bytes(&bytes);
+                tampered[bad].2 = &flipped_sig;
+            }
+            1 => {
+                // Attribute the share to a different signer.
+                let other = (bad + 1) % n.max(2);
+                if other == bad {
+                    // n == 1: no other signer exists — forge one.
+                    let lone = KeyStore::deterministic(1, seed ^ 0xDEAD);
+                    wrong_key =
+                        PrecomputedKey::new(*lone.public(at_model::ProcessId::new(0)));
+                } else {
+                    wrong_key = PrecomputedKey::new(*keys[other].public());
+                }
+                tampered[bad].0 = &wrong_key;
+            }
+            _ => {
+                // Swap the payload out from under the signature.
+                tampered[bad].1 = b"a different payload entirely";
+            }
+        }
+        // The serial fallback attributes exactly the tampered share, and
+        // agrees item-for-item with per-share verification.
+        prop_assert_eq!(verify_batch(&tampered), Err(vec![bad]));
+        for (i, (key, msg, sig)) in tampered.iter().enumerate() {
+            prop_assert_eq!(key.verify(msg, sig).is_ok(), i != bad);
+        }
     }
 }

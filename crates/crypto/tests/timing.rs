@@ -1,0 +1,105 @@
+//! Manual timing probe for the verification paths (not a correctness
+//! test): run with
+//! `cargo test --release -p at-crypto --test timing -- --ignored --nocapture`.
+
+use at_crypto::{verify_batch, KeyStore, PrecomputedKey, Signature};
+use at_model::ProcessId;
+use std::time::Instant;
+
+#[test]
+#[ignore = "manual timing probe, run with --ignored --nocapture"]
+fn verify_path_timings() {
+    let n = 8usize;
+    let keys = KeyStore::deterministic(n, 7);
+    let pid = |i: usize| ProcessId::new(i as u32);
+    let msgs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 64]).collect();
+    let sigs: Vec<Signature> = (0..n)
+        .map(|i| keys.keypair(pid(i)).sign(&msgs[i]))
+        .collect();
+    let pre: Vec<PrecomputedKey> = (0..n)
+        .map(|i| PrecomputedKey::new(*keys.public(pid(i))))
+        .collect();
+
+    let iters = 200u32;
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        keys.public(pid(0)).verify(&msgs[0], &sigs[0]).unwrap();
+    }
+    let generic = t.elapsed() / iters;
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        pre[0].verify(&msgs[0], &sigs[0]).unwrap();
+    }
+    let comb = t.elapsed() / iters;
+
+    println!("generic PublicKey::verify: {generic:?}");
+    println!("comb PrecomputedKey::verify: {comb:?}");
+
+    for q in [3usize, 8] {
+        let items: Vec<(&PrecomputedKey, &[u8], &Signature)> = (0..q)
+            .map(|i| (&pre[i], msgs[i].as_slice(), &sigs[i]))
+            .collect();
+        let t = Instant::now();
+        for _ in 0..iters {
+            verify_batch(&items).unwrap();
+        }
+        let batch = t.elapsed() / iters;
+        println!(
+            "batch q={q}: total {:?}  amortized {:?}",
+            batch,
+            batch / q as u32
+        );
+    }
+}
+
+#[test]
+#[ignore = "manual timing probe, run with --ignored --nocapture"]
+fn primitive_timings() {
+    use at_crypto::bigint::U256;
+    use at_crypto::edwards::EdwardsPoint;
+    use at_crypto::Sha512;
+    let p = EdwardsPoint::basepoint().double();
+    let k = U256::from_le_bytes(&[0xA7; 32]);
+    let iters = 500u32;
+
+    let t = Instant::now();
+    let mut acc = p;
+    for _ in 0..iters {
+        acc = acc.add(p);
+    }
+    let add = t.elapsed() / iters;
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(EdwardsPoint::mul_base(k));
+    }
+    let mul_base = t.elapsed() / iters;
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(p.mul(k));
+    }
+    let generic_mul = t.elapsed() / iters;
+
+    let c = p.compress();
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(EdwardsPoint::decompress(&c).unwrap());
+    }
+    let decompress = t.elapsed() / iters;
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(Sha512::digest(&[0u8; 64]));
+    }
+    let sha = t.elapsed() / iters;
+
+    println!("point add: {add:?}");
+    println!("mul_base (comb): {mul_base:?}");
+    println!("generic mul: {generic_mul:?}");
+    println!("decompress: {decompress:?}");
+    println!("sha512(64B): {sha:?}");
+    std::hint::black_box(acc);
+}

@@ -12,6 +12,7 @@ use at_engine::ShardedReplica;
 use at_model::codec::{Decode, Encode};
 use at_model::ProcessId;
 use at_net::transport::FaultInjector;
+use at_obs::Recorder;
 use std::fmt;
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
@@ -157,6 +158,64 @@ where
             n,
             config,
             make(me),
+            transport,
+            Some(gateway),
+            options.probe.clone(),
+        )));
+    }
+    Ok(TcpCluster {
+        handles,
+        directory,
+        client_addrs,
+        config,
+        options,
+    })
+}
+
+/// [`start_tcp_cluster`] where each node's backend is built against
+/// that node's own observability [`Recorder`] (see
+/// [`Node::start_instrumented`]): `make` receives the recorder the
+/// node's stage spans feed, so backends wrapped in
+/// [`at_broadcast::auth::ObservedAuth`] meter sign/verify into the
+/// registry served over `Client::stats`.
+pub fn start_tcp_cluster_instrumented<B, F>(
+    n: usize,
+    config: NodeConfig,
+    options: TcpOptions,
+    make: F,
+) -> std::io::Result<TcpCluster<B>>
+where
+    B: SecureBroadcast<EnginePayload> + 'static,
+    B::Msg: Encode + Decode + Send + 'static,
+    F: Fn(ProcessId, &Recorder) -> B,
+{
+    let options = ClusterOptions::tcp(options);
+    let mut listeners = Vec::with_capacity(n);
+    let mut peer_addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        peer_addrs.push(listener.local_addr()?);
+        listeners.push(listener);
+    }
+    let directory = peer_directory(peer_addrs);
+    let mut handles = Vec::with_capacity(n);
+    let mut client_addrs = Vec::with_capacity(n);
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let me = ProcessId::new(i as u32);
+        let transport = TcpTransport::start_with_faults(
+            me,
+            listener,
+            std::sync::Arc::clone(&directory),
+            options.tcp,
+            options.faults.clone(),
+        )?;
+        let gateway = ClientGateway::bind("127.0.0.1:0")?;
+        client_addrs.push(gateway.local_addr()?);
+        handles.push(Some(Node::start_instrumented(
+            me,
+            n,
+            config,
+            |recorder| make(me, recorder),
             transport,
             Some(gateway),
             options.probe.clone(),

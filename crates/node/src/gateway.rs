@@ -8,7 +8,7 @@
 //! bytes are untrusted, and a malformed stream terminates only its own
 //! connection.
 
-use crate::wire::{encode_frame, ClientRequest, ClientResponse, Frame, FrameBuffer};
+use crate::wire::{encode_frame_into, ClientRequest, ClientResponse, Frame, FrameBuffer};
 use at_obs::Snapshot;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -57,6 +57,19 @@ pub(crate) enum ClientDelivery {
         snapshot: Snapshot,
     },
 }
+
+impl ClientDelivery {
+    fn into_frame(self) -> Frame {
+        match self {
+            ClientDelivery::Response(response) => Frame::Response(response),
+            ClientDelivery::Stats { id, snapshot } => Frame::StatsResponse { id, snapshot },
+        }
+    }
+}
+
+/// Largest coalesced response burst the client writer assembles before
+/// issuing a write syscall.
+const MAX_RESPONSE_BURST: usize = 64 * 1024;
 
 /// A bound-but-not-yet-serving client listener; pass to `Node::start`.
 pub struct ClientGateway {
@@ -125,18 +138,24 @@ impl ClientGateway {
                         let _ = std::thread::Builder::new()
                             .name("at-node-client-writer".into())
                             .spawn(move || {
-                                while let Ok(delivery) = rx.recv() {
-                                    let frame = match delivery {
-                                        ClientDelivery::Response(response) => {
-                                            Frame::Response(response)
+                                // Coalesce: one blocking recv, then
+                                // drain whatever else is queued into
+                                // the same buffer — one write syscall
+                                // flushes a whole burst of responses.
+                                let mut wire = Vec::new();
+                                'conn: while let Ok(delivery) = rx.recv() {
+                                    wire.clear();
+                                    encode_frame_into(&delivery.into_frame(), &mut wire);
+                                    while wire.len() < MAX_RESPONSE_BURST {
+                                        match rx.try_recv() {
+                                            Ok(delivery) => {
+                                                encode_frame_into(&delivery.into_frame(), &mut wire)
+                                            }
+                                            Err(_) => break,
                                         }
-                                        ClientDelivery::Stats { id, snapshot } => {
-                                            Frame::StatsResponse { id, snapshot }
-                                        }
-                                    };
-                                    let bytes = encode_frame(&frame);
-                                    if (&write_stream).write_all(&bytes).is_err() {
-                                        break;
+                                    }
+                                    if (&write_stream).write_all(&wire).is_err() {
+                                        break 'conn;
                                     }
                                 }
                                 let _ = write_stream.shutdown(std::net::Shutdown::Both);

@@ -47,8 +47,8 @@ pub mod wire;
 pub use client::Client;
 pub use cluster::{
     await_convergence, start_mesh_cluster, start_mesh_cluster_with, start_tcp_cluster,
-    start_tcp_cluster_with, try_await_convergence, ClusterOptions, ConvergenceOptions,
-    ConvergenceTimeout, TcpCluster,
+    start_tcp_cluster_instrumented, start_tcp_cluster_with, try_await_convergence, ClusterOptions,
+    ConvergenceOptions, ConvergenceTimeout, TcpCluster,
 };
 pub use gateway::ClientGateway;
 pub use mesh::{channel_mesh, channel_mesh_faulty, ChannelMesh};

@@ -453,6 +453,33 @@ where
         Node::resume_probed(replica, config, transport, gateway, probe)
     }
 
+    /// [`Node::start_probed`] where the backend is built *against the
+    /// node's own observability registry*: `make_backend` receives the
+    /// [`Recorder`] every stage span of this node records into, so a
+    /// backend wrapped in [`at_broadcast::auth::ObservedAuth`] meters
+    /// its sign/verify operations into the same registry the node
+    /// serves over `Client::stats`. (The plain start paths create the
+    /// registry internally, after the backend already exists, which
+    /// makes this wiring impossible from the outside.)
+    pub fn start_instrumented<T, F>(
+        me: ProcessId,
+        n: usize,
+        config: NodeConfig,
+        make_backend: F,
+        transport: T,
+        gateway: Option<ClientGateway>,
+        probe: Option<EventProbe>,
+    ) -> NodeHandle<B>
+    where
+        T: Transport + 'static,
+        F: FnOnce(&Recorder) -> B,
+    {
+        let obs = Registry::new(format!("node {me}"));
+        let backend = make_backend(&obs.recorder());
+        let replica = ShardedReplica::with_backend(me, n, config.initial, config.engine, backend);
+        Node::resume_with_registry(replica, config, transport, gateway, probe, obs)
+    }
+
     /// Resumes a node from a warm replica (state preserved across a
     /// [`NodeHandle::stop`] — the restart path of a crashed-and-repaired
     /// process).
@@ -474,11 +501,24 @@ where
         gateway: Option<ClientGateway>,
         probe: Option<EventProbe>,
     ) -> NodeHandle<B> {
+        let obs = Registry::new(format!("node {}", replica.me()));
+        Node::resume_with_registry(replica, config, transport, gateway, probe, obs)
+    }
+
+    /// The shared tail of every start/resume path: spin the loop thread
+    /// over `replica`, recording into the given observability registry.
+    fn resume_with_registry<T: Transport + 'static>(
+        replica: ShardedReplica<B>,
+        config: NodeConfig,
+        transport: T,
+        gateway: Option<ClientGateway>,
+        probe: Option<EventProbe>,
+        obs: Registry,
+    ) -> NodeHandle<B> {
         let (commands, command_rx) = channel();
         let stats: Arc<NodeStats> = Arc::default();
         let registry: ResponseRegistry = Arc::default();
         let conn_counter = Arc::new(AtomicU64::new(0));
-        let obs = Registry::new(format!("node {}", replica.me()));
         let recorder = obs.recorder();
         let mut replica = replica;
         replica.set_recorder(recorder.clone());

@@ -76,17 +76,16 @@
 //! *payloads* end-to-end — forged protocol messages are rejected above
 //! the transport — but transport framing itself is unauthenticated.
 
-use crate::wire::{encode_frame, Frame, FrameBuffer};
+use crate::wire::{encode_frame, Frame, FrameBuffer, FrameRef};
 use at_model::ProcessId;
 use at_net::transport::{FaultInjector, InboundFrame, RecvOutcome, Transport, TransportStats};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Tuning knobs of the TCP transport.
 #[derive(Clone, Copy, Debug)]
@@ -210,6 +209,90 @@ impl Outbox {
     }
 }
 
+/// Bounded hand-off queue from the reader threads to the node loop.
+///
+/// A mutex plus two condvars instead of `std::sync::mpsc::sync_channel`:
+/// a reader blocked on a full queue parks on `not_full` and is woken by
+/// the very pop that makes room, so backpressure releases within a
+/// scheduler wakeup instead of a sleep quantum (the old path retried
+/// `try_send` on a 200µs timer, adding up to a whole quantum of latency
+/// per frame whenever the node loop ran slower than the wire).
+struct InboxState {
+    queue: VecDeque<InboundFrame>,
+    closed: bool,
+}
+
+struct Inbox {
+    state: Mutex<InboxState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl Inbox {
+    fn new(capacity: usize) -> Self {
+        Inbox {
+            state: Mutex::new(InboxState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Queues a frame for the node loop, parking while the queue is at
+    /// capacity (end-to-end backpressure: the frame stays unacked, so
+    /// the peer's outbox fills in turn). Returns `false` when the inbox
+    /// closed — the frame is dropped unacked and will replay.
+    fn push(&self, frame: InboundFrame) -> bool {
+        let mut state = self.state.lock().expect("inbox poisoned");
+        while state.queue.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("inbox poisoned");
+        }
+        if state.closed {
+            return false;
+        }
+        state.queue.push_back(frame);
+        drop(state);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Pops the next frame, waiting up to `timeout`. Buffered frames
+    /// still drain after close; `Closed` means closed *and* empty.
+    fn recv_timeout(&self, timeout: Duration) -> RecvOutcome {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("inbox poisoned");
+        loop {
+            if let Some(frame) = state.queue.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return RecvOutcome::Frame(frame);
+            }
+            if state.closed {
+                return RecvOutcome::Closed;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return RecvOutcome::TimedOut;
+            }
+            let (next, _) = self
+                .not_empty
+                .wait_timeout(state, remaining)
+                .expect("inbox poisoned");
+            state = next;
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("inbox poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
 /// A cluster's live peer-address directory, shared by every endpoint.
 ///
 /// Writers re-read their peer's address on every reconnect attempt, so
@@ -239,7 +322,7 @@ struct Shared {
     n: usize,
     options: TcpOptions,
     epoch: u64,
-    incoming: SyncSender<InboundFrame>,
+    inbox: Inbox,
     recv: Mutex<Vec<RecvState>>,
     outboxes: Vec<Arc<Outbox>>,
     shutdown: AtomicBool,
@@ -262,7 +345,6 @@ struct Shared {
 /// The TCP transport endpoint (see the module docs).
 pub struct TcpTransport {
     shared: Arc<Shared>,
-    inbox: Receiver<InboundFrame>,
     listen_addr: SocketAddr,
     threads: Vec<JoinHandle<()>>,
 }
@@ -293,7 +375,6 @@ impl TcpTransport {
         let n = directory.lock().expect("directory poisoned").len();
         assert!(me.as_usize() < n, "process id out of range");
         let listen_addr = listener.local_addr()?;
-        let (incoming, inbox) = sync_channel(options.inbox_capacity.max(1));
         let epoch = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .unwrap_or(Duration::ZERO)
@@ -303,7 +384,7 @@ impl TcpTransport {
             n,
             options,
             epoch,
-            incoming,
+            inbox: Inbox::new(options.inbox_capacity),
             recv: Mutex::new(vec![RecvState::default(); n]),
             outboxes: (0..n).map(|_| Arc::new(Outbox::new())).collect(),
             shutdown: AtomicBool::new(false),
@@ -336,7 +417,6 @@ impl TcpTransport {
         }
         Ok(TcpTransport {
             shared,
-            inbox,
             listen_addr,
             threads,
         })
@@ -374,11 +454,7 @@ impl Transport for TcpTransport {
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> RecvOutcome {
-        match self.inbox.recv_timeout(timeout) {
-            Ok(frame) => RecvOutcome::Frame(frame),
-            Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
-            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
-        }
+        self.shared.inbox.recv_timeout(timeout)
     }
 
     fn dropped_frames(&self) -> u64 {
@@ -416,6 +492,7 @@ impl Transport for TcpTransport {
 
     fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.inbox.close();
         for outbox in &self.shared.outboxes {
             outbox.close();
         }
@@ -552,14 +629,25 @@ fn data_loop(
             // everything undelivered stays in the peer's outbox.
             return Ok(());
         }
-        let frame = match reader.next(shared)? {
-            Some(frame) => frame,
-            None => return Ok(()),
-        };
-        let Frame::Data { seq, payload } = frame else {
-            return Ok(()); // protocol violation: drop the connection
-        };
-        let deliver = {
+        if !reader.fill(shared)? {
+            return Ok(());
+        }
+        // Borrow the frame straight out of the receive buffer and run
+        // the dedup decision on the borrowed payload: replay overlaps
+        // and dead-incarnation frames are discarded without ever
+        // copying their bytes out of the buffer.
+        let deliver: Option<Vec<u8>> = {
+            let frame = match reader.buffer.next_frame_ref() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return Ok(()), // unreachable after fill
+                Err(_) => {
+                    shared.poisoned_conns.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+            };
+            let FrameRef::Data { seq, payload } = frame else {
+                return Ok(()); // protocol violation: drop the connection
+            };
             let mut recv = shared.recv.lock().expect("recv state poisoned");
             let state = &mut recv[peer];
             if state.epoch != Some(epoch) {
@@ -579,7 +667,7 @@ fn data_loop(
                 // our reset cursor and we adopt it (the skipped frames
                 // were acknowledged to our previous incarnation).
                 state.next = seq + 1;
-                Some(payload)
+                Some(payload.to_vec())
             } else {
                 // A forward gap mid-connection cannot happen on an
                 // ordered stream: the peer is misbehaving.
@@ -589,32 +677,17 @@ fn data_loop(
         first_data = false;
         if let Some(payload) = deliver {
             let payload_len = payload.len();
-            // Bounded hand-off to the node loop: a full inbox pauses
+            // Bounded hand-off to the node loop: a full inbox parks
             // this reader (the frame stays unacked, so the peer's
             // outbox fills and backpressure propagates end to end)
             // instead of growing memory without bound.
-            let mut frame = InboundFrame {
+            if !shared.inbox.push(InboundFrame {
                 from: node,
                 payload,
-            };
-            loop {
-                match shared.incoming.try_send(frame) {
-                    Ok(()) => {
-                        shared.stats.note_recv(payload_len);
-                        break;
-                    }
-                    Err(TrySendError::Full(back)) => {
-                        if shared.shutdown.load(Ordering::Relaxed) {
-                            return Ok(()); // dying anyway; frame unacked
-                        }
-                        frame = back;
-                        std::thread::sleep(Duration::from_micros(200));
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        return Ok(()); // transport shut down
-                    }
-                }
+            }) {
+                return Ok(()); // transport shut down; frame unacked
             }
+            shared.stats.note_recv(payload_len);
             *unacked += 1;
         }
         // Acknowledge on the interval, and whenever the link goes idle
@@ -628,36 +701,102 @@ fn data_loop(
     }
 }
 
+/// Jittered exponential backoff between reconnect attempts, with a
+/// deterministic per-link RNG stream (xorshift64* seeded from the link
+/// identity). Determinism matters for chaos seed-replay: the fault
+/// injector's own per-link streams are untouched, and for a given
+/// cluster layout the backoff sequence is bit-for-bit reproducible.
+/// The jitter de-synchronises dialers that lost the same peer at the
+/// same instant; the exponent caps at 32× base so a long outage never
+/// pushes recovery latency past ~1s of the directory being updated.
+struct ReconnectBackoff {
+    base: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl ReconnectBackoff {
+    const MAX_EXPONENT: u32 = 5;
+
+    fn new(base: Duration, me: ProcessId, peer: usize) -> Self {
+        // SplitMix64 finalizer over the link identity: well-mixed,
+        // deterministic, distinct per directed link.
+        let mut seed = ((me.as_usize() as u64) << 32) ^ peer as u64 ^ 0x9E37_79B9_7F4A_7C15;
+        seed = (seed ^ (seed >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        seed = (seed ^ (seed >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ReconnectBackoff {
+            base: base.max(Duration::from_micros(1)),
+            attempt: 0,
+            rng: (seed ^ (seed >> 31)) | 1,
+        }
+    }
+
+    /// The delay before the next attempt: `base·2^attempt` capped at
+    /// 32× base (and at 1s), jittered uniformly into its upper half.
+    fn next_delay(&mut self) -> Duration {
+        let exponent = self.attempt.min(Self::MAX_EXPONENT);
+        self.attempt = self.attempt.saturating_add(1);
+        let full = (self.base * 2u32.pow(exponent)).min(Duration::from_secs(1));
+        let nanos = full.as_nanos() as u64;
+        let jittered = nanos / 2 + self.next_rand() % (nanos / 2).max(1);
+        Duration::from_nanos(jittered)
+    }
+
+    /// A successful handshake ends the outage: start the ladder over.
+    fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
 /// Dials `peer` at its current directory address, replays the outbox
 /// from the acknowledged point, and streams new frames; reconnects on
-/// any error.
+/// any error with jittered exponential backoff.
 fn writer_loop(peer: usize, directory: PeerDirectory, shared: Arc<Shared>) {
     let outbox = Arc::clone(&shared.outboxes[peer]);
+    let mut backoff = ReconnectBackoff::new(shared.options.reconnect_delay, shared.me, peer);
     while !shared.shutdown.load(Ordering::Relaxed) {
         if let Some(faults) = &shared.faults {
             // A blocked link keeps the dialer offline entirely; heal
-            // triggers the reconnect-and-replay path.
+            // triggers the reconnect-and-replay path. A fixed poll, not
+            // backoff: the injector flips the flag without a wakeup
+            // hook, and chaos timing expects prompt heals.
             if faults.link(shared.me, ProcessId::new(peer as u32)).blocked {
                 std::thread::sleep(shared.options.reconnect_delay);
                 continue;
             }
         }
         let addr = directory.lock().expect("directory poisoned")[peer];
-        match writer_conn(addr, peer, &shared, &outbox) {
+        match writer_conn(addr, peer, &shared, &outbox, &mut backoff) {
             Ok(()) => break, // clean shutdown
             Err(_) => {
                 shared.stats.note_reconnect();
-                std::thread::sleep(shared.options.reconnect_delay);
+                std::thread::sleep(backoff.next_delay());
             }
         }
     }
 }
+
+/// Largest coalesced write the streaming loop assembles before issuing
+/// a syscall, and the most frames batched per outbox lock acquisition.
+const MAX_WRITE_BURST: usize = 256 * 1024;
+const MAX_WRITE_FRAMES: usize = 512;
 
 fn writer_conn(
     addr: SocketAddr,
     peer: usize,
     shared: &Arc<Shared>,
     outbox: &Arc<Outbox>,
+    backoff: &mut ReconnectBackoff,
 ) -> std::io::Result<()> {
     let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(1))?;
     stream.set_nodelay(true)?;
@@ -673,6 +812,7 @@ fn writer_conn(
         Some(Frame::HelloAck { next_seq }) => next_seq,
         _ => return Err(std::io::Error::other("handshake failed")),
     };
+    backoff.reset();
     if resume > 0 {
         // Everything below the resume point reached the peer already.
         outbox.prune(resume - 1);
@@ -697,92 +837,118 @@ fn writer_conn(
         .expect("spawn ack thread");
 
     // Stream frames from `resume` onward, waiting on the outbox when
-    // caught up.
+    // caught up. Frames are drained many-at-a-time per lock acquisition
+    // and coalesced into one buffered write per burst — one syscall
+    // moves up to `MAX_WRITE_BURST` bytes instead of one per frame.
     let mut cursor = resume;
+    let mut batch: Vec<Arc<Vec<u8>>> = Vec::new();
+    let mut wire: Vec<u8> = Vec::new();
     let result = loop {
-        let next: Option<Arc<Vec<u8>>> = {
+        batch.clear();
+        {
             let state = outbox.state.lock().expect("outbox poisoned");
             if state.closed {
                 break Ok(());
             }
-            match state.queue.front() {
-                // Our cursor predates the window (the peer warm-restarted
-                // and asked for 0, or acks raced ahead): jump to the
-                // oldest retained frame — everything before it was
-                // acknowledged, to this incarnation or a previous one.
-                Some((front_seq, _)) if cursor < *front_seq => {
+            if let Some((front_seq, _)) = state.queue.front() {
+                // Our cursor may predate the window (the peer
+                // warm-restarted and asked for 0, or acks raced ahead):
+                // jump to the oldest retained frame — everything before
+                // it was acknowledged, to this incarnation or a
+                // previous one.
+                if cursor < *front_seq {
                     cursor = *front_seq;
-                    let bytes = Arc::clone(&state.queue[0].1);
-                    Some(bytes)
                 }
-                Some((front_seq, _)) => {
-                    let offset = (cursor - front_seq) as usize;
-                    state.queue.get(offset).map(|(_, bytes)| Arc::clone(bytes))
-                }
-                None => None,
-            }
-        };
-        match next {
-            Some(bytes) => {
-                // Wire faults act here, underneath the replay layer: a
-                // "lost" or force-disconnected frame breaks the
-                // connection *before* the write, so the outbox replays
-                // it (and every written-but-unacked predecessor) on
-                // reconnect.
-                let mut copies = 1;
-                if let Some(faults) = &shared.faults {
-                    // One verdict (profile + disconnect + both coin
-                    // flips) under a single injector lock acquisition.
-                    let verdict = faults.sample(shared.me, ProcessId::new(peer as u32));
-                    if verdict.disconnect {
-                        break Err(std::io::Error::other("nemesis: forced disconnect"));
-                    }
-                    if verdict.profile.blocked {
-                        break Err(std::io::Error::other("nemesis: link partitioned"));
-                    }
-                    if verdict.drop {
-                        break Err(std::io::Error::other("nemesis: frame lost on the wire"));
-                    }
-                    if verdict.profile.delay_us > 0 {
-                        std::thread::sleep(Duration::from_micros(u64::from(
-                            verdict.profile.delay_us,
-                        )));
-                    }
-                    if verdict.duplicate {
-                        copies = 2;
-                    }
-                }
-                let mut failed = None;
-                for _ in 0..copies {
-                    if let Err(err) = (&stream).write_all(&bytes) {
-                        failed = Some(err);
+                let offset = (cursor - front_seq) as usize;
+                let mut burst = 0;
+                for (_, bytes) in state.queue.iter().skip(offset) {
+                    burst += bytes.len();
+                    batch.push(Arc::clone(bytes));
+                    if burst >= MAX_WRITE_BURST || batch.len() >= MAX_WRITE_FRAMES {
                         break;
                     }
                 }
-                if let Some(err) = failed {
-                    break Err(err);
-                }
-                cursor += 1;
             }
-            None => {
-                let state = outbox.state.lock().expect("outbox poisoned");
-                let (state, _) = outbox
-                    .cv
-                    .wait_timeout(state, Duration::from_millis(100))
-                    .expect("outbox poisoned");
-                if state.closed {
-                    break Ok(());
+        }
+        if batch.is_empty() {
+            let state = outbox.state.lock().expect("outbox poisoned");
+            let (state, _) = outbox
+                .cv
+                .wait_timeout(state, Duration::from_millis(100))
+                .expect("outbox poisoned");
+            if state.closed {
+                break Ok(());
+            }
+            drop(state);
+            // An idle connection only learns of its death on the
+            // next write — which may never come, stranding unacked
+            // frames in the replay window (e.g. against a peer that
+            // quiesced and restarted). The ack reader sees the EOF
+            // immediately: follow it into a reconnect.
+            if ack_handle.is_finished() {
+                break Err(std::io::Error::other("peer closed the connection"));
+            }
+            continue;
+        }
+        // Wire faults act here, underneath the replay layer: a "lost"
+        // or force-disconnected frame breaks the connection *before*
+        // its write, so the outbox replays it (and every
+        // written-but-unacked predecessor) on reconnect. Verdicts stay
+        // per-frame — one injector sample per attempted frame, in send
+        // order, exactly as the unbatched writer behaved — so a chaos
+        // seed replays the same fault schedule against this writer.
+        wire.clear();
+        let mut io_failed: Option<std::io::Error> = None;
+        let mut fault_stop: Option<&'static str> = None;
+        for bytes in &batch {
+            if let Some(faults) = &shared.faults {
+                // One verdict (profile + disconnect + both coin flips)
+                // under a single injector lock acquisition.
+                let verdict = faults.sample(shared.me, ProcessId::new(peer as u32));
+                if verdict.disconnect {
+                    fault_stop = Some("nemesis: forced disconnect");
+                    break;
                 }
-                drop(state);
-                // An idle connection only learns of its death on the
-                // next write — which may never come, stranding unacked
-                // frames in the replay window (e.g. against a peer that
-                // quiesced and restarted). The ack reader sees the EOF
-                // immediately: follow it into a reconnect.
-                if ack_handle.is_finished() {
-                    break Err(std::io::Error::other("peer closed the connection"));
+                if verdict.profile.blocked {
+                    fault_stop = Some("nemesis: link partitioned");
+                    break;
+                }
+                if verdict.drop {
+                    fault_stop = Some("nemesis: frame lost on the wire");
+                    break;
+                }
+                if verdict.profile.delay_us > 0 {
+                    // The delay applies to *this* frame: flush what is
+                    // already coalesced, then sleep before queuing it.
+                    if !wire.is_empty() {
+                        if let Err(err) = (&stream).write_all(&wire) {
+                            io_failed = Some(err);
+                            break;
+                        }
+                        wire.clear();
+                    }
+                    std::thread::sleep(Duration::from_micros(u64::from(verdict.profile.delay_us)));
+                }
+                if verdict.duplicate {
+                    wire.extend_from_slice(bytes);
                 }
             }
+            wire.extend_from_slice(bytes);
+            cursor += 1;
+        }
+        if let Some(err) = io_failed {
+            break Err(err);
+        }
+        if !wire.is_empty() {
+            // Frames preceding a fault verdict were "on the wire"
+            // already: write them even when the verdict then breaks
+            // the connection.
+            if let Err(err) = (&stream).write_all(&wire) {
+                break Err(err);
+            }
+        }
+        if let Some(reason) = fault_stop {
+            break Err(std::io::Error::other(reason));
         }
     };
     // Tear the socket down so the ack thread exits promptly.
@@ -812,23 +978,25 @@ impl<'a> FrameReader<'a> {
         self.buffer.buffered() > 0
     }
 
-    /// Next frame; `Ok(None)` on shutdown, EOF, or a malformed stream
-    /// (the caller drops the connection either way).
-    fn next(&mut self, shared: &Shared) -> std::io::Result<Option<Frame>> {
+    /// Blocks until a complete frame is buffered, reading from the
+    /// stream as needed; `Ok(false)` on shutdown, EOF, or an oversized
+    /// length prefix (counted as a poisoned connection). On `Ok(true)`
+    /// the frame can be taken — borrowed or owned — from `self.buffer`.
+    fn fill(&mut self, shared: &Shared) -> std::io::Result<bool> {
         loop {
-            match self.buffer.next_frame() {
-                Ok(Some(frame)) => return Ok(Some(frame)),
-                Ok(None) => {}
+            match self.buffer.has_complete_frame() {
+                Ok(true) => return Ok(true),
+                Ok(false) => {}
                 Err(_) => {
                     shared.poisoned_conns.fetch_add(1, Ordering::Relaxed);
-                    return Ok(None);
+                    return Ok(false);
                 }
             }
             if shared.shutdown.load(Ordering::Relaxed) {
-                return Ok(None);
+                return Ok(false);
             }
             match self.stream.read(&mut self.chunk) {
-                Ok(0) => return Ok(None),
+                Ok(0) => return Ok(false),
                 Ok(read) => self.buffer.extend(&self.chunk[..read]),
                 Err(err)
                     if err.kind() == std::io::ErrorKind::WouldBlock
@@ -837,6 +1005,21 @@ impl<'a> FrameReader<'a> {
                     continue
                 }
                 Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// Next frame, owned; `Ok(None)` on shutdown, EOF, or a malformed
+    /// stream (the caller drops the connection either way).
+    fn next(&mut self, shared: &Shared) -> std::io::Result<Option<Frame>> {
+        if !self.fill(shared)? {
+            return Ok(None);
+        }
+        match self.buffer.next_frame() {
+            Ok(frame) => Ok(frame),
+            Err(_) => {
+                shared.poisoned_conns.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
             }
         }
     }
@@ -1020,6 +1203,72 @@ mod tests {
         assert_eq!(t0.dropped_frames(), 0);
         t0.shutdown();
         t1b.shutdown();
+    }
+
+    #[test]
+    fn full_inbox_backpressure_releases_on_wakeup_not_on_a_sleep_quantum() {
+        // A one-slot inbox forces the reader to park on every frame.
+        // The old handoff retried `try_send` on a 200µs sleep, putting
+        // a floor of frames × 200µs on this drain (≥ 200ms for 1000
+        // frames); the condvar handoff releases on the pop itself, so
+        // the whole run finishes far under that floor.
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dir = peer_directory(vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()]);
+        let opts = TcpOptions {
+            inbox_capacity: 1,
+            ..TcpOptions::default()
+        };
+        let mut t0 = TcpTransport::start(p(0), l0, Arc::clone(&dir), opts).unwrap();
+        let mut t1 = TcpTransport::start(p(1), l1, dir, opts).unwrap();
+        for i in 0..1000u32 {
+            t0.send(p(1), i.to_le_bytes().to_vec());
+        }
+        let started = std::time::Instant::now();
+        for expected in 0..1000u32 {
+            assert_eq!(recv_frame(&mut t1).payload, expected.to_le_bytes());
+        }
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "draining 1000 frames through a 1-slot inbox took {elapsed:?}; \
+             backpressure is waiting on a sleep quantum again"
+        );
+        assert_eq!(t0.dropped_frames(), 0);
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    #[test]
+    fn reconnect_backoff_is_deterministic_jittered_and_capped() {
+        let base = Duration::from_millis(20);
+        let delays = |mut b: ReconnectBackoff| -> Vec<Duration> {
+            (0..10).map(|_| b.next_delay()).collect()
+        };
+        let a = delays(ReconnectBackoff::new(base, p(0), 1));
+        let b = delays(ReconnectBackoff::new(base, p(0), 1));
+        assert_eq!(a, b, "same link must replay the same backoff sequence");
+        let other = delays(ReconnectBackoff::new(base, p(0), 2));
+        assert_ne!(a, other, "links must not share a jitter stream");
+        let cap = base * 2u32.pow(ReconnectBackoff::MAX_EXPONENT);
+        for (i, delay) in a.iter().enumerate() {
+            let full = (base * 2u32.pow((i as u32).min(ReconnectBackoff::MAX_EXPONENT))).min(cap);
+            assert!(
+                *delay >= full / 2 && *delay < full,
+                "attempt {i}: {delay:?} outside the jitter window of {full:?}"
+            );
+        }
+        // A successful handshake restarts the ladder (the jitter stream
+        // keeps advancing — only the exponent rewinds).
+        let mut c = ReconnectBackoff::new(base, p(0), 1);
+        c.next_delay();
+        c.next_delay();
+        c.reset();
+        let after_reset = c.next_delay();
+        assert!(
+            after_reset >= base / 2 && after_reset < base,
+            "reset must fall back to the first window, got {after_reset:?}"
+        );
     }
 
     #[test]

@@ -347,28 +347,90 @@ impl Encode for Frame {
 
 impl Decode for Frame {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        FrameRef::decode_from(r).map(|frame| frame.to_owned())
+    }
+}
+
+/// A [`Frame`] whose `Data` payload *borrows* from the receive buffer
+/// instead of copying it. This is the hot-path view: a reader can
+/// inspect the link sequence number, run dedup, and decode the payload
+/// in place, copying bytes out only for frames it actually accepts
+/// (see [`FrameBuffer::next_frame_ref`]). Decoding is exactly as total
+/// on untrusted input as the owned [`Frame`] path — the two share one
+/// parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameRef<'a> {
+    /// See [`Frame::HelloNode`].
+    HelloNode {
+        /// The dialer's process id.
+        node: ProcessId,
+        /// The dialer's transport incarnation.
+        epoch: u64,
+    },
+    /// See [`Frame::HelloAck`].
+    HelloAck {
+        /// Next expected [`Frame::Data`] sequence number.
+        next_seq: u64,
+    },
+    /// See [`Frame::Data`] — the payload borrows from the receive buffer.
+    Data {
+        /// Per-link sequence number.
+        seq: u64,
+        /// The versioned backend-message bytes, in place.
+        payload: &'a [u8],
+    },
+    /// See [`Frame::DataAck`].
+    DataAck {
+        /// Highest contiguously received sequence number.
+        through: u64,
+    },
+    /// See [`Frame::HelloClient`].
+    HelloClient,
+    /// See [`Frame::Request`].
+    Request(ClientRequest),
+    /// See [`Frame::Response`].
+    Response(ClientResponse),
+    /// See [`Frame::StatsRequest`].
+    StatsRequest {
+        /// Client-chosen request id.
+        id: u64,
+    },
+    /// See [`Frame::StatsResponse`].
+    StatsResponse {
+        /// The request id being answered.
+        id: u64,
+        /// The metric snapshot.
+        snapshot: Snapshot,
+    },
+}
+
+impl<'a> FrameRef<'a> {
+    /// Parses one frame from `r`, borrowing `Data` payload bytes.
+    fn decode_from(r: &mut Reader<'a>) -> Result<FrameRef<'a>, CodecError> {
         match r.take_u8()? {
-            0 => Ok(Frame::HelloNode {
+            0 => Ok(FrameRef::HelloNode {
                 node: ProcessId::decode(r)?,
                 epoch: u64::decode(r)?,
             }),
-            1 => Ok(Frame::HelloAck {
+            1 => Ok(FrameRef::HelloAck {
                 next_seq: u64::decode(r)?,
             }),
-            2 => Ok(Frame::Data {
+            2 => Ok(FrameRef::Data {
                 seq: u64::decode(r)?,
-                payload: Vec::<u8>::decode(r)?,
+                // Same framing and length cap as `Vec<u8>`'s canonical
+                // decoding, without materializing the bytes.
+                payload: r.take_len_prefixed()?,
             }),
-            3 => Ok(Frame::DataAck {
+            3 => Ok(FrameRef::DataAck {
                 through: u64::decode(r)?,
             }),
-            4 => Ok(Frame::HelloClient),
-            5 => Ok(Frame::Request(ClientRequest::decode(r)?)),
-            6 => Ok(Frame::Response(ClientResponse::decode(r)?)),
-            7 => Ok(Frame::StatsRequest {
+            4 => Ok(FrameRef::HelloClient),
+            5 => Ok(FrameRef::Request(ClientRequest::decode(r)?)),
+            6 => Ok(FrameRef::Response(ClientResponse::decode(r)?)),
+            7 => Ok(FrameRef::StatsRequest {
                 id: u64::decode(r)?,
             }),
-            8 => Ok(Frame::StatsResponse {
+            8 => Ok(FrameRef::StatsResponse {
                 id: u64::decode(r)?,
                 snapshot: Snapshot::decode(r)?,
             }),
@@ -376,6 +438,28 @@ impl Decode for Frame {
                 type_name: "Frame",
                 tag,
             }),
+        }
+    }
+
+    /// Materializes the borrowed view into an owned [`Frame`] (the only
+    /// point where `Data` payload bytes are copied).
+    pub fn to_owned(&self) -> Frame {
+        match *self {
+            FrameRef::HelloNode { node, epoch } => Frame::HelloNode { node, epoch },
+            FrameRef::HelloAck { next_seq } => Frame::HelloAck { next_seq },
+            FrameRef::Data { seq, payload } => Frame::Data {
+                seq,
+                payload: payload.to_vec(),
+            },
+            FrameRef::DataAck { through } => Frame::DataAck { through },
+            FrameRef::HelloClient => Frame::HelloClient,
+            FrameRef::Request(request) => Frame::Request(request),
+            FrameRef::Response(response) => Frame::Response(response),
+            FrameRef::StatsRequest { id } => Frame::StatsRequest { id },
+            FrameRef::StatsResponse { id, ref snapshot } => Frame::StatsResponse {
+                id,
+                snapshot: snapshot.clone(),
+            },
         }
     }
 }
@@ -388,6 +472,21 @@ impl Decode for Frame {
 /// frames this runtime produces (batch sizes are bounded far below it),
 /// and a programming error rather than an input error when it happens.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_frame_into(frame, &mut out);
+    out
+}
+
+/// Appends the full stream encoding of `frame` (length prefix, version
+/// byte, body) to `out`. Writers coalescing several frames into one
+/// socket write use this to build the combined buffer without
+/// per-frame allocations.
+///
+/// # Panics
+///
+/// Panics if the body would exceed [`MAX_FRAME_LEN`], like
+/// [`encode_frame`].
+pub fn encode_frame_into(frame: &Frame, out: &mut Vec<u8>) {
     let mut body = Writer::new();
     body.put_u8(WIRE_VERSION);
     frame.encode(&mut body);
@@ -397,21 +496,26 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         "outgoing frame body of {} bytes exceeds MAX_FRAME_LEN",
         body.len()
     );
-    let mut out = Vec::with_capacity(4 + body.len());
+    out.reserve(4 + body.len());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(&body);
-    out
 }
 
 /// Decodes one frame *body* (the bytes after the length prefix):
 /// version check, then the tagged [`Frame`].
 pub fn decode_frame_body(body: &[u8]) -> Result<Frame, WireError> {
+    decode_frame_body_ref(body).map(|frame| frame.to_owned())
+}
+
+/// Borrowing variant of [`decode_frame_body`]: the returned frame's
+/// `Data` payload points into `body`.
+pub fn decode_frame_body_ref(body: &[u8]) -> Result<FrameRef<'_>, WireError> {
     let mut r = Reader::new(body);
     let version = r.take_u8()?;
     if version != WIRE_VERSION {
         return Err(WireError::BadVersion { got: version });
     }
-    let frame = Frame::decode(&mut r)?;
+    let frame = FrameRef::decode_from(&mut r)?;
     if r.remaining() != 0 {
         return Err(WireError::Codec(CodecError::TrailingBytes {
             remaining: r.remaining(),
@@ -482,6 +586,35 @@ impl FrameBuffer {
     /// needed, or an error when the stream is unrecoverably malformed
     /// (the connection should be dropped).
     pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        Ok(self.next_frame_ref()?.map(|frame| frame.to_owned()))
+    }
+
+    /// Whether a complete frame is buffered, without decoding its body.
+    /// Lets a reader block for bytes first and only then borrow the
+    /// frame via [`FrameBuffer::next_frame_ref`].
+    ///
+    /// # Errors
+    ///
+    /// An oversized declared length is unrecoverable, exactly as in
+    /// [`FrameBuffer::next_frame`].
+    pub fn has_complete_frame(&self) -> Result<bool, WireError> {
+        let available = &self.buf[self.pos..];
+        if available.len() < 4 {
+            return Ok(false);
+        }
+        let declared = u32::from_le_bytes([available[0], available[1], available[2], available[3]]);
+        if declared > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge { declared });
+        }
+        Ok(available.len() >= 4 + declared as usize)
+    }
+
+    /// Zero-copy variant of [`FrameBuffer::next_frame`]: the returned
+    /// frame's `Data` payload borrows from the buffer, valid until the
+    /// next call that touches the buffer. Consumers copy the payload
+    /// out only for frames they accept (fresh sequence numbers), so
+    /// replayed duplicates cost no allocation at all.
+    pub fn next_frame_ref(&mut self) -> Result<Option<FrameRef<'_>>, WireError> {
         let available = &self.buf[self.pos..];
         if available.len() < 4 {
             return Ok(None);
@@ -494,8 +627,9 @@ impl FrameBuffer {
         if available.len() < total {
             return Ok(None);
         }
-        let frame = decode_frame_body(&available[4..total])?;
+        let start = self.pos;
         self.pos += total;
+        let frame = decode_frame_body_ref(&self.buf[start + 4..start + total])?;
         Ok(Some(frame))
     }
 }
@@ -570,6 +704,101 @@ mod tests {
         }
         assert_eq!(out, frames);
         assert_eq!(buffer.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_ref_decode_agrees_with_owned_decode() {
+        let frames = vec![
+            Frame::HelloNode {
+                node: ProcessId::new(1),
+                epoch: 7,
+            },
+            Frame::HelloAck { next_seq: 2 },
+            Frame::Data {
+                seq: 5,
+                payload: vec![9; 300],
+            },
+            Frame::Data {
+                seq: 6,
+                payload: Vec::new(),
+            },
+            Frame::DataAck { through: 5 },
+            Frame::HelloClient,
+            Frame::Request(ClientRequest {
+                id: 1,
+                op: ClientOp::Read {
+                    account: AccountId::new(4),
+                },
+            }),
+            Frame::Response(ClientResponse {
+                id: 1,
+                body: ResponseBody::Balance {
+                    amount: Amount::new(8),
+                },
+            }),
+            Frame::StatsRequest { id: 3 },
+        ];
+        for frame in &frames {
+            let bytes = encode_frame(frame);
+            let owned = decode_frame_body(&bytes[4..]).expect("owned decode");
+            let borrowed = decode_frame_body_ref(&bytes[4..]).expect("borrowed decode");
+            assert_eq!(&owned, frame);
+            assert_eq!(borrowed.to_owned(), owned);
+        }
+        // A Data payload genuinely borrows from the input buffer.
+        let bytes = encode_frame(&frames[2]);
+        let FrameRef::Data { seq, payload } =
+            decode_frame_body_ref(&bytes[4..]).expect("borrowed decode")
+        else {
+            panic!("expected Data");
+        };
+        assert_eq!(seq, 5);
+        assert_eq!(payload.len(), 300);
+        let body = &bytes[4..];
+        let offset = payload.as_ptr() as usize - body.as_ptr() as usize;
+        assert!(
+            offset < body.len(),
+            "payload must point into the frame body"
+        );
+    }
+
+    #[test]
+    fn frame_buffer_ref_path_matches_owned_path() {
+        let frames = vec![
+            Frame::Data {
+                seq: 1,
+                payload: vec![1, 2, 3],
+            },
+            Frame::DataAck { through: 1 },
+            Frame::Data {
+                seq: 2,
+                payload: vec![0xAB; 64],
+            },
+        ];
+        let stream: Vec<u8> = frames.iter().flat_map(encode_frame).collect();
+        let mut buffer = FrameBuffer::new();
+        let mut out = Vec::new();
+        for chunk in stream.chunks(5) {
+            buffer.extend(chunk);
+            while let Some(frame) = buffer.next_frame_ref().expect("well-formed stream") {
+                out.push(frame.to_owned());
+            }
+        }
+        assert_eq!(out, frames);
+        assert_eq!(buffer.buffered(), 0);
+    }
+
+    #[test]
+    fn encode_frame_into_appends_without_clobbering() {
+        let mut out = vec![0xFF, 0xFE];
+        encode_frame_into(&Frame::HelloClient, &mut out);
+        encode_frame_into(&Frame::DataAck { through: 3 }, &mut out);
+        assert_eq!(&out[..2], &[0xFF, 0xFE]);
+        let mut buffer = FrameBuffer::new();
+        buffer.extend(&out[2..]);
+        assert_eq!(buffer.next_frame(), Ok(Some(Frame::HelloClient)));
+        assert_eq!(buffer.next_frame(), Ok(Some(Frame::DataAck { through: 3 })));
+        assert_eq!(buffer.next_frame(), Ok(None));
     }
 
     #[test]

@@ -48,6 +48,6 @@ mod registry;
 mod snapshot;
 
 pub use hist::{bucket_bounds, bucket_index, Histogram, BUCKET_COUNT};
-pub use recorder::{Recorder, Stage};
+pub use recorder::{Recorder, Stage, CLOCK_ANOMALY_THRESHOLD_US};
 pub use registry::{Counter, Gauge, Registry};
 pub use snapshot::{HistogramSnapshot, MetricValue, NamedHistogram, Snapshot};

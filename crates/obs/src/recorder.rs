@@ -2,7 +2,7 @@
 //! through the runtime's request path.
 
 use crate::hist::Histogram;
-use crate::registry::Registry;
+use crate::registry::{Counter, Registry};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -95,13 +95,27 @@ impl Stage {
 pub struct Recorder {
     registry: Registry,
     stages: [Arc<Histogram>; Stage::ALL.len()],
+    clock_anomalies: Arc<Counter>,
 }
+
+/// Stage spans above this are clock artifacts, not latency: no stage of
+/// the request path legitimately runs for a minute, but a stepped or
+/// virtualized wall clock (VM pause, NTP slew, suspend/resume) can make
+/// `elapsed` report hours. Such samples would permanently poison the
+/// histogram max and upper quantiles, so they are counted in
+/// `clock_anomalies` and dropped instead.
+pub const CLOCK_ANOMALY_THRESHOLD_US: u64 = 60_000_000;
 
 impl Recorder {
     /// A recorder over `registry` (also via [`Registry::recorder`]).
     pub fn new(registry: Registry) -> Self {
         let stages = Stage::ALL.map(|s| registry.histogram(s.metric_name()));
-        Recorder { registry, stages }
+        let clock_anomalies = registry.counter("clock_anomalies");
+        Recorder {
+            registry,
+            stages,
+            clock_anomalies,
+        }
     }
 
     /// The registry this recorder feeds.
@@ -109,18 +123,30 @@ impl Recorder {
         &self.registry
     }
 
-    /// Records one stage sample in microseconds.
+    /// Records one stage sample in microseconds. Samples past
+    /// [`CLOCK_ANOMALY_THRESHOLD_US`] are counted as clock anomalies
+    /// and excluded from the histogram.
     pub fn record_us(&self, stage: Stage, us: u64) {
+        if us > CLOCK_ANOMALY_THRESHOLD_US {
+            self.clock_anomalies.inc();
+            return;
+        }
         self.stages[stage as usize].record(us);
     }
 
     /// Records one stage sample from a duration (saturating to
-    /// microseconds).
+    /// microseconds; clock-step artifacts are guarded exactly as in
+    /// [`Recorder::record_us`]).
     pub fn record(&self, stage: Stage, elapsed: Duration) {
         self.record_us(
             stage,
             u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
         );
+    }
+
+    /// Stage samples rejected as clock artifacts so far.
+    pub fn clock_anomalies(&self) -> u64 {
+        self.clock_anomalies.get()
     }
 }
 
@@ -150,5 +176,22 @@ mod tests {
         for stage in Stage::ALL {
             assert!(snap.histogram(stage.metric_name()).is_some());
         }
+    }
+
+    #[test]
+    fn clock_step_artifacts_are_counted_not_recorded() {
+        let reg = Registry::new("node 0");
+        let rec = reg.recorder();
+        rec.record_us(Stage::Apply, CLOCK_ANOMALY_THRESHOLD_US);
+        rec.record_us(Stage::Apply, CLOCK_ANOMALY_THRESHOLD_US + 1);
+        rec.record(Stage::Apply, Duration::from_secs(3600));
+        // A stepped SystemTime arithmetic path can also saturate.
+        rec.record(Stage::Apply, Duration::MAX);
+        assert_eq!(rec.clock_anomalies(), 3);
+        let snap = reg.snapshot();
+        let apply = snap.histogram("stage_apply_us").expect("registered");
+        assert_eq!(apply.count, 1, "only the sane sample lands");
+        assert_eq!(apply.max, CLOCK_ANOMALY_THRESHOLD_US);
+        assert_eq!(snap.counter("clock_anomalies"), Some(3));
     }
 }

@@ -278,6 +278,92 @@ fn tampered_echo_quorum_certificates_are_rejected() {
     );
 }
 
+/// Batched certificate verification under attack: the random-linear-
+/// combination check fails closed, and the serial fallback attributes
+/// the exact tampered shares — so a certificate carrying a genuine
+/// quorum *plus* corrupt padding still delivers (the attack gains
+/// nothing), while tampering that eats into the quorum is rejected.
+#[test]
+fn batched_certificate_fallback_attributes_and_tolerates_corrupt_padding() {
+    let n = 4;
+    let auth = EdAuth::deterministic(n, 11);
+    let EchoMsg::Final {
+        source,
+        seq,
+        payload,
+        sig,
+        certificate,
+    } = genuine_final(n, &auth, 99_999)
+    else {
+        panic!("genuine_final returns a FINAL");
+    };
+    let quorum = certificate.len();
+    assert!(quorum >= 3);
+
+    let attempt = |label: &str, cert: Vec<(ProcessId, at_crypto::Signature)>| -> usize {
+        let mut victim: EchoBroadcast<u64, EdAuth> = EchoBroadcast::new(p(1), n, auth.clone());
+        let mut step = Step::new();
+        victim.on_message(
+            p(0),
+            EchoMsg::Final {
+                source,
+                seq,
+                payload,
+                sig,
+                certificate: cert,
+            },
+            &mut step,
+        );
+        assert_eq!(
+            victim.delivered_count(),
+            step.deliveries.len(),
+            "{label}: inconsistent delivery bookkeeping"
+        );
+        step.deliveries.len()
+    };
+
+    // A genuine quorum plus one corrupt share appended: the batch check
+    // fails, the fallback attributes exactly the padding, and the
+    // surviving quorum still delivers.
+    let mut padded = certificate.clone();
+    let mut corrupt = padded[0].1.to_bytes();
+    corrupt[40] ^= 0x08;
+    padded.push((padded[0].0, at_crypto::Signature::from_bytes(&corrupt)));
+    assert_eq!(
+        attempt("corrupt padding beyond quorum", padded),
+        1,
+        "corrupt padding must not invalidate a genuine quorum"
+    );
+
+    // Two shares tampered inside the quorum: attribution removes both
+    // and the remainder falls short — no delivery.
+    let mut double = certificate.clone();
+    for index in [0, 1] {
+        let mut bytes = double[index].1.to_bytes();
+        bytes[33] ^= 0x80;
+        double[index].1 = at_crypto::Signature::from_bytes(&bytes);
+    }
+    assert_eq!(attempt("two tampered shares", double), 0);
+
+    // Direct attribution check on the authenticator: tamper shares 0
+    // and 2 of a 4-share batch, expect exactly those indices back.
+    let messages: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 16]).collect();
+    let sigs: Vec<at_crypto::Signature> = (0..n)
+        .map(|i| auth.sign(p(i as u32), &messages[i]))
+        .collect();
+    let mut items: Vec<at_broadcast::BatchVerifyItem<'_, at_crypto::Signature>> = (0..n)
+        .map(|i| at_broadcast::BatchVerifyItem {
+            signer: p(i as u32),
+            bytes: messages[i].as_slice(),
+            sig: &sigs[i],
+        })
+        .collect();
+    assert_eq!(auth.verify_batch(&items), Ok(()));
+    items[0].bytes = b"swapped payload";
+    items[2].signer = p(3);
+    assert_eq!(auth.verify_batch(&items), Err(vec![0, 2]));
+}
+
 /// Replayed SENDs (valid signature, old sequence number) do not cause
 /// double application: the Figure 4 well-formedness check (line 10)
 /// accepts each sequence number exactly once.
