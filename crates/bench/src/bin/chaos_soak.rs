@@ -211,6 +211,18 @@ fn main() {
                             text.push('\n');
                         }
                     }
+                    // Causal forensics beside the replayable schedule:
+                    // the merged timeline of every transfer that never
+                    // reached its acknowledgement, as scraped from the
+                    // still-running nodes' trace rings.
+                    for rendered in &report.traces {
+                        text.push_str("undelivered trace:\n");
+                        for line in rendered.lines() {
+                            text.push_str("  ");
+                            text.push_str(line);
+                            text.push('\n');
+                        }
+                    }
                     failures.push(text);
                 }
             }

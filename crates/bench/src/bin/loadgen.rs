@@ -20,6 +20,11 @@
 //!   convergence, nonzero committed throughput, a working stats
 //!   round-trip, and agreement between the at-obs end-to-end p99 and
 //!   the client-measured wall-clock p99;
+//! * `--trace-slowest N` — enable sampled causal tracing
+//!   ([`at_obs::trace`]) on every node, scrape each node's trace ring
+//!   over the wire after the measurement, and dump the N worst-e2e
+//!   transfers' merged timelines (full ranking goes to
+//!   `TRACE_t5_slowest.txt`);
 //! * `--duration-secs N` (default 10), `--nodes N` (default 4),
 //!   `--backend echo|bracha|acctorder` (default echo),
 //!   `--auth none|ed25519|ed25519-serial` (default none; echo only),
@@ -57,7 +62,10 @@ use at_net::VirtualTime;
 use at_node::{
     await_convergence, start_tcp_cluster_instrumented, Client, NodeConfig, ResponseBody, TcpOptions,
 };
-use at_obs::{HistogramSnapshot, Recorder, Snapshot, Stage};
+use at_obs::{
+    merge_traces, HistogramSnapshot, Recorder, Snapshot, Stage, TraceConfig, TraceLog,
+    TraceTimeline,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -79,6 +87,7 @@ struct Args {
     window_us: u64,
     pipeline: usize,
     hotspot: bool,
+    trace_slowest: usize,
     t5_baseline_tps: Option<f64>,
     t5_baseline_p99_us: u64,
 }
@@ -171,6 +180,9 @@ fn parse_args() -> Args {
             .and_then(|v| v.parse().ok())
             .unwrap_or(256),
         hotspot: flag("--hotspot"),
+        trace_slowest: value("--trace-slowest")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
         t5_baseline_tps: value("--t5-baseline-tps").and_then(|v| v.parse().ok()),
         t5_baseline_p99_us: value("--t5-baseline-p99-us")
             .and_then(|v| v.parse().ok())
@@ -281,7 +293,7 @@ fn drain(
     }
 }
 
-fn run<B, F>(args: &Args, make: F) -> (T5Report, Vec<Snapshot>)
+fn run<B, F>(args: &Args, make: F) -> (T5Report, Vec<Snapshot>, Vec<TraceLog>)
 where
     B: SecureBroadcast<EnginePayload> + 'static,
     B::Msg: Encode + Decode + Send + 'static,
@@ -292,7 +304,12 @@ where
     let initial = Amount::new(1_000_000_000);
     let engine =
         EngineConfig::sharded_batched(4, args.batch, VirtualTime::from_micros(args.window_us));
-    let config = NodeConfig::new(engine, initial);
+    let mut config = NodeConfig::new(engine, initial);
+    if args.trace_slowest > 0 {
+        // Sampled tracing (1-in-N plus always-on slow credits): the
+        // production discipline the tps parity gate measures against.
+        config = config.with_trace(TraceConfig::sampled());
+    }
     let mut cluster = start_tcp_cluster_instrumented(n, config, TcpOptions::default(), make)
         .expect("cluster start");
     let workload = if args.hotspot {
@@ -352,16 +369,25 @@ where
 
     // Scrape every node's at-obs registry over the live wire protocol —
     // the same `Client::stats()` a production operator would use.
-    let snapshots: Vec<Snapshot> = cluster
-        .client_addrs
-        .iter()
-        .map(|addr| {
-            let mut client = Client::connect(*addr).expect("stats client connect");
+    let mut snapshots: Vec<Snapshot> = Vec::with_capacity(n);
+    let mut trace_logs: Vec<TraceLog> = Vec::new();
+    for addr in &cluster.client_addrs {
+        let mut client = Client::connect(*addr).expect("stats client connect");
+        snapshots.push(
             client
                 .stats(Duration::from_secs(5))
-                .expect("stats round-trip over TCP")
-        })
-        .collect();
+                .expect("stats round-trip over TCP"),
+        );
+        if args.trace_slowest > 0 {
+            // Same scrape plane, same connection: the trace ring rides
+            // the wire protocol exactly like the metric snapshot.
+            trace_logs.push(
+                client
+                    .trace(Duration::from_secs(5))
+                    .expect("trace round-trip over TCP"),
+            );
+        }
+    }
     cluster.stop_all();
 
     let (p50, p99) = percentiles(&mut latencies);
@@ -382,7 +408,7 @@ where
         balance_digest: digest,
         dropped_frames: dropped,
     };
-    (report, snapshots)
+    (report, snapshots, trace_logs)
 }
 
 /// The named stage histogram merged across every node's snapshot.
@@ -444,8 +470,73 @@ fn print_observability(snapshots: &[Snapshot]) {
     }
 }
 
+/// Tail-latency forensics: merges the scraped per-node trace rings into
+/// per-transfer timelines, prints the `--trace-slowest N` worst
+/// end-to-end transfers, and writes every rendered timeline ranked
+/// worst-first to `TRACE_t5_slowest.txt` (next to the metric dump). In
+/// smoke the merged traces must exist and agree with the at-obs
+/// end-to-end histogram: a sampled transfer's traced e2e cannot exceed
+/// the histogram's observed max (with log-bucket slack).
+fn trace_forensics(args: &Args, logs: &[TraceLog], snapshots: &[Snapshot]) {
+    let sampled: usize = logs.iter().map(|log| log.events.len()).sum();
+    let evicted: u64 = logs.iter().map(|log| log.dropped).sum();
+    let mut timelines = merge_traces(logs);
+    // Worst e2e first; still-incomplete timelines (sampled but not yet
+    // acked, or evicted mid-flight) sink to the bottom.
+    timelines.sort_by_key(|t| std::cmp::Reverse(t.e2e_us));
+    println!(
+        "\n# trace forensics: {} events across {} nodes ({} evicted), {} timelines",
+        sampled,
+        logs.len(),
+        evicted,
+        timelines.len()
+    );
+    for timeline in timelines.iter().take(args.trace_slowest) {
+        println!("{}", timeline.render());
+    }
+    let rendered: String = timelines
+        .iter()
+        .map(TraceTimeline::render)
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::write("TRACE_t5_slowest.txt", &rendered).expect("write TRACE_t5_slowest.txt");
+    println!("wrote TRACE_t5_slowest.txt ({} bytes)", rendered.len());
+
+    if args.smoke {
+        assert!(
+            !timelines.is_empty(),
+            "tracing enabled but no timelines merged from the scraped rings"
+        );
+        let complete: Vec<_> = timelines.iter().filter(|t| t.e2e_us.is_some()).collect();
+        assert!(
+            !complete.is_empty(),
+            "no merged timeline reached its ack (all {} incomplete)",
+            timelines.len()
+        );
+        // Consistency with the at-obs end-to-end histogram: the traced
+        // span (gateway ingress → ack enqueue, on one node's clock) is
+        // the same span `Stage::EndToEnd` records, so no sampled
+        // transfer can exceed the histogram's observed max by more than
+        // scrape-ordering slack (the ring is scraped after the stats
+        // snapshot, so a straggler can land in between).
+        let e2e = merged_stage(snapshots, Stage::EndToEnd);
+        let bound = e2e.max.saturating_mul(5).saturating_div(4) + 20_000;
+        for timeline in &complete {
+            let traced = timeline.e2e_us.expect("filtered complete");
+            assert!(
+                traced <= bound,
+                "trace {:#018x} e2e {}µs exceeds the at-obs end-to-end max {}µs (+slack {}µs)",
+                timeline.id,
+                traced,
+                e2e.max,
+                bound
+            );
+        }
+    }
+}
+
 /// Runs one measurement with the backend/auth pair named in `args`.
-fn run_leg(args: &Args) -> (T5Report, Vec<Snapshot>) {
+fn run_leg(args: &Args) -> (T5Report, Vec<Snapshot>, Vec<TraceLog>) {
     let n = args.nodes;
     println!(
         "# loadgen leg: {} nodes, {} backend, {} auth, batch {} / {}µs window, \
@@ -585,7 +676,7 @@ fn run_t7(args: &Args) {
         auth: "none".into(),
         ..args.clone()
     };
-    let (headline, headline_snaps) = run_leg(&headline_args);
+    let (headline, headline_snaps, _) = run_leg(&headline_args);
     print_leg_summary(&headline);
     print_observability(&headline_snaps);
     assert_reliable(&headline, &headline_snaps, args.smoke);
@@ -596,7 +687,7 @@ fn run_t7(args: &Args) {
         auth: "ed25519-serial".into(),
         ..args.clone()
     };
-    let (serial_report, serial_snaps) = run_leg(&serial_args);
+    let (serial_report, serial_snaps, _) = run_leg(&serial_args);
     print_leg_summary(&serial_report);
     assert_reliable(&serial_report, &serial_snaps, args.smoke);
     let serial = auth_row(&serial_report, &serial_snaps);
@@ -608,7 +699,7 @@ fn run_t7(args: &Args) {
         auth: "ed25519".into(),
         ..args.clone()
     };
-    let (batched_report, batched_snaps) = run_leg(&batched_args);
+    let (batched_report, batched_snaps, _) = run_leg(&batched_args);
     print_leg_summary(&batched_report);
     print_observability(&batched_snaps);
     assert_reliable(&batched_report, &batched_snaps, args.smoke);
@@ -711,9 +802,12 @@ fn main() {
         args.nodes, args.backend, args.batch, args.window_us, args.pipeline, args.duration
     );
 
-    let (report, snapshots) = run_leg(&args);
+    let (report, snapshots, trace_logs) = run_leg(&args);
     print_leg_summary(&report);
     print_observability(&snapshots);
+    if args.trace_slowest > 0 {
+        trace_forensics(&args, &trace_logs, &snapshots);
+    }
 
     let json = t5_json(&report, args.smoke);
     std::fs::write("BENCH_t5.json", &json).expect("write BENCH_t5.json");

@@ -20,9 +20,11 @@
 //!   never double-spend.
 
 use crate::auth::Authenticator;
+use crate::secure::TraceExtract;
 use crate::types::{CryptoOps, Step};
 use at_model::codec::{encode, Writer};
 use at_model::{AccountId, Encode, ProcessId, SeqNo};
+use at_obs::{TraceCtx, TraceEventKind, Tracer};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -118,6 +120,7 @@ pub struct AccountOrderBroadcast<P, A: Authenticator> {
     /// `k`-shared accounts have several legitimate senders).
     sole_owner: bool,
     ops: CryptoOps,
+    tracer: Option<(Tracer, TraceExtract<P>)>,
 }
 
 impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
@@ -138,6 +141,7 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
             forward_final: true,
             sole_owner: false,
             ops: CryptoOps::default(),
+            tracer: None,
         }
     }
 
@@ -173,6 +177,28 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
     /// senders). On by default.
     pub fn set_forward_final(&mut self, forward: bool) {
         self.forward_final = forward;
+    }
+
+    /// Routes causal trace events into `tracer` for payloads `extract`
+    /// maps to a [`TraceCtx`]. Untraced payloads cost one extractor call
+    /// per protocol step and nothing else.
+    pub fn set_tracer(&mut self, tracer: Tracer, extract: fn(&P) -> Option<TraceCtx>) {
+        self.tracer = Some((tracer, extract));
+    }
+
+    /// The tracer handle and the payload's context, hop-adjusted: a
+    /// message from another process arrives one causal hop later.
+    fn trace_ctx(&self, payload: &P, from: ProcessId) -> Option<(&Tracer, TraceCtx)> {
+        let (tracer, extract) = self.tracer.as_ref()?;
+        let ctx = extract(payload)?;
+        let ctx = if from != self.me { ctx.hopped() } else { ctx };
+        Some((tracer, ctx))
+    }
+
+    fn trace(&self, payload: &P, from: ProcessId, kind: TraceEventKind, arg: u64) {
+        if let Some((tracer, ctx)) = self.trace_ctx(payload, from) {
+            tracer.record(ctx, kind, arg);
+        }
     }
 
     /// Broadcasts `payload` as the message with `seq` for `account`.
@@ -211,6 +237,7 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
                 sender: self.me,
                 payload: payload.clone(),
             });
+        self.trace(&payload, self.me, TraceEventKind::Send, self.n as u64);
         step.send_all(
             self.n,
             AccountOrderMsg::Send {
@@ -353,6 +380,18 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
         let share = self
             .auth
             .sign(self.me, &ack_bytes(account, SeqNo::new(expected), digest));
+        // Inline (not via `Self::trace`) so the borrow stays on the
+        // `tracer` field while `pending` still borrows `pending_sends`.
+        if let Some((tracer, extract)) = &self.tracer {
+            if let Some(ctx) = extract(&pending.payload) {
+                let ctx = if pending.sender != self.me {
+                    ctx.hopped()
+                } else {
+                    ctx
+                };
+                tracer.record(ctx, TraceEventKind::Echo, expected);
+            }
+        }
         step.send(
             pending.sender,
             AccountOrderMsg::Ack {
@@ -405,6 +444,12 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
                 .and_then(|slot| slot.get(&seq.value()))
                 .map(|pending| pending.payload.clone())
                 .expect("sender retains its own payload");
+            self.trace(
+                &payload,
+                me,
+                TraceEventKind::Ready,
+                certificate.len() as u64,
+            );
             step.send_all(
                 n,
                 AccountOrderMsg::Final {
@@ -428,6 +473,12 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
         step: &mut Step<AccountOrderMsg<P, A::Sig>, AccountDelivery<P>>,
     ) {
         let digest = payload_digest(&payload);
+        let span = self
+            .trace_ctx(&payload, sender)
+            .map(|(tracer, ctx)| (tracer.clone(), ctx));
+        if let Some((tracer, ctx)) = &span {
+            tracer.record(*ctx, TraceEventKind::VerifyStart, certificate.len() as u64);
+        }
         let mut signers = BTreeMap::new();
         for (signer, share) in &certificate {
             self.ops.verifies += 1;
@@ -437,6 +488,9 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
             {
                 signers.insert(*signer, ());
             }
+        }
+        if let Some((tracer, ctx)) = &span {
+            tracer.record(*ctx, TraceEventKind::VerifyEnd, signers.len() as u64);
         }
         if signers.len() < self.quorum() {
             return;
@@ -486,6 +540,7 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
                 seq: SeqNo::new(expected),
                 payload,
             };
+            self.trace(&delivery.payload, sender, TraceEventKind::Deliver, expected);
             self.ready.push(delivery.clone());
             step.deliver(sender, SeqNo::new(expected), delivery);
             // A delivery may unblock the acknowledgement of the next SEND.

@@ -15,23 +15,40 @@
 
 use at_model::codec::{Decode, Encode, Reader, Writer};
 use at_model::CodecError;
+use at_obs::TraceCtx;
 
 /// An ordered batch of payloads, broadcast as a single unit.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Batch<P> {
     /// The payloads, in submission order.
     pub items: Vec<P>,
+    /// The causal trace context riding the batch, when any member
+    /// transfer was sampled at its gateway (the first traced member
+    /// wins; see [`Batcher::attach_trace`]). Encoded canonically like
+    /// every other field, so a traced batch hashes and signs
+    /// deterministically too.
+    pub trace: Option<TraceCtx>,
 }
 
 impl<P> Batch<P> {
-    /// A batch over `items`.
+    /// An untraced batch over `items`.
     pub fn new(items: Vec<P>) -> Self {
-        Batch { items }
+        Batch { items, trace: None }
     }
 
-    /// A batch holding a single payload.
+    /// An untraced batch holding a single payload.
     pub fn single(item: P) -> Self {
-        Batch { items: vec![item] }
+        Batch {
+            items: vec![item],
+            trace: None,
+        }
+    }
+
+    /// The same batch carrying `trace`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<TraceCtx>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Number of payloads in the batch.
@@ -48,6 +65,7 @@ impl<P> Batch<P> {
 impl<P: Encode> Encode for Batch<P> {
     fn encode(&self, w: &mut Writer) {
         self.items.encode(w);
+        self.trace.encode(w);
     }
 }
 
@@ -55,6 +73,7 @@ impl<P: Decode> Decode for Batch<P> {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(Batch {
             items: Vec::<P>::decode(r)?,
+            trace: Option::<TraceCtx>::decode(r)?,
         })
     }
 }
@@ -68,6 +87,7 @@ impl<P: Decode> Decode for Batch<P> {
 pub struct Batcher<P> {
     pending: Vec<P>,
     max_size: usize,
+    trace: Option<TraceCtx>,
 }
 
 impl<P> Batcher<P> {
@@ -81,6 +101,7 @@ impl<P> Batcher<P> {
         Batcher {
             pending: Vec::new(),
             max_size,
+            trace: None,
         }
     }
 
@@ -94,6 +115,24 @@ impl<P> Batcher<P> {
         }
     }
 
+    /// Attaches a trace context to the batch currently accumulating.
+    /// The first traced member claims the batch; returns `false` when
+    /// the batch was already claimed (the caller records that join
+    /// against the existing context instead).
+    pub fn attach_trace(&mut self, ctx: TraceCtx) -> bool {
+        if self.trace.is_none() {
+            self.trace = Some(ctx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The trace context the accumulating batch will carry.
+    pub fn trace(&self) -> Option<TraceCtx> {
+        self.trace
+    }
+
     /// Drains everything pending into a batch, or `None` when empty.
     pub fn flush(&mut self) -> Option<Batch<P>> {
         if self.pending.is_empty() {
@@ -101,6 +140,7 @@ impl<P> Batcher<P> {
         } else {
             Some(Batch {
                 items: std::mem::take(&mut self.pending),
+                trace: self.trace.take(),
             })
         }
     }
@@ -158,5 +198,29 @@ mod tests {
     #[should_panic(expected = "batch size")]
     fn zero_cap_rejected() {
         let _ = Batcher::<u8>::new(0);
+    }
+
+    #[test]
+    fn traced_batches_roundtrip_and_first_claim_wins() {
+        let ctx = TraceCtx {
+            id: (1u64 << 40) | 3,
+            origin: 1,
+            hops: 0,
+        };
+        let other = TraceCtx { id: 7, ..ctx };
+        let batch = Batch::new(vec![1u32]).with_trace(Some(ctx));
+        let back: Batch<u32> = decode(&encode(&batch)).unwrap();
+        assert_eq!(back, batch);
+        assert_eq!(back.trace, Some(ctx));
+
+        let mut batcher = Batcher::new(4);
+        assert!(batcher.attach_trace(ctx), "first traced member claims");
+        assert!(!batcher.attach_trace(other), "later members join instead");
+        batcher.push(1u32);
+        let flushed = batcher.flush().unwrap();
+        assert_eq!(flushed.trace, Some(ctx));
+        // The claim does not leak into the next batch.
+        batcher.push(2u32);
+        assert_eq!(batcher.flush().unwrap().trace, None);
     }
 }

@@ -18,9 +18,11 @@
 //! Deliveries are released through a [`SourceOrderBuffer`], yielding the
 //! source-order (indeed FIFO) property of Section 5.2.
 
+use crate::secure::TraceExtract;
 use crate::types::{SourceOrderBuffer, Step};
 use at_model::codec::encode;
 use at_model::{Encode, ProcessId, SeqNo};
+use at_obs::{TraceEventKind, Tracer};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
@@ -99,6 +101,7 @@ pub struct BrachaBroadcast<P> {
     next_seq: SeqNo,
     instances: HashMap<InstanceKey, Instance<P>>,
     order: SourceOrderBuffer<P>,
+    tracer: Option<(Tracer, TraceExtract<P>)>,
 }
 
 impl<P: Clone + Encode> BrachaBroadcast<P> {
@@ -113,6 +116,26 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
             next_seq: SeqNo::ZERO,
             instances: HashMap::new(),
             order: SourceOrderBuffer::new(),
+            tracer: None,
+        }
+    }
+
+    /// Wires causal tracing: traced payloads get their INIT / ECHO /
+    /// READY / deliver steps recorded (see
+    /// [`crate::SecureBroadcast::set_tracer`]).
+    pub fn set_tracer(&mut self, tracer: Tracer, extract: fn(&P) -> Option<at_obs::TraceCtx>) {
+        self.tracer = Some((tracer, extract));
+    }
+
+    /// Records one protocol step for `payload`'s trace (no-op for
+    /// untraced payloads); a step observed on a message from another
+    /// process counts one hop.
+    fn trace(&self, payload: &P, from: ProcessId, kind: TraceEventKind, arg: u64) {
+        if let Some((tracer, extract)) = &self.tracer {
+            if let Some(ctx) = extract(payload) {
+                let ctx = if from != self.me { ctx.hopped() } else { ctx };
+                tracer.record(ctx, kind, arg);
+            }
         }
     }
 
@@ -140,6 +163,7 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
     pub fn broadcast(&mut self, payload: P, step: &mut Step<BrachaMsg<P>, P>) -> SeqNo {
         self.next_seq = self.next_seq.next();
         let seq = self.next_seq;
+        self.trace(&payload, self.me, TraceEventKind::Send, self.n as u64);
         step.send_all(self.n, BrachaMsg::Init { seq, payload });
         seq
     }
@@ -189,6 +213,7 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
             return; // echo only the first INIT per instance
         }
         instance.echoed = Some(digest);
+        self.trace(&payload, from, TraceEventKind::Echo, self.n as u64);
         step.send_all(
             self.n,
             BrachaMsg::Echo {
@@ -222,6 +247,7 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
         echoes.insert(from);
         if echoes.len() >= echo_quorum && !instance.ready_sent {
             instance.ready_sent = true;
+            self.trace(&payload, from, TraceEventKind::Ready, echo_quorum as u64);
             step.send_all(
                 n,
                 BrachaMsg::Ready {
@@ -271,6 +297,12 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
         if count >= ready_deliver && !instance.delivered {
             instance.delivered = true;
             for (released_seq, released) in self.order.offer(source, seq, payload) {
+                self.trace(
+                    &released,
+                    from,
+                    TraceEventKind::Deliver,
+                    released_seq.value(),
+                );
                 step.deliver(source, released_seq, released);
             }
         }

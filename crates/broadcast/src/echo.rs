@@ -16,9 +16,11 @@
 //! spending.
 
 use crate::auth::{Authenticator, BatchVerifyItem};
+use crate::secure::TraceExtract;
 use crate::types::{CryptoOps, SourceOrderBuffer, Step};
 use at_model::codec::{encode, Writer};
 use at_model::{Encode, ProcessId, SeqNo};
+use at_obs::{TraceCtx, TraceEventKind, Tracer};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -91,6 +93,7 @@ pub struct EchoBroadcast<P, A: Authenticator> {
     order: SourceOrderBuffer<P>,
     forward_final: bool,
     ops: CryptoOps,
+    tracer: Option<(Tracer, TraceExtract<P>)>,
     /// Mutation-testing hook: overrides [`EchoBroadcast::quorum`].
     #[cfg(feature = "broken")]
     quorum_override: Option<usize>,
@@ -114,6 +117,7 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
             order: SourceOrderBuffer::new(),
             forward_final: true,
             ops: CryptoOps::default(),
+            tracer: None,
             #[cfg(feature = "broken")]
             quorum_override: None,
         }
@@ -139,6 +143,28 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
     /// Byzantine senders). On by default.
     pub fn set_forward_final(&mut self, forward: bool) {
         self.forward_final = forward;
+    }
+
+    /// Routes causal trace events into `tracer` for payloads `extract`
+    /// maps to a [`TraceCtx`]. Untraced payloads cost one extractor call
+    /// per protocol step and nothing else.
+    pub fn set_tracer(&mut self, tracer: Tracer, extract: fn(&P) -> Option<TraceCtx>) {
+        self.tracer = Some((tracer, extract));
+    }
+
+    /// The tracer handle and the payload's context, hop-adjusted: a
+    /// message from another process arrives one causal hop later.
+    fn trace_ctx(&self, payload: &P, from: ProcessId) -> Option<(&Tracer, TraceCtx)> {
+        let (tracer, extract) = self.tracer.as_ref()?;
+        let ctx = extract(payload)?;
+        let ctx = if from != self.me { ctx.hopped() } else { ctx };
+        Some((tracer, ctx))
+    }
+
+    fn trace(&self, payload: &P, from: ProcessId, kind: TraceEventKind, arg: u64) {
+        if let Some((tracer, ctx)) = self.trace_ctx(payload, from) {
+            tracer.record(ctx, kind, arg);
+        }
     }
 
     /// The echo quorum `⌈(n+f+1)/2⌉`.
@@ -182,6 +208,7 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
                 },
             ),
         );
+        self.trace(&payload, self.me, TraceEventKind::Send, self.n as u64);
         step.send_all(self.n, EchoMsg::Send { seq, payload, sig });
         seq
     }
@@ -306,6 +333,7 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
         }
         self.ops.signs += 1;
         let share = self.auth.sign(self.me, &echo_bytes(from, seq, digest));
+        self.trace(&payload, from, TraceEventKind::Echo, seq.value());
         step.send(
             from,
             EchoMsg::Echo {
@@ -359,26 +387,34 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
             return;
         }
         state.shares.insert(from, share);
-        if state.shares.len() >= quorum {
-            state.finalized = true;
-            let certificate: Vec<(ProcessId, A::Sig)> = state
-                .shares
-                .iter()
-                .map(|(process, sig)| (*process, sig.clone()))
-                .collect();
-            self.ops.signs += 1;
-            let sig = self.auth.sign(me, &send_bytes(me, seq, digest));
-            step.send_all(
-                n,
-                EchoMsg::Final {
-                    source: me,
-                    seq,
-                    payload: payload.clone(),
-                    sig,
-                    certificate,
-                },
-            );
+        if state.shares.len() < quorum {
+            return;
         }
+        state.finalized = true;
+        let certificate: Vec<(ProcessId, A::Sig)> = state
+            .shares
+            .iter()
+            .map(|(process, sig)| (*process, sig.clone()))
+            .collect();
+        let payload = payload.clone();
+        self.ops.signs += 1;
+        let sig = self.auth.sign(me, &send_bytes(me, seq, digest));
+        self.trace(
+            &payload,
+            me,
+            TraceEventKind::Ready,
+            certificate.len() as u64,
+        );
+        step.send_all(
+            n,
+            EchoMsg::Final {
+                source: me,
+                seq,
+                payload,
+                sig,
+                certificate,
+            },
+        );
     }
 
     fn on_final(
@@ -416,6 +452,12 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
             })
             .collect();
         self.ops.verifies += certificate.len() as u64;
+        let span = self
+            .trace_ctx(&payload, source)
+            .map(|(tracer, ctx)| (tracer.clone(), ctx));
+        if let Some((tracer, ctx)) = &span {
+            tracer.record(*ctx, TraceEventKind::VerifyStart, items.len() as u64);
+        }
         let mut signers = BTreeMap::new();
         match self.auth.verify_batch(&items) {
             Ok(()) => {
@@ -430,6 +472,9 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
                     }
                 }
             }
+        }
+        if let Some((tracer, ctx)) = &span {
+            tracer.record(*ctx, TraceEventKind::VerifyEnd, signers.len() as u64);
         }
         if signers.len() < self.quorum() {
             return;
@@ -448,6 +493,12 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
             );
         }
         for (released_seq, released) in self.order.offer(source, seq, payload) {
+            self.trace(
+                &released,
+                source,
+                TraceEventKind::Deliver,
+                released_seq.value(),
+            );
             step.deliver(source, released_seq, released);
         }
     }

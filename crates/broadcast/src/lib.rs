@@ -58,5 +58,5 @@ pub use auth::{Authenticator, BatchVerifyItem, EdAuth, NoAuth, ObservedAuth};
 pub use batch::{Batch, Batcher};
 pub use bracha::{BrachaBroadcast, BrachaMsg};
 pub use echo::{EchoBroadcast, EchoMsg};
-pub use secure::{AccountOrderBackend, SecureBroadcast};
+pub use secure::{AccountOrderBackend, SecureBroadcast, TraceExtract};
 pub use types::{CryptoOps, Delivery, Outgoing, SourceOrderBuffer, Step};

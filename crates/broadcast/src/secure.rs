@@ -34,7 +34,12 @@ use crate::bracha::{BrachaBroadcast, BrachaMsg};
 use crate::echo::{EchoBroadcast, EchoMsg};
 use crate::types::{CryptoOps, Delivery, Outgoing, Step};
 use at_model::{AccountId, Encode, ProcessId, SeqNo};
+use at_obs::{TraceCtx, Tracer};
 use std::fmt;
+
+/// How a backend pulls the causal trace context out of an opaque
+/// payload (payload types without tracing return `None`).
+pub type TraceExtract<P> = fn(&P) -> Option<TraceCtx>;
 
 /// A pluggable secure-broadcast endpoint over payloads `P`.
 ///
@@ -72,6 +77,15 @@ pub trait SecureBroadcast<P: Clone + Encode>: Send {
     /// Cumulative signature operations (zeros for signature-free
     /// protocols).
     fn crypto_ops(&self) -> CryptoOps;
+
+    /// Wires causal tracing into the protocol: payloads whose `extract`
+    /// yields a [`TraceCtx`] get their protocol steps (send, echo,
+    /// ready/certificate, deliver, verify span) recorded into `tracer`.
+    /// Defaults to a no-op so payload types without tracing (tests,
+    /// simulated runs) cost nothing.
+    fn set_tracer(&mut self, tracer: Tracer, extract: TraceExtract<P>) {
+        let _ = (tracer, extract);
+    }
 }
 
 impl<P: Clone + Encode + Send> SecureBroadcast<P> for BrachaBroadcast<P> {
@@ -107,6 +121,10 @@ impl<P: Clone + Encode + Send> SecureBroadcast<P> for BrachaBroadcast<P> {
 
     fn crypto_ops(&self) -> CryptoOps {
         CryptoOps::default()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer, extract: TraceExtract<P>) {
+        BrachaBroadcast::set_tracer(self, tracer, extract);
     }
 }
 
@@ -148,6 +166,10 @@ where
 
     fn crypto_ops(&self) -> CryptoOps {
         EchoBroadcast::crypto_ops(self)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer, extract: TraceExtract<P>) {
+        EchoBroadcast::set_tracer(self, tracer, extract);
     }
 }
 
@@ -265,6 +287,10 @@ where
 
     fn crypto_ops(&self) -> CryptoOps {
         self.inner.crypto_ops()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer, extract: TraceExtract<P>) {
+        self.inner.set_tracer(tracer, extract);
     }
 }
 

@@ -42,6 +42,7 @@ use at_node::{
     start_mesh_cluster_with, start_tcp_cluster_with, try_await_convergence, Client, ClusterOptions,
     ConvergenceOptions, EventProbe, NodeConfig, NodeHandle, NodeReport, ResponseBody, TcpOptions,
 };
+use at_obs::{merge_traces, TraceConfig, TraceLog};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -154,6 +155,11 @@ pub struct ChaosReport {
     /// counterexample report embeds (a node whose loop died mid-run
     /// simply has no entry).
     pub metrics: Vec<String>,
+    /// Rendered causal timelines of transfers that never reached their
+    /// acknowledgement (merged across every still-running node's trace
+    /// ring, capped at [`MAX_EMBEDDED_TRACES`]) — the per-instance
+    /// forensics a counterexample report embeds beside the schedule.
+    pub traces: Vec<String>,
 }
 
 impl ChaosReport {
@@ -390,6 +396,7 @@ fn finalize(
     pin_failure: Option<String>,
     probe: &EventProbe,
     metrics: Vec<String>,
+    traces: Vec<String>,
 ) -> ChaosReport {
     let n = config.n;
     let mut violations = Vec::new();
@@ -505,6 +512,7 @@ fn finalize(
         violations,
         unknown,
         metrics,
+        traces,
     }
 }
 
@@ -520,11 +528,41 @@ where
         .collect()
 }
 
+/// How many rendered undelivered-instance timelines a report carries
+/// (enough to diagnose, bounded so a mass-loss run stays printable).
+pub const MAX_EMBEDDED_TRACES: usize = 16;
+
 fn node_config(config: &ChaosConfig) -> NodeConfig {
     NodeConfig::new(
         EngineConfig::sharded_batched(4, config.batch, VirtualTime::from_micros(config.window_us)),
         Amount::new(config.initial),
     )
+    // Always-on tracing: chaos workloads are small, and a counterexample
+    // without the victim transfer's timeline is half a counterexample.
+    // The config (epoch included) is cloned into every node and survives
+    // warm restarts, so restarted incarnations stay on the shared clock.
+    .with_trace(TraceConfig::always())
+}
+
+/// Scrapes every reachable node's trace ring (like [`scrape_metrics`],
+/// skipping nodes whose loop died) and renders the merged timelines of
+/// transfers that never completed: still mid-protocol at shutdown, or
+/// with ring-evicted gaps. Worst (most-evented) first, capped.
+fn undelivered_traces<'a, B>(handles: impl Iterator<Item = &'a NodeHandle<B>>) -> Vec<String>
+where
+    B: SecureBroadcast<EnginePayload> + 'a,
+{
+    let logs: Vec<TraceLog> = handles
+        .filter_map(|h| h.try_trace(Duration::from_secs(2)))
+        .collect();
+    let mut timelines = merge_traces(&logs);
+    timelines.retain(|t| t.e2e_us.is_none() || t.incomplete);
+    timelines.sort_by_key(|t| std::cmp::Reverse(t.events.len()));
+    timelines
+        .iter()
+        .take(MAX_EMBEDDED_TRACES)
+        .map(|t| t.render())
+        .collect()
 }
 
 fn convergence_failure(timeout: &at_node::ConvergenceTimeout) -> Failure {
@@ -651,6 +689,7 @@ where
         pin_failure = pin.err();
     }
     let metrics = scrape_metrics(cluster.running());
+    let traces = undelivered_traces(cluster.running());
     cluster.stop_all();
 
     finalize(
@@ -667,6 +706,7 @@ where
         pin_failure,
         &probe,
         metrics,
+        traces,
     )
 }
 
@@ -759,6 +799,7 @@ where
         }
     }
     let metrics = scrape_metrics(handles.iter());
+    let traces = undelivered_traces(handles.iter());
     let handles = Arc::try_unwrap(handles)
         .unwrap_or_else(|_| panic!("client threads joined, no handle clones remain"));
     for handle in handles {
@@ -779,6 +820,7 @@ where
         pin_failure,
         &probe,
         metrics,
+        traces,
     )
 }
 

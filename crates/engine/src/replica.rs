@@ -53,7 +53,7 @@ use at_broadcast::{Batch, Batcher};
 use at_core::figure4::TransferMsg;
 use at_model::{AccountId, Amount, ProcessId, SeqNo, Transfer};
 use at_net::{Actor, Context, VirtualTime};
-use at_obs::{Recorder, Stage};
+use at_obs::{Recorder, Stage, TraceCtx, TraceEventKind, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -179,8 +179,9 @@ pub struct ShardedReplica<B: SecureBroadcast<EnginePayload> = DefaultEngineBroad
     /// the scenario subsystem for cross-replica conflict detection).
     applied_from: Vec<BTreeMap<u64, Transfer>>,
     /// Delivered, well-formed, not-yet-valid transfers (`toValidate`),
-    /// bounded per source by [`MAX_PENDING_PER_SOURCE`].
-    pending: Vec<(ProcessId, TransferMsg)>,
+    /// each with the trace context of the batch that carried it, bounded
+    /// per source by [`MAX_PENDING_PER_SOURCE`].
+    pending: Vec<(ProcessId, TransferMsg, Option<TraceCtx>)>,
     /// Pending entries per source (enforces the cap without scanning).
     pending_per_source: Vec<usize>,
     /// Incoming credits applied since our last submission (`deps`).
@@ -193,6 +194,11 @@ pub struct ShardedReplica<B: SecureBroadcast<EnginePayload> = DefaultEngineBroad
     malformed_dropped: u64,
     /// Observability handles, when a runtime attached a recorder.
     obs: Option<EngineObs>,
+    /// Causal tracer, when a runtime attached one.
+    tracer: Option<Tracer>,
+    /// Trace context for the *next* submission (set by the runtime's
+    /// ingress path, consumed by [`ShardedReplica::submit`]).
+    next_trace: Option<TraceCtx>,
 }
 
 impl ShardedReplica<DefaultEngineBroadcast> {
@@ -249,6 +255,8 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
             reserved: Amount::ZERO,
             malformed_dropped: 0,
             obs: None,
+            tracer: None,
+            next_trace: None,
         }
     }
 
@@ -264,6 +272,24 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
             rejected: registry.counter("engine_rejected_total"),
             recorder,
         });
+    }
+
+    /// Attaches a causal [`Tracer`]: the replica records batch joins and
+    /// applies for traced transfers, and the broadcast backend records
+    /// its protocol steps (send/echo/ready/deliver, verify spans) for
+    /// batches carrying a [`TraceCtx`]. Like [`ShardedReplica::set_recorder`],
+    /// only real runtimes call this.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.broadcast
+            .set_tracer(tracer.clone(), |batch: &EnginePayload| batch.trace);
+        self.tracer = Some(tracer);
+    }
+
+    /// Arms `ctx` as the trace context of the next [`ShardedReplica::submit`]
+    /// (the runtime mints it at gateway ingress). Consumed — or discarded,
+    /// when the submission is rejected — by that one submission.
+    pub fn set_next_trace(&mut self, ctx: Option<TraceCtx>) {
+        self.next_trace = ctx;
     }
 
     /// This process's identity.
@@ -331,6 +357,7 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
         amount: Amount,
         ctx: &mut Context<'_, B::Msg, EngineEvent>,
     ) {
+        let trace = self.next_trace.take();
         let available = self.available();
         if amount > available || !self.ledger.contains(destination) {
             if let Some(obs) = &self.obs {
@@ -357,6 +384,24 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
         let deps: Vec<Transfer> = self.deps_buffer.iter().copied().collect();
         self.deps_buffer.clear();
         self.reserved = self.reserved.saturating_add(amount);
+        // Attach before the push: a cap-triggered flush must already
+        // carry the context.
+        if let (Some(tracer), Some(ctx)) = (&self.tracer, trace) {
+            if self.batcher.attach_trace(ctx) {
+                // First traced member claims the batch; arg = occupancy
+                // the batch will have once this transfer joins.
+                tracer.record(
+                    ctx,
+                    TraceEventKind::BatchJoin,
+                    self.batcher.pending() as u64 + 1,
+                );
+            } else if let Some(owner) = self.batcher.trace() {
+                // A later traced member rides a batch another transfer
+                // claimed; arg = the carrying trace's id so the two
+                // timelines can be cross-referenced.
+                tracer.record(ctx, TraceEventKind::BatchJoin, owner.id);
+            }
+        }
 
         if let Some(batch) = self.batcher.push(TransferMsg { transfer, deps }) {
             self.broadcast_batch(batch, ctx);
@@ -479,6 +524,7 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
         if index >= self.n {
             return;
         }
+        let trace = batch.trace;
         for msg in batch.items {
             let t = &msg.transfer;
             let well_formed = t.originator == q
@@ -498,7 +544,7 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
                 continue;
             }
             self.pending_per_source[index] += 1;
-            self.pending.push((q, msg));
+            self.pending.push((q, msg, trace));
         }
         self.drain(ctx);
     }
@@ -519,18 +565,25 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
     fn drain(&mut self, ctx: &mut Context<'_, B::Msg, EngineEvent>) {
         let started = self.obs.as_ref().map(|_| Instant::now());
         loop {
-            let position = self.pending.iter().position(|(q, msg)| self.valid(*q, msg));
+            let position = self
+                .pending
+                .iter()
+                .position(|(q, msg, _)| self.valid(*q, msg));
             let Some(position) = position else {
                 break;
             };
-            let (q, msg) = self.pending.swap_remove(position);
+            let (q, msg, trace) = self.pending.swap_remove(position);
             let t = msg.transfer;
             if self.ledger.apply(&t).is_err() {
                 // Validity pre-checked funding and existence; a failure
                 // here means a concurrent pending entry raced the same
                 // balance — requeue and stop this round.
-                self.pending.push((q, msg));
+                self.pending.push((q, msg, trace));
                 break;
+            }
+            if let (Some(tracer), Some(ctx)) = (&self.tracer, trace) {
+                let ctx = if q != self.me { ctx.hopped() } else { ctx };
+                tracer.record(ctx, TraceEventKind::Apply, t.seq.value());
             }
             let index = q.as_usize();
             self.pending_per_source[index] -= 1;

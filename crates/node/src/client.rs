@@ -13,7 +13,7 @@ use crate::wire::{
     encode_frame, ClientOp, ClientRequest, ClientResponse, Frame, FrameBuffer, ResponseBody,
 };
 use at_model::{AccountId, Amount};
-use at_obs::Snapshot;
+use at_obs::{Snapshot, TraceLog};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -28,6 +28,9 @@ pub struct Client {
     /// responses (pipelining can interleave them); consumed by
     /// [`Client::stats`].
     pending_stats: Vec<(u64, Snapshot)>,
+    /// Trace responses that arrived while waiting for operation
+    /// responses; consumed by [`Client::trace`].
+    pending_traces: Vec<(u64, TraceLog)>,
 }
 
 impl Client {
@@ -43,6 +46,7 @@ impl Client {
             next_id: 0,
             outstanding: 0,
             pending_stats: Vec::new(),
+            pending_traces: Vec::new(),
         })
     }
 
@@ -92,6 +96,9 @@ impl Client {
                 }
                 Ok(Some(Frame::StatsResponse { id, snapshot })) => {
                     self.pending_stats.push((id, snapshot));
+                }
+                Ok(Some(Frame::TraceResponse { id, log })) => {
+                    self.pending_traces.push((id, log));
                 }
                 Ok(Some(_)) => {
                     return Err(std::io::Error::new(
@@ -145,6 +152,32 @@ impl Client {
             }
             // Drains interleaved operation responses; stats responses
             // land in `pending_stats` for the check above.
+            let _ = self.recv_response(remaining)?;
+        }
+    }
+
+    /// Scrapes the node's trace-event ring (a synchronous round trip).
+    /// The log is empty when the node runs without tracing. Pipelined
+    /// transfer acknowledgements that arrive first are consumed and
+    /// counted, not lost.
+    pub fn trace(&mut self, timeout: Duration) -> std::io::Result<TraceLog> {
+        let id = self.next_id;
+        self.next_id += 1;
+        (&self.stream).write_all(&encode_frame(&Frame::TraceRequest { id }))?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(at) = self.pending_traces.iter().position(|(got, _)| *got == id) {
+                return Ok(self.pending_traces.swap_remove(at).1);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "no trace response",
+                ));
+            }
+            // Drains interleaved operation responses; trace responses
+            // land in `pending_traces` for the check above.
             let _ = self.recv_response(remaining)?;
         }
     }

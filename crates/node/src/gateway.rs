@@ -9,7 +9,7 @@
 //! connection.
 
 use crate::wire::{encode_frame_into, ClientRequest, ClientResponse, Frame, FrameBuffer};
-use at_obs::Snapshot;
+use at_obs::{Snapshot, TraceLog};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -38,6 +38,13 @@ pub(crate) enum GatewayEvent {
         /// Request id to echo.
         id: u64,
     },
+    /// A client asked for the node's trace-event ring.
+    Trace {
+        /// Connection id (routes the response).
+        conn: u64,
+        /// Request id to echo.
+        id: u64,
+    },
     /// A client connection ended.
     Gone {
         /// Connection id to unregister.
@@ -56,6 +63,13 @@ pub(crate) enum ClientDelivery {
         /// The captured metrics.
         snapshot: Snapshot,
     },
+    /// A trace log answering a [`Frame::TraceRequest`].
+    Trace {
+        /// The request id being answered.
+        id: u64,
+        /// The captured trace ring (empty when tracing is disabled).
+        log: TraceLog,
+    },
 }
 
 impl ClientDelivery {
@@ -63,6 +77,7 @@ impl ClientDelivery {
         match self {
             ClientDelivery::Response(response) => Frame::Response(response),
             ClientDelivery::Stats { id, snapshot } => Frame::StatsResponse { id, snapshot },
+            ClientDelivery::Trace { id, log } => Frame::TraceResponse { id, log },
         }
     }
 }
@@ -208,6 +223,9 @@ fn client_reader(
                 }
                 Ok(Some(Frame::StatsRequest { id })) if greeted => {
                     deliver(GatewayEvent::Stats { conn, id });
+                }
+                Ok(Some(Frame::TraceRequest { id })) if greeted => {
+                    deliver(GatewayEvent::Trace { conn, id });
                 }
                 Ok(Some(_)) => return, // protocol violation
                 Ok(None) => break,

@@ -36,7 +36,9 @@ use at_model::codec::{Decode, Encode};
 use at_model::{Amount, ProcessId};
 use at_net::transport::{RecvOutcome, Transport};
 use at_net::{Actor, Context, VirtualTime};
-use at_obs::{Recorder, Registry, Snapshot, Stage};
+use at_obs::{
+    Recorder, Registry, Snapshot, Stage, TraceConfig, TraceCtx, TraceEventKind, TraceLog, Tracer,
+};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
@@ -60,6 +62,9 @@ pub struct NodeConfig {
     /// How long [`NodeHandle::stop`] keeps draining and flushing before
     /// tearing the transport down.
     pub stop_grace: Duration,
+    /// Causal tracing plane, when enabled. `None` (the default) builds
+    /// no tracer at all, so the hot path pays nothing.
+    pub trace: Option<TraceConfig>,
 }
 
 impl NodeConfig {
@@ -72,7 +77,15 @@ impl NodeConfig {
             decode_workers: 2,
             tick: Duration::from_micros(200),
             stop_grace: Duration::from_secs(3),
+            trace: None,
         }
+    }
+
+    /// The same configuration with causal tracing enabled.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
     }
 }
 
@@ -128,11 +141,16 @@ enum Command {
         conn: u64,
         id: u64,
     },
+    Trace {
+        conn: u64,
+        id: u64,
+    },
     ClientGone {
         conn: u64,
     },
     Inspect(Sender<NodeReport>),
     Metrics(Sender<Snapshot>),
+    TraceLog(Sender<TraceLog>),
     SetTimerSkew(u32),
     Stop,
 }
@@ -194,6 +212,15 @@ impl<B: at_broadcast::SecureBroadcast<EnginePayload>> NodeHandle<B> {
     pub fn try_metrics(&self, timeout: Duration) -> Option<Snapshot> {
         let (tx, rx) = channel();
         self.commands.send(Command::Metrics(tx)).ok()?;
+        rx.recv_timeout(timeout).ok()
+    }
+
+    /// Scrapes the node's trace-event ring, or `None` when the loop is
+    /// gone or unresponsive. A node started without tracing answers
+    /// with an empty log.
+    pub fn try_trace(&self, timeout: Duration) -> Option<TraceLog> {
+        let (tx, rx) = channel();
+        self.commands.send(Command::TraceLog(tx)).ok()?;
         rx.recv_timeout(timeout).ok()
     }
 
@@ -340,7 +367,7 @@ impl LocalClient {
             let remaining = deadline.checked_duration_since(Instant::now())?;
             match self.responses.recv_timeout(remaining) {
                 Ok(ClientDelivery::Response(response)) => return Some(response),
-                Ok(ClientDelivery::Stats { .. }) => continue,
+                Ok(_) => continue, // interleaved stats/trace scrape
                 Err(_) => return None,
             }
         }
@@ -522,6 +549,12 @@ where
         let recorder = obs.recorder();
         let mut replica = replica;
         replica.set_recorder(recorder.clone());
+        let tracer = config
+            .trace
+            .map(|trace| Tracer::new(replica.me().index(), trace));
+        if let Some(tracer) = &tracer {
+            replica.set_tracer(tracer.clone());
+        }
 
         let gateway_stop = gateway.map(|gateway| {
             gateway.run(
@@ -561,6 +594,7 @@ where
                     invocation_stamp: None,
                     timer_skew_pct: 100,
                     recorder,
+                    tracer,
                     msgs_in,
                     msgs_out,
                     batch_pending: VecDeque::new(),
@@ -594,6 +628,7 @@ fn commands_adapter(commands: Sender<Command>) -> impl Fn(GatewayEvent) + Send +
                 received,
             },
             GatewayEvent::Stats { conn, id } => Command::Stats { conn, id },
+            GatewayEvent::Trace { conn, id } => Command::Trace { conn, id },
             GatewayEvent::Gone { conn } => Command::ClientGone { conn },
         };
         let _ = commands.send(command);
@@ -622,13 +657,14 @@ where
     typed: VecDeque<TypedMsg<B>>,
     timers: BinaryHeap<TimerEntry>,
     /// Own-transfer seq → the client request awaiting its commit, with
-    /// its gateway-ingress instant (the end-to-end span start).
-    pending_acks: HashMap<u64, (u64, u64, Instant)>,
+    /// its gateway-ingress instant (the end-to-end span start) and its
+    /// trace context, when the ingress was sampled.
+    pending_acks: HashMap<u64, (u64, u64, Instant, Option<TraceCtx>)>,
     events: Vec<(VirtualTime, ProcessId, EngineEvent)>,
     started: Instant,
     /// The client request currently being submitted (associates the
     /// synchronous Submitted/Rejected event with its requester).
-    current_request: Option<(u64, u64, Instant)>,
+    current_request: Option<(u64, u64, Instant, Option<TraceCtx>)>,
     workers: Vec<Sender<RawFrame>>,
     worker_threads: Vec<JoinHandle<()>>,
     decoded: Option<Receiver<TypedMsg<B>>>,
@@ -650,6 +686,9 @@ where
     /// Stage-span recorder over the node's metric registry (shared with
     /// the replica, the decode workers, and snapshot requests).
     recorder: Recorder,
+    /// Causal tracer, when [`NodeConfig::trace`] enabled one (shared
+    /// with the replica and its broadcast backend).
+    tracer: Option<Tracer>,
     /// Peer protocol messages fed to the replica (pre-resolved handle).
     msgs_in: Arc<at_obs::Counter>,
     /// Peer protocol messages encoded onto the wire (pre-resolved).
@@ -702,6 +741,13 @@ where
                     Ok(Command::Stats { conn, id }) => {
                         let snapshot = self.metrics_snapshot();
                         self.deliver(conn, ClientDelivery::Stats { id, snapshot });
+                    }
+                    Ok(Command::Trace { conn, id }) => {
+                        let log = self.trace_log();
+                        self.deliver(conn, ClientDelivery::Trace { id, log });
+                    }
+                    Ok(Command::TraceLog(reply)) => {
+                        let _ = reply.send(self.trace_log());
                     }
                     Ok(Command::ClientGone { conn }) => {
                         self.registry
@@ -996,7 +1042,7 @@ where
                 }
                 EngineEvent::Rejected { available, .. } => {
                     self.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                    if let Some((conn, id, _)) = self.current_request.take() {
+                    if let Some((conn, id, _, _)) = self.current_request.take() {
                         self.respond(
                             conn,
                             ClientResponse {
@@ -1008,10 +1054,18 @@ where
                 }
                 EngineEvent::Completed { transfer } => {
                     self.stats.committed.fetch_add(1, Ordering::Relaxed);
-                    if let Some((conn, id, received)) =
+                    if let Some((conn, id, received, trace)) =
                         self.pending_acks.remove(&transfer.seq.value())
                     {
-                        self.recorder.record(Stage::EndToEnd, received.elapsed());
+                        let e2e = received.elapsed();
+                        self.recorder.record(Stage::EndToEnd, e2e);
+                        if let (Some(tracer), Some(ctx)) = (&self.tracer, trace) {
+                            let e2e_us = e2e.as_micros() as u64;
+                            tracer.record(ctx, TraceEventKind::Ack, e2e_us);
+                            if e2e_us > tracer.slow_threshold_us() {
+                                tracer.mark_slow();
+                            }
+                        }
                         let t = Instant::now();
                         self.respond(
                             conn,
@@ -1067,7 +1121,15 @@ where
                 destination,
                 amount,
             } => {
-                self.current_request = Some((conn, request.id, received));
+                // Sampling decision lives here, at ingress: a minted
+                // context rides the whole transfer (batch, broadcast,
+                // apply, ack); an unsampled one costs nothing anywhere.
+                let trace = self.tracer.as_ref().and_then(Tracer::maybe_mint);
+                if let (Some(tracer), Some(ctx)) = (&self.tracer, trace) {
+                    tracer.record(ctx, TraceEventKind::Ingress, conn);
+                }
+                self.replica.set_next_trace(trace);
+                self.current_request = Some((conn, request.id, received, trace));
                 self.invocation_stamp = self.probe.as_ref().map(EventProbe::stamp);
                 self.drive(|replica, ctx| replica.submit(destination, amount, ctx));
                 // Whatever happened, the synchronous event consumed the
@@ -1160,6 +1222,12 @@ where
             fold("transport_reconnects_total", ts.reconnects());
         }
         obs.snapshot()
+    }
+
+    /// Captures the node's trace-event ring (empty when tracing is
+    /// disabled — scraping stays a valid no-op either way).
+    fn trace_log(&self) -> TraceLog {
+        self.tracer.as_ref().map(Tracer::log).unwrap_or_default()
     }
 
     fn report(&self) -> NodeReport {

@@ -20,7 +20,9 @@
 //! * **client links** (client ↔ node): `HelloClient`, then pipelined
 //!   `Request`/`Response` frames, plus `StatsRequest`/`StatsResponse`
 //!   for scraping the node's [`at_obs`] metric snapshot over the same
-//!   link ([`crate::Client::stats`]);
+//!   link ([`crate::Client::stats`]) and `TraceRequest`/`TraceResponse`
+//!   for scraping its causal trace-event ring
+//!   ([`crate::Client::trace`]);
 //! * **backend payloads**: the bytes inside `Data` are themselves
 //!   versioned ([`encode_peer_payload`]), so an in-process transport
 //!   that skips the TCP envelope still carries versioned bytes.
@@ -35,12 +37,14 @@
 
 use at_model::codec::{decode, Decode, Encode, Reader, Writer};
 use at_model::{AccountId, Amount, CodecError, ProcessId, SeqNo};
-use at_obs::Snapshot;
+use at_obs::{Snapshot, TraceLog};
 use std::fmt;
 
 /// Current wire protocol version. Bumped on any incompatible change;
-/// endpoints reject frames with any other value.
-pub const WIRE_VERSION: u8 = 1;
+/// endpoints reject frames with any other value. Version 2 added the
+/// optional trace context on broadcast batch payloads and the
+/// `TraceRequest`/`TraceResponse` scrape frames.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Maximum frame body length (8 MiB) — a denial-of-service guard on
 /// untrusted length prefixes, far above any legitimate batch.
@@ -214,6 +218,20 @@ pub enum Frame {
         /// Every metric the node's registry held at capture time.
         snapshot: Snapshot,
     },
+    /// A client's request for the node's trace-event ring, tagged with a
+    /// pipelining id like [`ClientRequest`].
+    TraceRequest {
+        /// Client-chosen request id (echoed in the response).
+        id: u64,
+    },
+    /// The node's trace-event log, answering one [`Frame::TraceRequest`].
+    /// A node with tracing disabled answers with an empty log.
+    TraceResponse {
+        /// The request id being answered.
+        id: u64,
+        /// The node's trace ring at capture time.
+        log: TraceLog,
+    },
 }
 
 impl Encode for ClientRequest {
@@ -341,6 +359,15 @@ impl Encode for Frame {
                 id.encode(w);
                 snapshot.encode(w);
             }
+            Frame::TraceRequest { id } => {
+                w.put_u8(9);
+                id.encode(w);
+            }
+            Frame::TraceResponse { id, log } => {
+                w.put_u8(10);
+                id.encode(w);
+                log.encode(w);
+            }
         }
     }
 }
@@ -402,6 +429,18 @@ pub enum FrameRef<'a> {
         /// The metric snapshot.
         snapshot: Snapshot,
     },
+    /// See [`Frame::TraceRequest`].
+    TraceRequest {
+        /// Client-chosen request id.
+        id: u64,
+    },
+    /// See [`Frame::TraceResponse`].
+    TraceResponse {
+        /// The request id being answered.
+        id: u64,
+        /// The trace-event log.
+        log: TraceLog,
+    },
 }
 
 impl<'a> FrameRef<'a> {
@@ -434,6 +473,13 @@ impl<'a> FrameRef<'a> {
                 id: u64::decode(r)?,
                 snapshot: Snapshot::decode(r)?,
             }),
+            9 => Ok(FrameRef::TraceRequest {
+                id: u64::decode(r)?,
+            }),
+            10 => Ok(FrameRef::TraceResponse {
+                id: u64::decode(r)?,
+                log: TraceLog::decode(r)?,
+            }),
             tag => Err(CodecError::InvalidTag {
                 type_name: "Frame",
                 tag,
@@ -459,6 +505,11 @@ impl<'a> FrameRef<'a> {
             FrameRef::StatsResponse { id, ref snapshot } => Frame::StatsResponse {
                 id,
                 snapshot: snapshot.clone(),
+            },
+            FrameRef::TraceRequest { id } => Frame::TraceRequest { id },
+            FrameRef::TraceResponse { id, ref log } => Frame::TraceResponse {
+                id,
+                log: log.clone(),
             },
         }
     }
@@ -689,6 +740,17 @@ mod tests {
                     reg.counter("node_committed_total").add(7);
                     reg.histogram("stage_apply_us").record(42);
                     reg.snapshot()
+                },
+            },
+            Frame::TraceRequest { id: 13 },
+            Frame::TraceResponse {
+                id: 13,
+                log: {
+                    let tracer = at_obs::Tracer::new(2, at_obs::TraceConfig::always());
+                    let ctx = tracer.maybe_mint().expect("always-on sampling");
+                    tracer.record(ctx, at_obs::TraceEventKind::Ingress, 1);
+                    tracer.record(ctx.hopped(), at_obs::TraceEventKind::Ack, 250);
+                    tracer.log()
                 },
             },
         ];

@@ -13,8 +13,42 @@ use at_node::wire::{
     ClientRequest, ClientResponse, Frame, FrameBuffer, ResponseBody, WireError, MAX_FRAME_LEN,
     WIRE_VERSION,
 };
-use at_obs::{MetricValue, NamedHistogram, Snapshot};
+use at_obs::{
+    MetricValue, NamedHistogram, Snapshot, TraceCtx, TraceEvent, TraceEventKind, TraceLog,
+};
 use proptest::prelude::*;
+
+fn trace_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        0u32..16,
+        0usize..10,
+        0u8..8,
+        any::<u64>(),
+    )
+        .prop_map(|(trace_id, at_us, node, kind, hops, arg)| TraceEvent {
+            trace_id,
+            at_us,
+            node,
+            kind: TraceEventKind::ALL[kind],
+            hops,
+            arg,
+        })
+}
+
+fn trace_log() -> impl Strategy<Value = TraceLog> {
+    (
+        0u32..16,
+        prop::collection::vec(trace_event(), 0..8),
+        any::<u64>(),
+    )
+        .prop_map(|(node, events, dropped)| TraceLog {
+            node,
+            events,
+            dropped,
+        })
+}
 
 fn snapshot() -> impl Strategy<Value = Snapshot> {
     (
@@ -99,35 +133,40 @@ fn frame() -> impl Strategy<Value = Frame> {
         prop::collection::vec(any::<u8>(), 0..128),
         client_request(),
         snapshot(),
-        0u32..16,
+        trace_log(),
+        0u32..22,
     )
-        .prop_map(|(a, b, payload, request, snapshot, pick)| match pick % 9 {
-            0 => Frame::HelloNode {
-                node: ProcessId::new((a % 16) as u32),
-                epoch: b,
-            },
-            1 => Frame::HelloAck { next_seq: a },
-            2 => Frame::Data { seq: a, payload },
-            3 => Frame::DataAck { through: a },
-            4 => Frame::HelloClient,
-            5 => Frame::Request(request),
-            7 => Frame::StatsRequest { id: a },
-            8 => Frame::StatsResponse { id: a, snapshot },
-            _ => Frame::Response(ClientResponse {
-                id: a,
-                body: match b % 3 {
-                    0 => ResponseBody::Committed {
-                        seq: SeqNo::new(b | 1),
-                    },
-                    1 => ResponseBody::Rejected {
-                        available: Amount::new(b),
-                    },
-                    _ => ResponseBody::Balance {
-                        amount: Amount::new(b),
-                    },
+        .prop_map(
+            |(a, b, payload, request, snapshot, log, pick)| match pick % 11 {
+                0 => Frame::HelloNode {
+                    node: ProcessId::new((a % 16) as u32),
+                    epoch: b,
                 },
-            }),
-        })
+                1 => Frame::HelloAck { next_seq: a },
+                2 => Frame::Data { seq: a, payload },
+                3 => Frame::DataAck { through: a },
+                4 => Frame::HelloClient,
+                5 => Frame::Request(request),
+                7 => Frame::StatsRequest { id: a },
+                8 => Frame::StatsResponse { id: a, snapshot },
+                9 => Frame::TraceRequest { id: a },
+                10 => Frame::TraceResponse { id: a, log },
+                _ => Frame::Response(ClientResponse {
+                    id: a,
+                    body: match b % 3 {
+                        0 => ResponseBody::Committed {
+                            seq: SeqNo::new(b | 1),
+                        },
+                        1 => ResponseBody::Rejected {
+                            available: Amount::new(b),
+                        },
+                        _ => ResponseBody::Balance {
+                            amount: Amount::new(b),
+                        },
+                    },
+                }),
+            },
+        )
 }
 
 proptest! {
@@ -185,16 +224,40 @@ proptest! {
         }
     }
 
-    /// Backend messages round-trip as versioned peer payloads.
+    /// Backend messages round-trip as versioned peer payloads, traced
+    /// batches (the optional context riding the canonical encoding)
+    /// included.
     #[test]
-    fn peer_payloads_roundtrip(items in prop::collection::vec(transfer_msg(), 0..5), seq in 1u64..50) {
+    fn peer_payloads_roundtrip(
+        items in prop::collection::vec(transfer_msg(), 0..5),
+        seq in 1u64..50,
+        trace in prop::option::of((any::<u64>(), 0u32..16, any::<u8>())),
+    ) {
+        let trace = trace.map(|(id, origin, hops)| TraceCtx { id, origin, hops });
         let msg: BrachaMsg<Batch<TransferMsg>> = BrachaMsg::Init {
             seq: SeqNo::new(seq),
-            payload: Batch::new(items),
+            payload: Batch::new(items).with_trace(trace),
         };
         let bytes = encode_peer_payload(&msg);
         let back: BrachaMsg<Batch<TransferMsg>> = decode_peer_payload(&bytes).expect("roundtrip");
         prop_assert_eq!(back, msg);
+    }
+
+    /// Rewriting the kind byte of a valid frame (stats request read as a
+    /// trace response, data read as a hello, every other confusion) is
+    /// total: some frame or an error, never a panic, and the buffer
+    /// never retains more than it was fed.
+    #[test]
+    fn kind_confusion_never_panics(frame in frame(), kind in any::<u8>()) {
+        let mut bytes = encode_frame(&frame);
+        bytes[5] = kind;
+        let fed = bytes.len();
+        let mut buffer = FrameBuffer::new();
+        buffer.extend(&bytes);
+        match buffer.next_frame() {
+            Ok(Some(_)) | Ok(None) | Err(_) => {}
+        }
+        prop_assert!(buffer.buffered() <= fed);
     }
 
     /// A length prefix above the cap is rejected no matter what follows,

@@ -38,6 +38,16 @@
 //! ships over the wire for `Client::stats()` — and
 //! [`Registry::render`] (or [`Snapshot::render`]) formats it as the
 //! text block `loadgen` and `chaos_soak` dump per node.
+//!
+//! # Tracing
+//!
+//! The [`trace`](crate::Tracer) layer complements the aggregate
+//! histograms with causal per-transfer forensics: a sampling-gated
+//! [`TraceCtx`] minted at gateway ingress rides the broadcast payload
+//! across the cluster, every node records protocol-step
+//! [`TraceEvent`]s into a lock-free ring, and [`merge_traces`] aligns
+//! the scraped per-node [`TraceLog`]s on a shared epoch clock into
+//! renderable per-transfer [`TraceTimeline`]s.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,8 +56,13 @@ mod hist;
 mod recorder;
 mod registry;
 mod snapshot;
+mod trace;
 
 pub use hist::{bucket_bounds, bucket_index, Histogram, BUCKET_COUNT};
 pub use recorder::{Recorder, Stage, CLOCK_ANOMALY_THRESHOLD_US};
 pub use registry::{Counter, Gauge, Registry};
 pub use snapshot::{HistogramSnapshot, MetricValue, NamedHistogram, Snapshot};
+pub use trace::{
+    merge_traces, TraceConfig, TraceCtx, TraceEvent, TraceEventKind, TraceLog, TraceTimeline,
+    Tracer, TRACE_GAP_ANNOTATION_US,
+};

@@ -171,6 +171,64 @@ mod tests {
         assert_eq!(reg.histogram("lat_us").count(), 1);
     }
 
+    /// `render` must be a faithful, deterministically sorted projection
+    /// of `snapshot`: every metric (the pre-registered `clock_anomalies`
+    /// counter included) appears exactly once with its snapshot value,
+    /// in name order, and two renders of a quiescent registry are
+    /// byte-identical.
+    #[test]
+    fn render_is_consistent_with_snapshot_and_sorted() {
+        let reg = Registry::new("node 3");
+        // The recorder pre-registers clock_anomalies at construction, so
+        // a rendered node always carries the anomaly counter, zero or
+        // not.
+        let recorder = reg.recorder();
+        recorder.record_us(crate::Stage::Apply, 42);
+        reg.counter("z_total").add(9);
+        reg.counter("a_total").inc();
+        reg.gauge("depth").set(4);
+
+        let snap = reg.snapshot();
+        let rendered = reg.render();
+        assert_eq!(rendered, snap.render(), "render must project the snapshot");
+        assert_eq!(rendered, reg.render(), "quiescent renders must be stable");
+        assert!(
+            rendered.contains("counter clock_anomalies 0"),
+            "clock_anomalies missing:\n{rendered}"
+        );
+
+        // Every snapshot metric appears in the render with its value...
+        for metric in snap.counters.iter().chain(snap.gauges.iter()) {
+            assert!(
+                rendered
+                    .lines()
+                    .any(|l| { l.ends_with(&format!("{} {}", metric.name, metric.value)) }),
+                "metric {} not rendered",
+                metric.name
+            );
+        }
+        for hist in &snap.histograms {
+            assert!(
+                rendered
+                    .lines()
+                    .any(|l| l.starts_with(&format!("hist {}", hist.name))),
+                "histogram {} not rendered",
+                hist.name
+            );
+        }
+        // ...and each section lists names in sorted order.
+        for prefix in ["counter ", "gauge ", "hist "] {
+            let names: Vec<&str> = rendered
+                .lines()
+                .filter_map(|l| l.strip_prefix(prefix))
+                .filter_map(|l| l.split_whitespace().next())
+                .collect();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            assert_eq!(names, sorted, "{prefix}section not name-sorted");
+        }
+    }
+
     #[test]
     fn clones_share_state_and_snapshots_sort_by_name() {
         let reg = Registry::new("node 1");

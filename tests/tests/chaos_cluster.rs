@@ -27,6 +27,9 @@ fn node_config() -> NodeConfig {
         EngineConfig::sharded_batched(4, 16, VirtualTime::from_micros(500)),
         Amount::new(1_000),
     )
+    // Always-on tracing, so the trace leg of the serving oracle has
+    // events to scrape (and the fuzzed node exercises the traced path).
+    .with_trace(at_obs::TraceConfig::always())
 }
 
 /// Submits one transfer through a fresh, well-formed client and expects
@@ -52,6 +55,13 @@ fn assert_gateway_serves(addr: std::net::SocketAddr) {
     assert!(
         snapshot.counter("node_committed_total").unwrap_or(0) >= 1,
         "scraped metrics must reflect the commit just acknowledged"
+    );
+    let log = client
+        .trace(Duration::from_secs(10))
+        .expect("trace round-trip over the fuzzed gateway");
+    assert!(
+        !log.events.is_empty(),
+        "always-on tracing must have recorded the commit just acknowledged"
     );
 }
 
@@ -127,6 +137,34 @@ fn gateway_survives_hostile_client_frames() {
     conn.write_all(&encode_frame(&Frame::StatsResponse {
         id: 9,
         snapshot: at_obs::Snapshot::default(),
+    }))
+    .unwrap();
+    drop(conn);
+
+    // A trace request before any handshake (the trace scrape plane is
+    // for greeted clients only — ignored, not served or panicked).
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(&encode_frame(&Frame::TraceRequest { id: 11 }))
+        .unwrap();
+    drop(conn);
+
+    // A truncated trace request: valid handshake, kind byte 9, id cut
+    // short mid-field.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(&encode_frame(&Frame::HelloClient)).unwrap();
+    let body = vec![WIRE_VERSION, 9, 4, 5];
+    let mut framed = (body.len() as u32).to_le_bytes().to_vec();
+    framed.extend_from_slice(&body);
+    conn.write_all(&framed).unwrap();
+    drop(conn);
+
+    // A client pushing a TraceResponse — the server-to-client kind — at
+    // the gateway (direction confusion on the trace plane).
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(&encode_frame(&Frame::HelloClient)).unwrap();
+    conn.write_all(&encode_frame(&Frame::TraceResponse {
+        id: 13,
+        log: at_obs::TraceLog::default(),
     }))
     .unwrap();
     drop(conn);

@@ -207,6 +207,98 @@ fn tcp_node_restart_catches_up_and_converges() {
     cluster.stop_all();
 }
 
+/// Crash/warm-restart trace continuity: the trace epoch lives in
+/// `NodeConfig` and survives a warm restart, so a restarted node's
+/// *new* tracer (the old incarnation's ring dies with its loop) keeps
+/// stamping on the shared cluster clock. Replayed broadcast frames
+/// carry their original trace contexts, so the merger reconstructs
+/// timelines that span the crash — with the downtime visible as a
+/// gap annotation — and post-restart transfers trace end-to-end with
+/// the restarted node participating.
+#[test]
+fn tcp_restart_traces_merge_across_incarnations() {
+    use at_obs::{merge_traces, TraceConfig, TraceLog};
+    let n = 4;
+    let victim = 3usize;
+    let config = node_config().with_trace(TraceConfig::always());
+    let mut cluster = start_tcp_cluster(n, config, TcpOptions::default(), |me| {
+        EchoNode::new(me, n, NoAuth)
+    })
+    .expect("cluster");
+
+    let submit_at = |cluster: &at_node::TcpCluster<EchoNode>, i: usize, wave: u32| {
+        if let Some(handle) = cluster.handles[i].as_ref() {
+            let mut client = handle.local_client();
+            client.submit_transfer(a(((i as u32) + wave + 1) % n as u32), Amount::new(1));
+        }
+    };
+
+    // Phase 1: traffic with everyone up, then the victim warm-stops.
+    for wave in 0..3 {
+        for i in 0..n {
+            submit_at(&cluster, i, wave);
+        }
+    }
+    let handles: Vec<_> = cluster.running().collect();
+    await_convergence(&handles, Duration::from_secs(30)).expect("phase-1 convergence");
+    drop(handles);
+    let replica = cluster.stop_node(victim);
+
+    // Phase 2: survivors keep committing while the victim is down —
+    // these transfers' traces are minted now, but the victim will only
+    // record its deliveries after the restart replays the frames to it,
+    // at least `downtime` later on the shared clock.
+    for wave in 3..6 {
+        for i in 0..n - 1 {
+            submit_at(&cluster, i, wave);
+        }
+    }
+    let survivors: Vec<_> = cluster.running().collect();
+    await_convergence(&survivors, Duration::from_secs(30)).expect("survivors converge");
+    drop(survivors);
+    let downtime = Duration::from_millis(50);
+    std::thread::sleep(downtime);
+
+    // Phase 3: warm restart, catch-up, and one more traced wave with
+    // the restarted node participating.
+    cluster.restart_node(victim, replica).expect("restart");
+    for wave in 6..8 {
+        for i in 0..n {
+            submit_at(&cluster, i, wave);
+        }
+    }
+    let handles: Vec<_> = cluster.running().collect();
+    await_convergence(&handles, Duration::from_secs(30)).expect("post-restart convergence");
+    let logs: Vec<TraceLog> = handles
+        .iter()
+        .map(|h| h.try_trace(Duration::from_secs(5)).expect("trace scrape"))
+        .collect();
+    drop(handles);
+    cluster.stop_all();
+
+    assert!(
+        logs.iter().all(|log| !log.events.is_empty()),
+        "every node (the restarted incarnation included) must have recorded events"
+    );
+    let timelines = merge_traces(&logs);
+    assert!(!timelines.is_empty(), "no merged timelines");
+    // The restarted incarnation participates in post-restart timelines
+    // on the shared clock.
+    assert!(
+        timelines
+            .iter()
+            .any(|t| { t.e2e_us.is_some() && t.events.iter().any(|e| e.node == victim as u32) }),
+        "no complete timeline includes the restarted node"
+    );
+    // A phase-2 transfer delivered to the victim only via post-restart
+    // replay spans the downtime: its merged timeline shows the stall as
+    // a rendered gap annotation (downtime > the 10ms annotation bound).
+    assert!(
+        timelines.iter().any(|t| t.render().contains("gap")),
+        "no timeline spanning the restart carries a gap annotation"
+    );
+}
+
 /// Regression guard for the real-runtime delivery regime (the audit
 /// behind wiring the event loop): remote protocol responses may reach a
 /// sender *before* its own self-addressed SEND loops back — the

@@ -159,6 +159,8 @@ impl_tuple_strategy!(A: 0, B: 1, C: 2);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
 
 /// Types with a canonical "any value" strategy, mirroring
 /// `proptest::arbitrary::Arbitrary`.
@@ -256,10 +258,38 @@ pub mod array {
     }
 }
 
+/// Optional-value strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// The strategy returned by [`of`].
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Strategy for `Option<S::Value>` — `None` about half the time,
+    /// mirroring `proptest::option::of`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
 /// Namespaced re-exports matching the real crate's `prop::` paths.
 pub mod prop {
     pub use crate::array;
     pub use crate::collection;
+    pub use crate::option;
 }
 
 /// The common-import prelude, mirroring `proptest::prelude`.
