@@ -1,0 +1,334 @@
+//! Experiment **T9**: the million-account scale soak — the long-running
+//! deployment story compressed into minutes.
+//!
+//! Two legs, one gate:
+//!
+//! 1. **Scale leg** — a loopback-TCP cluster whose ledger holds far more
+//!    accounts than processes (`--accounts`, one million by default),
+//!    hammered window by window with Zipf-hot destinations while a
+//!    rolling schedule warm-crashes and restarts one node per window.
+//!    Every window samples the at-obs `broadcast_instances` and
+//!    `engine_pending` gauges after a drain; with log truncation running
+//!    on the node loops (`NodeConfig::prune_interval`), the late-soak
+//!    peaks must plateau instead of growing with history — that is the
+//!    steady-state memory gate. The leg ends with a *cold* bootstrap: a
+//!    node's warm state is discarded and it rejoins through the
+//!    quorum-attested snapshot plane (`TcpCluster::cold_start_node`),
+//!    timed end to end, and must converge having applied only the
+//!    post-snapshot suffix.
+//! 2. **Nemesis leg** — seeded at-chaos schedules (crash steps included)
+//!    at the paper's base topology, with pruning enabled, every recorded
+//!    run through the full at-check battery. The validators must stay
+//!    green with truncation on — the "pruning never eats unstable
+//!    history" gate.
+//!
+//! Results land in `BENCH_t9.json`. Run with
+//! `cargo run -p at-bench --bin scale_soak --release`. Flags:
+//!
+//! * `--smoke` — CI shape: 150k accounts, 6 windows, 3 nemesis runs;
+//! * `--accounts N`, `--windows N`, `--per-window N`, `--nemesis N`,
+//!   `--seed S`.
+
+use at_bench::{t9_json, T9Report};
+use at_broadcast::auth::NoAuth;
+use at_broadcast::echo::EchoBroadcast;
+use at_chaos::{run_seeded, ChaosConfig, ChaosTransport};
+use at_engine::EngineConfig;
+use at_model::{AccountId, Amount, ProcessId};
+use at_node::{await_convergence, start_tcp_cluster, Client, NodeConfig, TcpOptions};
+use std::time::{Duration, Instant};
+
+struct Args {
+    smoke: bool,
+    accounts: usize,
+    windows: usize,
+    per_window: usize,
+    nemesis: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| argv.iter().any(|a| a == name);
+    let value = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    let smoke = flag("--smoke");
+    Args {
+        smoke,
+        accounts: value("--accounts")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if smoke { 150_000 } else { 1_000_000 }),
+        windows: value("--windows")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if smoke { 6 } else { 20 }),
+        per_window: value("--per-window")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if smoke { 48 } else { 200 }),
+        nemesis: value("--nemesis")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if smoke { 3 } else { 10 }),
+        seed: value("--seed").and_then(|v| v.parse().ok()).unwrap_or(0x79),
+    }
+}
+
+/// xorshift64* — the deterministic workload generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Zipf-like rank in `0..k`: log-uniform, so a handful of hot keys
+    /// absorb most of the traffic while the tail stays a million long.
+    fn zipf(&mut self, k: u64) -> u64 {
+        let u = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        let rank = (k as f64).powf(u) - 1.0;
+        (rank as u64).min(k - 1)
+    }
+}
+
+const N: usize = 4;
+const PIPELINE: u64 = 16;
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "# T9 — scale soak: {} accounts, {} windows x {} transfers (Zipf destinations), \
+         rolling restarts, cold bootstrap, {} nemesis runs, seed {:#x}",
+        args.accounts, args.windows, args.per_window, args.nemesis, args.seed
+    );
+
+    // ---- Leg 1: the scale soak ------------------------------------
+    let mut config = NodeConfig::new(
+        EngineConfig::standard().with_accounts(args.accounts),
+        Amount::new(1_000_000),
+    );
+    // Compressed soak, compressed truncation cadence.
+    config.prune_interval = Duration::from_millis(200);
+    let mut cluster = start_tcp_cluster(N, config, TcpOptions::default(), |me| {
+        EchoBroadcast::new(me, N, NoAuth)
+    })
+    .expect("cluster start");
+
+    let mut rng = Rng(args.seed | 1);
+    let mut submitted = 0u64;
+    let mut committed = 0u64;
+    let mut rejected = 0u64;
+    let mut warm_restarts = 0u64;
+    // Per-window peaks of the memory gauges, max across running nodes.
+    let mut instance_peaks: Vec<u64> = Vec::new();
+    let mut pending_peaks: Vec<u64> = Vec::new();
+
+    for window in 0..args.windows {
+        // One closed-loop local client per running node, round-robin
+        // submissions with Zipf-hot destinations outside the process-
+        // owned range (so hot keys never collide with a debit account).
+        let handles: Vec<_> = cluster.running().collect();
+        let mut clients: Vec<_> = handles.iter().map(|h| h.local_client()).collect();
+        let mut outstanding = vec![0u64; clients.len()];
+        for t in 0..args.per_window {
+            let c = t % clients.len();
+            let dest = N as u64 + rng.zipf((args.accounts - N) as u64);
+            clients[c].submit_transfer(AccountId::new(dest as u32), Amount::new(1));
+            submitted += 1;
+            outstanding[c] += 1;
+            while outstanding[c] >= PIPELINE {
+                if let Some(response) = clients[c].recv_response(Duration::from_secs(20)) {
+                    outstanding[c] -= 1;
+                    match response.body {
+                        at_node::ResponseBody::Rejected { .. } => rejected += 1,
+                        _ => committed += 1,
+                    }
+                }
+            }
+        }
+        // Drain: every acknowledgement in before the window closes.
+        for (c, client) in clients.iter_mut().enumerate() {
+            while outstanding[c] > 0 {
+                let response = client
+                    .recv_response(Duration::from_secs(30))
+                    .expect("ack before drain deadline");
+                outstanding[c] -= 1;
+                match response.body {
+                    at_node::ResponseBody::Rejected { .. } => rejected += 1,
+                    _ => committed += 1,
+                }
+            }
+        }
+        drop(clients);
+        drop(handles);
+
+        // Let at least one prune pass run everywhere, then sample the
+        // quiescent memory gauges — the numbers the plateau gate reads.
+        std::thread::sleep(Duration::from_millis(450));
+        let mut instances = 0u64;
+        let mut pending = 0u64;
+        for handle in cluster.running() {
+            let metrics = handle.metrics();
+            instances = instances.max(metrics.gauge("broadcast_instances").unwrap_or(0));
+            pending = pending.max(metrics.gauge("engine_pending").unwrap_or(0));
+        }
+        instance_peaks.push(instances);
+        pending_peaks.push(pending);
+
+        // The rolling schedule: warm-crash one node per window (skipped
+        // on the last window so the cold bootstrap below starts from a
+        // settled cluster).
+        if window + 1 < args.windows {
+            let victim = window % N;
+            let replica = cluster.stop_node(victim);
+            cluster.restart_node(victim, replica).expect("restart");
+            warm_restarts += 1;
+        }
+        println!(
+            "window {window}: {submitted} submitted, instances<={instances}, pending<={pending}"
+        );
+    }
+
+    {
+        let handles: Vec<_> = cluster.running().collect();
+        await_convergence(&handles, Duration::from_secs(60)).expect("pre-bootstrap convergence");
+    }
+
+    // Snapshot geometry, probed over the real client wire.
+    let (snapshot_bytes, _digest) = Client::connect(cluster.client_addrs[0])
+        .expect("probe connect")
+        .snapshot_header(Duration::from_secs(10))
+        .expect("snapshot header");
+    let snapshot_chunks = snapshot_bytes.div_ceil(1 << 20);
+
+    // The cold bootstrap: discard a node's warm state entirely and time
+    // its quorum-attested snapshot + suffix rejoin.
+    let victim = N - 1;
+    let _discarded = cluster.stop_node(victim);
+    let cold_started = Instant::now();
+    cluster
+        .cold_start_node(
+            victim,
+            |me: ProcessId| EchoBroadcast::new(me, N, NoAuth),
+            Duration::from_secs(120),
+        )
+        .expect("cold start");
+    let cold_catchup_ms = cold_started.elapsed().as_millis() as u64;
+
+    let handles: Vec<_> = cluster.running().collect();
+    let converged = await_convergence(&handles, Duration::from_secs(60)).is_some();
+    drop(handles);
+    let cold_report = cluster.handles[victim].as_ref().expect("running").report();
+    let cold_applied = cold_report.applied;
+
+    // Post-soak counters, summed across the cluster.
+    let mut pruned_total = 0u64;
+    let mut overflow_dropped = 0u64;
+    for handle in cluster.running() {
+        let metrics = handle.metrics();
+        pruned_total += metrics.counter("engine_pruned_total").unwrap_or(0);
+        overflow_dropped += metrics
+            .counter("engine_overflow_dropped_total")
+            .unwrap_or(0);
+    }
+    cluster.stop_all();
+
+    // The plateau gate: with truncation on, the second half of the soak
+    // must not retain meaningfully more than the first half did. A
+    // small absolute floor keeps tiny smoke runs out of ratio noise.
+    let half = instance_peaks.len() / 2;
+    let peak = |s: &[u64]| s.iter().copied().max().unwrap_or(0);
+    let instances_peak_early = peak(&instance_peaks[..half]);
+    let instances_peak_late = peak(&instance_peaks[half..]);
+    let pending_peak_early = peak(&pending_peaks[..half]);
+    let pending_peak_late = peak(&pending_peaks[half..]);
+    let within = |early: u64, late: u64| late <= (early * 3 / 2).max(early + 64);
+    let plateau_ok = pruned_total > 0
+        && within(instances_peak_early, instances_peak_late)
+        && within(pending_peak_early, pending_peak_late);
+
+    // ---- Leg 2: the nemesis leg (validators green with pruning on) --
+    let chaos = ChaosConfig {
+        quota: 30,
+        ..ChaosConfig::default()
+    };
+    let mut nemesis_violations = 0usize;
+    for i in 0..args.nemesis {
+        let report = run_seeded(&chaos, "echo", ChaosTransport::Tcp, args.seed + i as u64);
+        nemesis_violations += report.violations.len();
+        for violation in &report.violations {
+            eprintln!(
+                "nemesis seed {}: {:?}: {}",
+                args.seed + i as u64,
+                violation.kind,
+                violation.detail
+            );
+        }
+        println!("{}", report.summary());
+    }
+    let validators_green = nemesis_violations == 0;
+
+    let report = T9Report {
+        backend: "echo".into(),
+        n: N,
+        accounts: args.accounts,
+        windows: args.windows,
+        transfers_per_window: args.per_window,
+        submitted,
+        committed,
+        rejected,
+        warm_restarts,
+        pruned_total,
+        overflow_dropped,
+        instances_peak_early,
+        instances_peak_late,
+        pending_peak_early,
+        pending_peak_late,
+        plateau_ok,
+        snapshot_bytes,
+        snapshot_chunks,
+        cold_catchup_ms,
+        cold_applied,
+        converged,
+        nemesis_runs: args.nemesis,
+        nemesis_violations,
+        validators_green,
+    };
+    let json = t9_json(&report, args.smoke);
+    std::fs::write("BENCH_t9.json", &json).expect("write BENCH_t9.json");
+    println!("wrote BENCH_t9.json ({} bytes)", json.len());
+    println!(
+        "cold bootstrap: {} bytes / {} chunks in {}ms, applied {} of {} committed",
+        snapshot_bytes, snapshot_chunks, cold_catchup_ms, cold_applied, committed
+    );
+
+    // Hard gates (the CI smoke job rides on the exit code).
+    assert!(converged, "cluster failed to converge after cold bootstrap");
+    assert_eq!(
+        submitted,
+        committed + rejected,
+        "acknowledgement accounting broke"
+    );
+    assert_eq!(overflow_dropped, 0, "pending buffers overflowed");
+    assert!(
+        cold_applied < committed / 2,
+        "cold node applied {cold_applied} of {committed} — it replayed history instead of \
+         bootstrapping from the snapshot"
+    );
+    assert!(
+        plateau_ok,
+        "memory failed to plateau: instances {instances_peak_early} -> {instances_peak_late}, \
+         pending {pending_peak_early} -> {pending_peak_late}, pruned {pruned_total}"
+    );
+    assert!(
+        validators_green,
+        "{nemesis_violations} validator violations across the nemesis leg"
+    );
+    println!("T9 gates green: plateau, cold bootstrap, validators");
+}

@@ -688,6 +688,110 @@ pub fn t6_json(smoke: bool, seed_base: u64, rows: &[T6Report]) -> String {
     out
 }
 
+/// The outcome of one **T9** million-account scale soak (`scale_soak`
+/// bin): a compressed long-run against a live TCP cluster with a large
+/// account universe, Zipf-hot destinations, rolling warm crash/restarts,
+/// a quorum-attested cold bootstrap at the end, and a nemesis leg whose
+/// recorded runs go through the full at-check battery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct T9Report {
+    /// Broadcast backend label.
+    pub backend: String,
+    /// Cluster size.
+    pub n: usize,
+    /// Ledger account universe (decoupled from `n`).
+    pub accounts: usize,
+    /// Soak windows executed (one rolling restart per window).
+    pub windows: usize,
+    /// Transfers submitted per window across the cluster.
+    pub transfers_per_window: usize,
+    /// Transfers submitted over the whole soak.
+    pub submitted: u64,
+    /// Commit acknowledgements received.
+    pub committed: u64,
+    /// Rejections at admission.
+    pub rejected: u64,
+    /// Warm crash/restarts performed by the rolling schedule.
+    pub warm_restarts: u64,
+    /// Broadcast instances + engine history entries pruned across the
+    /// cluster (`engine_pruned_total`, summed) — nonzero proves log
+    /// truncation ran.
+    pub pruned_total: u64,
+    /// Pending-buffer overflow drops (must be 0 under the closed loop).
+    pub overflow_dropped: u64,
+    /// Peak `broadcast_instances` gauge over the first half of the soak.
+    pub instances_peak_early: u64,
+    /// Peak `broadcast_instances` gauge over the second half — the
+    /// plateau gate compares this against the early peak.
+    pub instances_peak_late: u64,
+    /// Peak `engine_pending` gauge over the first half.
+    pub pending_peak_early: u64,
+    /// Peak `engine_pending` gauge over the second half.
+    pub pending_peak_late: u64,
+    /// The memory-plateau gate: late peaks within slack of early peaks
+    /// and pruning active.
+    pub plateau_ok: bool,
+    /// Encoded snapshot size served to the cold bootstrap (bytes).
+    pub snapshot_bytes: u64,
+    /// Chunks the cold bootstrap transferred.
+    pub snapshot_chunks: u64,
+    /// Wall-clock of the quorum-attested cold bootstrap (ms).
+    pub cold_catchup_ms: u64,
+    /// Transfers the cold-started node applied locally — far below
+    /// `committed` when the snapshot carried the prefix.
+    pub cold_applied: u64,
+    /// Whether the cluster (cold node included) reached digest
+    /// agreement at the end.
+    pub converged: bool,
+    /// Nemesis-leg chaos runs executed (base topology, crash-bearing
+    /// schedules, pruning enabled).
+    pub nemesis_runs: usize,
+    /// Validator violations across the nemesis leg (the gate: 0).
+    pub nemesis_violations: usize,
+    /// All at-check validators green on the recorded nemesis runs.
+    pub validators_green: bool,
+}
+
+/// Renders a [`T9Report`] as `BENCH_t9.json` (hand-rolled, no serde).
+pub fn t9_json(report: &T9Report, smoke: bool) -> String {
+    format!(
+        "{{\n  \"experiment\": \"T9 million-account scale soak (snapshots, log truncation, \
+         cold catch-up)\",\n  \"smoke\": {smoke},\n  \"backend\": \"{}\",\n  \"n\": {},\n  \
+         \"accounts\": {},\n  \"windows\": {},\n  \"transfers_per_window\": {},\n  \
+         \"submitted\": {},\n  \"committed\": {},\n  \"rejected\": {},\n  \
+         \"warm_restarts\": {},\n  \"pruned_total\": {},\n  \"overflow_dropped\": {},\n  \
+         \"instances_peak_early\": {},\n  \"instances_peak_late\": {},\n  \
+         \"pending_peak_early\": {},\n  \"pending_peak_late\": {},\n  \"plateau_ok\": {},\n  \
+         \"snapshot_bytes\": {},\n  \"snapshot_chunks\": {},\n  \"cold_catchup_ms\": {},\n  \
+         \"cold_applied\": {},\n  \"converged\": {},\n  \"nemesis_runs\": {},\n  \
+         \"nemesis_violations\": {},\n  \"validators_green\": {}\n}}\n",
+        report.backend,
+        report.n,
+        report.accounts,
+        report.windows,
+        report.transfers_per_window,
+        report.submitted,
+        report.committed,
+        report.rejected,
+        report.warm_restarts,
+        report.pruned_total,
+        report.overflow_dropped,
+        report.instances_peak_early,
+        report.instances_peak_late,
+        report.pending_peak_early,
+        report.pending_peak_late,
+        report.plateau_ok,
+        report.snapshot_bytes,
+        report.snapshot_chunks,
+        report.cold_catchup_ms,
+        report.cold_applied,
+        report.converged,
+        report.nemesis_runs,
+        report.nemesis_violations,
+        report.validators_green,
+    )
+}
+
 /// The markdown table header matching [`format_row`].
 pub fn table_header() -> String {
     [
@@ -811,6 +915,43 @@ mod tests {
         assert!(json.contains("\"backend\": \"echo\""));
         assert!(json.contains("\"transport\": \"mesh\""));
         assert!(json.contains("\"distinct_schedules\": 50"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn t9_json_is_well_formed() {
+        let report = T9Report {
+            backend: "echo".into(),
+            n: 4,
+            accounts: 1_000_000,
+            windows: 24,
+            transfers_per_window: 200,
+            submitted: 4_800,
+            committed: 4_800,
+            rejected: 0,
+            warm_restarts: 24,
+            pruned_total: 9_000,
+            overflow_dropped: 0,
+            instances_peak_early: 120,
+            instances_peak_late: 110,
+            pending_peak_early: 40,
+            pending_peak_late: 35,
+            plateau_ok: true,
+            snapshot_bytes: 12_000_000,
+            snapshot_chunks: 12,
+            cold_catchup_ms: 850,
+            cold_applied: 30,
+            converged: true,
+            nemesis_runs: 10,
+            nemesis_violations: 0,
+            validators_green: true,
+        };
+        let json = t9_json(&report, false);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"experiment\": \"T9 million-account scale soak"));
+        assert!(json.contains("\"accounts\": 1000000"));
+        assert!(json.contains("\"plateau_ok\": true"));
+        assert!(json.contains("\"validators_green\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

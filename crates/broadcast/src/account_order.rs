@@ -113,6 +113,8 @@ pub struct AccountOrderBroadcast<P, A: Authenticator> {
     sending: HashMap<(AccountId, u64), Sending<A::Sig>>,
     /// Deliveries ready for the caller.
     ready: Vec<AccountDelivery<P>>,
+    /// Monotone count of deliveries — survives pruning of `ready`.
+    delivered_total: usize,
     forward_final: bool,
     /// When set, a `SEND` for account `a` is only acknowledged if it comes
     /// from the process with the same index — the paper's base topology
@@ -138,6 +140,7 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
             pending_finals: HashMap::new(),
             sending: HashMap::new(),
             ready: Vec::new(),
+            delivered_total: 0,
             forward_final: true,
             sole_owner: false,
             ops: CryptoOps::default(),
@@ -322,6 +325,12 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
                 if self.sole_owner && from.index() != account.index() {
                     return; // not the account's owner: never acknowledged
                 }
+                if self.is_stale(account, seq) {
+                    // Already delivered (possibly pruned since): a stale
+                    // replay must not re-enter `pending_sends`, where it
+                    // would never drain.
+                    return;
+                }
                 self.ops.verifies += 1;
                 if !self.auth.verify(
                     from,
@@ -472,6 +481,11 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
         certificate: Vec<(ProcessId, A::Sig)>,
         step: &mut Step<AccountOrderMsg<P, A::Sig>, AccountDelivery<P>>,
     ) {
+        if self.is_stale(account, seq) {
+            // A replayed FINAL below the delivery floor would re-verify
+            // its certificate and park forever in `pending_finals`.
+            return;
+        }
         let digest = payload_digest(&payload);
         let span = self
             .trace_ctx(&payload, sender)
@@ -541,6 +555,7 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
                 payload,
             };
             self.trace(&delivery.payload, sender, TraceEventKind::Deliver, expected);
+            self.delivered_total += 1;
             self.ready.push(delivery.clone());
             step.deliver(sender, SeqNo::new(expected), delivery);
             // A delivery may unblock the acknowledgement of the next SEND.
@@ -553,9 +568,74 @@ impl<P: Clone + Encode, A: Authenticator> AccountOrderBroadcast<P, A> {
         SeqNo::new(self.next_deliver.get(&account).copied().unwrap_or(1))
     }
 
-    /// All deliveries made so far, in delivery order.
+    /// Deliveries made so far and not yet pruned, in delivery order.
     pub fn delivered(&self) -> &[AccountDelivery<P>] {
         &self.ready
+    }
+
+    /// Total number of deliveries ever made (monotone across pruning).
+    pub fn delivered_count(&self) -> usize {
+        self.delivered_total
+    }
+
+    /// Whether `(account, seq)` is behind the account's delivery floor —
+    /// already delivered, so its state may be pruned and any message for
+    /// it is a replay.
+    fn is_stale(&self, account: AccountId, seq: SeqNo) -> bool {
+        seq.value() < self.next_deliver.get(&account).copied().unwrap_or(1)
+    }
+
+    /// Drops per-instance state behind each account's delivery floor:
+    /// acknowledgement slots, finalized sender state, buffered SENDs and
+    /// FINALs, and the retained delivery log. Returns the number of
+    /// acknowledgement slots pruned (the [`Self::instance_count`] unit).
+    /// Late messages for pruned instances are rejected by the floor
+    /// checks, so delivery stays exactly-once per `(account, seq)`.
+    pub fn prune_delivered(&mut self) -> usize {
+        let floors = &self.next_deliver;
+        let floor_of = |account: &AccountId| floors.get(account).copied().unwrap_or(1);
+        let before = self.acked.len();
+        self.acked
+            .retain(|(account, seq), _| *seq >= floor_of(account));
+        self.sending
+            .retain(|(account, seq), state| !(state.finalized && *seq < floor_of(account)));
+        for (account, slot) in self.pending_sends.iter_mut() {
+            let floor = floor_of(account);
+            *slot = slot.split_off(&floor);
+        }
+        for (account, slot) in self.pending_finals.iter_mut() {
+            let floor = floor_of(account);
+            *slot = slot.split_off(&floor);
+        }
+        self.pending_sends.retain(|_, slot| !slot.is_empty());
+        self.pending_finals.retain(|_, slot| !slot.is_empty());
+        self.ready.clear();
+        before - self.acked.len()
+    }
+
+    /// Raises the delivery floor of `account` so sequence numbers
+    /// `≤ floor` are treated as already delivered and the account's
+    /// stream resumes gaplessly at `floor + 1`. Never lowers an existing
+    /// floor. Cold-started replicas seed floors from a snapshot with
+    /// this before replaying the log suffix.
+    pub fn set_delivery_floor(&mut self, account: AccountId, floor: SeqNo) {
+        let next = self.next_deliver.entry(account).or_insert(1);
+        if floor.value() + 1 > *next {
+            *next = floor.value() + 1;
+        }
+        let next = *next;
+        self.acked
+            .retain(|(a, seq), _| !(*a == account && *seq < next));
+        self.sending
+            .retain(|(a, seq), _| !(*a == account && *seq < next));
+        if let Some(slot) = self.pending_sends.get_mut(&account) {
+            *slot = slot.split_off(&next);
+        }
+        if let Some(slot) = self.pending_finals.get_mut(&account) {
+            *slot = slot.split_off(&next);
+        }
+        self.ready
+            .retain(|d| !(d.account == account && d.seq.value() < next));
     }
 }
 
@@ -564,9 +644,7 @@ impl<P: Clone + Encode, A: Authenticator> fmt::Debug for AccountOrderBroadcast<P
         write!(
             f,
             "AccountOrderBroadcast(me={}, n={}, delivered={})",
-            self.me,
-            self.n,
-            self.ready.len()
+            self.me, self.n, self.delivered_total
         )
     }
 }
@@ -743,6 +821,68 @@ mod tests {
         });
         for (i, endpoint) in endpoints.iter().enumerate() {
             assert_eq!(endpoint.delivered().len(), 1, "process {i}");
+        }
+    }
+
+    #[test]
+    fn prune_drops_delivered_state_and_suppresses_replays() {
+        let mut endpoints = system(4);
+        let mut wires = start(&mut endpoints, p(0), acct(0), 1, 100);
+        wires.extend(start(&mut endpoints, p(0), acct(0), 2, 200));
+        // Capture a FINAL for seq 1 to replay after pruning.
+        let mut replay = None;
+        while let Some(wire) = wires.pop_front() {
+            if replay.is_none() {
+                if let AccountOrderMsg::Final { seq, .. } = &wire.2 {
+                    if seq.value() == 1 {
+                        replay = Some(wire.2.clone());
+                    }
+                }
+            }
+            let (from, to, msg) = wire;
+            let mut step = Step::new();
+            endpoints[to.as_usize()].on_message(from, msg, &mut step);
+            for out in step.outgoing {
+                wires.push_back((to, out.to, out.msg));
+            }
+        }
+        for endpoint in &mut endpoints {
+            assert_eq!(endpoint.delivered_count(), 2);
+            assert_eq!(endpoint.instance_count(), 2);
+            let pruned = endpoint.prune_delivered();
+            assert_eq!(pruned, 2);
+            assert_eq!(endpoint.instance_count(), 0);
+            assert!(endpoint.delivered().is_empty(), "ready log drained");
+            assert_eq!(endpoint.delivered_count(), 2, "monotone across pruning");
+        }
+        // A replayed FINAL below the floor must not re-deliver or park in
+        // pending_finals.
+        let replay = replay.expect("a FINAL for seq 1 circulated");
+        let mut step = Step::new();
+        endpoints[2].on_message(p(0), replay, &mut step);
+        assert!(step.deliveries.is_empty());
+        assert_eq!(endpoints[2].delivered_count(), 2);
+        assert_eq!(endpoints[2].prune_delivered(), 0, "no residue to prune");
+    }
+
+    #[test]
+    fn delivery_floor_resumes_an_account_mid_sequence() {
+        let mut endpoints = system(4);
+        for endpoint in &mut endpoints {
+            endpoint.set_delivery_floor(acct(0), SeqNo::new(4));
+        }
+        assert_eq!(endpoints[0].expected(acct(0)), SeqNo::new(5));
+        // seq 4 is below the floor: ignored everywhere. seq 5 delivers.
+        let wires = start(&mut endpoints, p(0), acct(0), 4, 40);
+        run(&mut endpoints, wires, |_| false);
+        for endpoint in &endpoints {
+            assert_eq!(endpoint.delivered_count(), 0);
+        }
+        let wires = start(&mut endpoints, p(0), acct(0), 5, 50);
+        run(&mut endpoints, wires, |_| false);
+        for endpoint in &endpoints {
+            let values: Vec<u64> = endpoint.delivered().iter().map(|d| d.payload).collect();
+            assert_eq!(values, vec![50]);
         }
     }
 

@@ -101,6 +101,10 @@ pub struct BrachaBroadcast<P> {
     next_seq: SeqNo,
     instances: HashMap<InstanceKey, Instance<P>>,
     order: SourceOrderBuffer<P>,
+    /// Instances delivered over this endpoint's lifetime — monotone, so
+    /// it survives [`BrachaBroadcast::prune_delivered`] (a live count of
+    /// the `delivered` flags would shrink as instances are pruned).
+    delivered_total: usize,
     tracer: Option<(Tracer, TraceExtract<P>)>,
 }
 
@@ -116,6 +120,7 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
             next_seq: SeqNo::ZERO,
             instances: HashMap::new(),
             order: SourceOrderBuffer::new(),
+            delivered_total: 0,
             tracer: None,
         }
     }
@@ -200,6 +205,9 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
         // The INIT's sender *is* the instance's source (channels are
         // authenticated): a Byzantine process cannot open instances for
         // someone else.
+        if self.is_stale(from, seq) {
+            return; // replay of an already-released (possibly pruned) instance
+        }
         let digest = digest_of(&payload);
         let instance = self
             .instances
@@ -232,6 +240,9 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
         payload: P,
         step: &mut Step<BrachaMsg<P>, P>,
     ) {
+        if self.is_stale(source, seq) {
+            return;
+        }
         let digest = digest_of(&payload);
         let (echo_quorum, ready_deliver) = (self.echo_quorum(), self.ready_deliver());
         let n = self.n;
@@ -268,6 +279,9 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
         payload: P,
         step: &mut Step<BrachaMsg<P>, P>,
     ) {
+        if self.is_stale(source, seq) {
+            return;
+        }
         let digest = digest_of(&payload);
         let (ready_amplify, ready_deliver) = (self.ready_amplify(), self.ready_deliver());
         let n = self.n;
@@ -296,6 +310,7 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
         }
         if count >= ready_deliver && !instance.delivered {
             instance.delivered = true;
+            self.delivered_total += 1;
             for (released_seq, released) in self.order.offer(source, seq, payload) {
                 self.trace(
                     &released,
@@ -313,12 +328,48 @@ impl<P: Clone + Encode> BrachaBroadcast<P> {
         self.instances.len()
     }
 
-    /// Number of instances this endpoint has delivered.
+    /// Number of instances this endpoint has delivered over its
+    /// lifetime (monotone; unaffected by pruning).
     pub fn delivered_count(&self) -> usize {
+        self.delivered_total
+    }
+
+    /// Whether `(source, seq)` is behind the source's release floor —
+    /// i.e. already delivered and released in source order, so any
+    /// further message for it is a replay that must not re-create
+    /// (pruned) instance state.
+    fn is_stale(&self, source: ProcessId, seq: SeqNo) -> bool {
+        seq.value() < self.order.expected(source).value()
+    }
+
+    /// Drops the protocol state of every instance that has been both
+    /// delivered and released in source order, returning how many were
+    /// pruned. The per-source release floors (kept in `O(n)` space)
+    /// continue to suppress replays of pruned instances; instances that
+    /// delivered into a sequence gap keep their state until the gap
+    /// closes.
+    pub fn prune_delivered(&mut self) -> usize {
+        let order = &self.order;
+        let before = self.instances.len();
+        self.instances.retain(|(source, seq), instance| {
+            !(instance.delivered && seq.value() < order.expected(*source).value())
+        });
+        before - self.instances.len()
+    }
+
+    /// Raises the delivery floor of `source` to instance `floor`
+    /// (snapshot bootstrap — see
+    /// [`crate::SecureBroadcast::set_delivery_floor`]): buffered and
+    /// future messages at or below the floor are discarded, delivery
+    /// resumes at `floor + 1`, and when `source` is this endpoint its
+    /// own sequence counter is bumped past the floor.
+    pub fn set_delivery_floor(&mut self, source: ProcessId, floor: SeqNo) {
+        self.order.advance(source, floor);
+        if source == self.me && floor.value() > self.next_seq.value() {
+            self.next_seq = floor;
+        }
         self.instances
-            .values()
-            .filter(|instance| instance.delivered)
-            .count()
+            .retain(|(s, seq), _| !(*s == source && seq.value() <= floor.value()));
     }
 
     /// *Byzantine harness only*: opens one broadcast instance but sends
@@ -524,6 +575,107 @@ mod tests {
         let delivered = run_system(1, vec![(p(0), 5)], |_, _, _| false);
         assert_eq!(delivered[0].len(), 1);
         assert_eq!(delivered[0][0].payload, 5);
+    }
+
+    #[test]
+    fn prune_drops_delivered_instances_and_suppresses_replays() {
+        let n = 4;
+        let mut endpoints: Vec<BrachaBroadcast<u64>> = (0..n)
+            .map(|i| BrachaBroadcast::new(p(i as u32), n))
+            .collect();
+        let mut inflight: VecDeque<(ProcessId, ProcessId, BrachaMsg<u64>)> = VecDeque::new();
+        let mut step = Step::new();
+        endpoints[0].broadcast(42, &mut step);
+        let replay: Vec<_> = step
+            .outgoing
+            .iter()
+            .map(|out| (p(0), out.to, out.msg.clone()))
+            .collect();
+        for out in step.outgoing {
+            inflight.push_back((p(0), out.to, out.msg));
+        }
+        let mut delivered = 0usize;
+        while let Some((from, to, msg)) = inflight.pop_front() {
+            let mut step = Step::new();
+            endpoints[to.as_usize()].on_message(from, msg, &mut step);
+            for out in step.outgoing {
+                inflight.push_back((to, out.to, out.msg));
+            }
+            delivered += step.deliveries.len();
+        }
+        assert_eq!(delivered, n);
+        for endpoint in &mut endpoints {
+            assert_eq!(endpoint.instance_count(), 1);
+            assert_eq!(endpoint.prune_delivered(), 1);
+            assert_eq!(endpoint.instance_count(), 0);
+            assert_eq!(endpoint.delivered_count(), 1, "count stays monotone");
+        }
+        // A replayed INIT for the pruned instance must neither re-create
+        // state nor re-deliver.
+        for (from, to, msg) in replay {
+            let mut step = Step::new();
+            endpoints[to.as_usize()].on_message(from, msg, &mut step);
+            assert!(step.deliveries.is_empty(), "replay re-delivered");
+            assert!(step.outgoing.is_empty(), "replay re-echoed");
+        }
+        for endpoint in &endpoints {
+            assert_eq!(endpoint.instance_count(), 0, "replay re-created state");
+        }
+    }
+
+    #[test]
+    fn delivery_floor_resumes_a_stream_mid_sequence() {
+        let n = 4;
+        let mut endpoints: Vec<BrachaBroadcast<u64>> = (0..n)
+            .map(|i| BrachaBroadcast::new(p(i as u32), n))
+            .collect();
+        // A cold-started endpoint learns from a snapshot that source p1
+        // already delivered instances 1..=5 — and that its own stream is
+        // at 3.
+        endpoints[0].set_delivery_floor(p(1), SeqNo::new(5));
+        endpoints[0].set_delivery_floor(p(0), SeqNo::new(3));
+        let mut step = Step::new();
+        assert_eq!(endpoints[0].broadcast(9, &mut step), SeqNo::new(4));
+        // Instance 5 from p1 is stale; instance 6 delivers normally.
+        let mut inflight: VecDeque<(ProcessId, ProcessId, BrachaMsg<u64>)> = VecDeque::new();
+        for seq in [5u64, 6] {
+            let mut step = Step::new();
+            endpoints[1].on_message(
+                p(1),
+                BrachaMsg::Init {
+                    seq: SeqNo::new(seq),
+                    payload: seq,
+                },
+                &mut step,
+            );
+            // Drive only endpoint 0's view of p1's INIT/ECHO/READY flow.
+            inflight.push_back((
+                p(1),
+                p(0),
+                BrachaMsg::Init {
+                    seq: SeqNo::new(seq),
+                    payload: seq,
+                },
+            ));
+            for echoer in 1..n {
+                inflight.push_back((
+                    p(echoer as u32),
+                    p(0),
+                    BrachaMsg::Ready {
+                        source: p(1),
+                        seq: SeqNo::new(seq),
+                        payload: seq,
+                    },
+                ));
+            }
+        }
+        let mut got = Vec::new();
+        while let Some((from, to, msg)) = inflight.pop_front() {
+            let mut step = Step::new();
+            endpoints[to.as_usize()].on_message(from, msg, &mut step);
+            got.extend(step.deliveries.into_iter().map(|d| (d.seq, d.payload)));
+        }
+        assert_eq!(got, vec![(SeqNo::new(6), 6)]);
     }
 
     #[test]

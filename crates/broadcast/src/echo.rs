@@ -90,6 +90,9 @@ pub struct EchoBroadcast<P, A: Authenticator> {
     echoed: HashMap<(ProcessId, SeqNo), [u8; 32]>,
     /// Instances already delivered (to forward and dedup).
     delivered: HashMap<(ProcessId, SeqNo), ()>,
+    /// Monotone count of deliveries — survives pruning, unlike
+    /// `delivered.len()`.
+    delivered_total: usize,
     order: SourceOrderBuffer<P>,
     forward_final: bool,
     ops: CryptoOps,
@@ -114,6 +117,7 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
             split_shadow: HashMap::new(),
             echoed: HashMap::new(),
             delivered: HashMap::new(),
+            delivered_total: 0,
             order: SourceOrderBuffer::new(),
             forward_final: true,
             ops: CryptoOps::default(),
@@ -313,6 +317,9 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
         sig: A::Sig,
         step: &mut Step<EchoMsg<P, A::Sig>, P>,
     ) {
+        if self.is_stale(from, seq) {
+            return; // instance already released and pruned
+        }
         let digest = payload_digest(&payload);
         self.ops.verifies += 1;
         if !self.auth.verify(from, &send_bytes(from, seq, digest), &sig) {
@@ -426,8 +433,8 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
         certificate: Vec<(ProcessId, A::Sig)>,
         step: &mut Step<EchoMsg<P, A::Sig>, P>,
     ) {
-        if self.delivered.contains_key(&(source, seq)) {
-            return;
+        if self.is_stale(source, seq) || self.delivered.contains_key(&(source, seq)) {
+            return; // already delivered (possibly pruned since)
         }
         let digest = payload_digest(&payload);
         self.ops.verifies += 1;
@@ -480,6 +487,7 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
             return;
         }
         self.delivered.insert((source, seq), ());
+        self.delivered_total += 1;
         if self.forward_final {
             step.send_all(
                 self.n,
@@ -503,9 +511,57 @@ impl<P: Clone + Encode, A: Authenticator> EchoBroadcast<P, A> {
         }
     }
 
-    /// Number of instances delivered so far.
+    /// Number of instances delivered so far (monotone across pruning).
     pub fn delivered_count(&self) -> usize {
-        self.delivered.len()
+        self.delivered_total
+    }
+
+    /// Whether `(source, seq)` is behind the source's release floor —
+    /// i.e. the instance was already handed up in order, so any echo or
+    /// dedup state for it may have been pruned and any message for it is
+    /// a replay.
+    fn is_stale(&self, source: ProcessId, seq: SeqNo) -> bool {
+        seq.value() < self.order.expected(source).value()
+    }
+
+    /// Drops per-instance state (echoed digests, delivery dedup entries,
+    /// finalized sender state) for instances already released by the
+    /// source-order buffer. Returns the number of instances pruned.
+    /// Late `FINAL`s for a pruned instance are rejected by the release
+    /// floor, so delivery stays irrevocable and exactly-once.
+    pub fn prune_delivered(&mut self) -> usize {
+        let order = &self.order;
+        let before = self.echoed.len();
+        self.echoed
+            .retain(|(source, seq), _| seq.value() >= order.expected(*source).value());
+        self.delivered
+            .retain(|(source, seq), _| seq.value() >= order.expected(*source).value());
+        let own_floor = order.expected(self.me).value();
+        self.sending
+            .retain(|seq, (_, state)| !(state.finalized && seq.value() < own_floor));
+        self.split_shadow.retain(|seq, _| seq.value() >= own_floor);
+        before - self.echoed.len()
+    }
+
+    /// Raises the delivery floor for `source` so instances `≤ floor` are
+    /// treated as already delivered and the stream resumes gaplessly at
+    /// `floor + 1`. When `source` is this endpoint, also fast-forwards
+    /// its own next sequence number. Used by cold-started replicas
+    /// bootstrapping from a snapshot.
+    pub fn set_delivery_floor(&mut self, source: ProcessId, floor: SeqNo) {
+        self.order.advance(source, floor);
+        if source == self.me && floor.value() > self.next_seq.value() {
+            self.next_seq = floor;
+        }
+        self.echoed
+            .retain(|(s, seq), _| !(*s == source && seq.value() <= floor.value()));
+        self.delivered
+            .retain(|(s, seq), _| !(*s == source && seq.value() <= floor.value()));
+        if source == self.me {
+            self.sending.retain(|seq, _| seq.value() > floor.value());
+            self.split_shadow
+                .retain(|seq, _| seq.value() > floor.value());
+        }
     }
 }
 
@@ -514,10 +570,7 @@ impl<P: Clone + Encode, A: Authenticator> fmt::Debug for EchoBroadcast<P, A> {
         write!(
             f,
             "EchoBroadcast(me={}, n={}, f={}, delivered={})",
-            self.me,
-            self.n,
-            self.f,
-            self.delivered.len()
+            self.me, self.n, self.f, self.delivered_total
         )
     }
 }
@@ -878,6 +931,85 @@ mod tests {
             vec![1, 2],
             "both sides must certify under the broken quorum"
         );
+    }
+
+    #[test]
+    fn prune_drops_released_instances_and_suppresses_replays() {
+        let n = 4;
+        let mut endpoints: Vec<EchoBroadcast<u64, NoAuth>> = (0..n)
+            .map(|i| EchoBroadcast::new(p(i as u32), n, NoAuth))
+            .collect();
+        let mut inflight: VecDeque<(ProcessId, ProcessId, EchoMsg<u64, ()>)> = VecDeque::new();
+        let mut step = Step::new();
+        endpoints[0].broadcast(42, &mut step);
+        let mut replay_final = None;
+        for out in step.outgoing {
+            inflight.push_back((p(0), out.to, out.msg));
+        }
+        while let Some((from, to, msg)) = inflight.pop_front() {
+            if replay_final.is_none() {
+                if let EchoMsg::Final { .. } = &msg {
+                    replay_final = Some(msg.clone());
+                }
+            }
+            let mut step = Step::new();
+            endpoints[to.as_usize()].on_message(from, msg, &mut step);
+            for out in step.outgoing {
+                inflight.push_back((to, out.to, out.msg));
+            }
+        }
+        for endpoint in &mut endpoints {
+            assert_eq!(endpoint.instance_count(), 1);
+            assert_eq!(endpoint.delivered_count(), 1);
+            let pruned = endpoint.prune_delivered();
+            assert_eq!(pruned, 1);
+            assert_eq!(endpoint.instance_count(), 0);
+            assert_eq!(endpoint.delivered_count(), 1, "monotone across pruning");
+        }
+        // A replayed FINAL for the pruned instance must not re-deliver
+        // (the dedup map entry is gone; the release floor takes over).
+        let replay = replay_final.expect("a FINAL circulated");
+        let mut step = Step::new();
+        endpoints[2].on_message(p(0), replay, &mut step);
+        assert!(step.deliveries.is_empty(), "pruned instance re-delivered");
+        assert_eq!(endpoints[2].delivered_count(), 1);
+    }
+
+    #[test]
+    fn delivery_floor_resumes_a_stream_mid_sequence() {
+        let n = 4;
+        let mut endpoints: Vec<EchoBroadcast<u64, NoAuth>> = (0..n)
+            .map(|i| EchoBroadcast::new(p(i as u32), n, NoAuth))
+            .collect();
+        // Endpoint 0 cold-starts knowing p1 delivered through seq 5 and
+        // its own stream reached seq 3.
+        endpoints[0].set_delivery_floor(p(1), SeqNo::new(5));
+        endpoints[0].set_delivery_floor(p(0), SeqNo::new(3));
+        let mut step = Step::new();
+        let seq = endpoints[0].broadcast(7, &mut step);
+        assert_eq!(seq, SeqNo::new(4), "own stream resumes after the floor");
+        // Stale and fresh FINALs from p1 (NoAuth, so certificates are
+        // trivially valid — quorum of distinct signers suffices).
+        let mut delivered = Vec::new();
+        for inst in [5u64, 6] {
+            let certificate = vec![(p(1), ()), (p(2), ()), (p(3), ())];
+            let mut step = Step::new();
+            endpoints[0].on_message(
+                p(1),
+                EchoMsg::Final {
+                    source: p(1),
+                    seq: SeqNo::new(inst),
+                    payload: inst,
+                    sig: (),
+                    certificate,
+                },
+                &mut step,
+            );
+            delivered.extend(step.deliveries);
+        }
+        assert_eq!(delivered.len(), 1, "only the post-floor instance lands");
+        assert_eq!(delivered[0].seq, SeqNo::new(6));
+        assert_eq!(delivered[0].payload, 6);
     }
 
     #[test]

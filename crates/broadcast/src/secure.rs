@@ -86,6 +86,32 @@ pub trait SecureBroadcast<P: Clone + Encode>: Send {
     fn set_tracer(&mut self, tracer: Tracer, extract: TraceExtract<P>) {
         let _ = (tracer, extract);
     }
+
+    /// Discards the per-instance protocol state of every broadcast this
+    /// endpoint has already delivered, returning how many instances were
+    /// pruned. Deliveries are irrevocable (the quorum that enabled them
+    /// is durable evidence), so the retained state only served
+    /// deduplication — which the per-source delivery floors, kept
+    /// forever in `O(n)` space, continue to provide: late or replayed
+    /// frames for a pruned instance are dropped, never re-delivered.
+    /// [`SecureBroadcast::delivered_count`] stays monotone across
+    /// pruning. Defaults to a no-op returning 0.
+    fn prune_delivered(&mut self) -> usize {
+        0
+    }
+
+    /// Raises the delivery floor of `source` to instance `floor`: every
+    /// instance of `source` with a sequence number at or below it is
+    /// treated as already delivered (accepted-and-discarded on arrival),
+    /// and delivery resumes gaplessly at `floor + 1`. When `source` is
+    /// this endpoint, its own next broadcast sequence number is bumped
+    /// too, so a cold-started endpoint resumes its stream instead of
+    /// colliding with its previous incarnation's instances. Snapshot
+    /// bootstrap calls this once per source before the first frame
+    /// arrives. Defaults to a no-op.
+    fn set_delivery_floor(&mut self, source: ProcessId, floor: SeqNo) {
+        let _ = (source, floor);
+    }
 }
 
 impl<P: Clone + Encode + Send> SecureBroadcast<P> for BrachaBroadcast<P> {
@@ -125,6 +151,14 @@ impl<P: Clone + Encode + Send> SecureBroadcast<P> for BrachaBroadcast<P> {
 
     fn set_tracer(&mut self, tracer: Tracer, extract: TraceExtract<P>) {
         BrachaBroadcast::set_tracer(self, tracer, extract);
+    }
+
+    fn prune_delivered(&mut self) -> usize {
+        BrachaBroadcast::prune_delivered(self)
+    }
+
+    fn set_delivery_floor(&mut self, source: ProcessId, floor: SeqNo) {
+        BrachaBroadcast::set_delivery_floor(self, source, floor);
     }
 }
 
@@ -170,6 +204,14 @@ where
 
     fn set_tracer(&mut self, tracer: Tracer, extract: TraceExtract<P>) {
         EchoBroadcast::set_tracer(self, tracer, extract);
+    }
+
+    fn prune_delivered(&mut self) -> usize {
+        EchoBroadcast::prune_delivered(self)
+    }
+
+    fn set_delivery_floor(&mut self, source: ProcessId, floor: SeqNo) {
+        EchoBroadcast::set_delivery_floor(self, source, floor);
     }
 }
 
@@ -282,7 +324,7 @@ where
     }
 
     fn delivered_count(&self) -> usize {
-        self.inner.delivered().len()
+        self.inner.delivered_count()
     }
 
     fn crypto_ops(&self) -> CryptoOps {
@@ -291,6 +333,20 @@ where
 
     fn set_tracer(&mut self, tracer: Tracer, extract: TraceExtract<P>) {
         self.inner.set_tracer(tracer, extract);
+    }
+
+    fn prune_delivered(&mut self) -> usize {
+        self.inner.prune_delivered()
+    }
+
+    fn set_delivery_floor(&mut self, source: ProcessId, floor: SeqNo) {
+        // Process `i` broadcasts on account `i` in the base topology, so
+        // the per-source floor maps 1:1 onto a per-account floor.
+        let account = AccountId::new(source.index());
+        self.inner.set_delivery_floor(account, floor);
+        if source == ProcessId::new(self.account.index()) && floor.value() > self.next_seq.value() {
+            self.next_seq = floor;
+        }
     }
 }
 
@@ -474,6 +530,31 @@ mod tests {
         // Bracha reports zero signature work.
         let bracha = BrachaBroadcast::<u64>::new(p(0), 4);
         assert_eq!(SecureBroadcast::<u64>::crypto_ops(&bracha).total(), 0);
+    }
+
+    #[test]
+    fn prune_and_floor_behave_uniformly_through_the_trait() {
+        fn exercise<B: SecureBroadcast<u64>>(mut endpoints: Vec<B>, mut fresh: B) {
+            // A completed broadcast is prunable everywhere; the delivered
+            // count stays monotone and replays stay suppressed (covered
+            // per-backend; here we check the shared contract).
+            drive(&mut endpoints, vec![(0, 5)]);
+            for endpoint in &mut endpoints {
+                assert_eq!(endpoint.delivered_count(), 1);
+                assert_eq!(endpoint.prune_delivered(), 1);
+                assert_eq!(endpoint.instance_count(), 0);
+                assert_eq!(endpoint.delivered_count(), 1);
+                assert_eq!(endpoint.prune_delivered(), 0, "idempotent");
+            }
+            // A cold endpoint that learns its own stream reached seq 3
+            // resumes broadcasting at 4.
+            fresh.set_delivery_floor(p(0), SeqNo::new(3));
+            let mut step = Step::new();
+            assert_eq!(fresh.broadcast(9, &mut step), SeqNo::new(4));
+        }
+        exercise(bracha_system(4), BrachaBroadcast::new(p(0), 4));
+        exercise(echo_system(4), EchoBroadcast::new(p(0), 4, NoAuth));
+        exercise(account_system(4), AccountOrderBackend::new(p(0), 4, NoAuth));
     }
 
     #[test]

@@ -127,8 +127,14 @@ impl<P> SourceOrderBuffer<P> {
     }
 
     /// Offers a decoded broadcast; returns every payload that became
-    /// releasable, in order.
+    /// releasable, in order. Offers at or below the released floor are
+    /// discarded outright — a stale duplicate must not take up buffer
+    /// space it can never leave.
     pub fn offer(&mut self, source: ProcessId, seq: SeqNo, payload: P) -> Vec<(SeqNo, P)> {
+        let next = self.next.entry(source).or_insert(1);
+        if seq.value() < *next {
+            return Vec::new();
+        }
         let slot = self.pending.entry(source).or_default();
         slot.entry(seq.value()).or_insert(payload);
         let next = self.next.entry(source).or_insert(1);
@@ -138,6 +144,22 @@ impl<P> SourceOrderBuffer<P> {
             *next += 1;
         }
         released
+    }
+
+    /// Raises the release floor of `source` so the next expected
+    /// sequence number is `floor + 1`, discarding any buffered payloads
+    /// at or below the floor. Never lowers an already-higher floor.
+    /// Cold-started endpoints use this to resume a source's stream from
+    /// a snapshot frontier instead of sequence number 1.
+    pub fn advance(&mut self, source: ProcessId, floor: SeqNo) {
+        let next = self.next.entry(source).or_insert(1);
+        if floor.value() + 1 > *next {
+            *next = floor.value() + 1;
+        }
+        let floor = *next;
+        if let Some(slot) = self.pending.get_mut(&source) {
+            *slot = slot.split_off(&floor);
+        }
     }
 
     /// The next sequence number expected from `source`.
@@ -201,13 +223,37 @@ mod tests {
     fn duplicate_offers_are_ignored() {
         let mut buffer = SourceOrderBuffer::new();
         assert_eq!(buffer.offer(p(0), s(1), "a"), vec![(s(1), "a")]);
-        // Re-offering a released seq does nothing.
+        // Re-offering a released seq does nothing — and leaves no
+        // residue behind (a stale duplicate below the floor used to be
+        // parked in the pending map forever).
         assert_eq!(buffer.offer(p(0), s(1), "a'"), vec![]);
+        assert_eq!(buffer.buffered(), 0);
         // Duplicate buffered offers keep the first payload.
         assert_eq!(buffer.offer(p(0), s(3), "c"), vec![]);
         assert_eq!(buffer.offer(p(0), s(3), "c'"), vec![]);
         let released = buffer.offer(p(0), s(2), "b");
         assert_eq!(released, vec![(s(2), "b"), (s(3), "c")]);
+    }
+
+    #[test]
+    fn advance_skips_to_the_floor_and_drops_stale_buffers() {
+        let mut buffer = SourceOrderBuffer::new();
+        // Gapped payloads straddling the future floor.
+        assert_eq!(buffer.offer(p(0), s(3), "c"), vec![]);
+        assert_eq!(buffer.offer(p(0), s(6), "f"), vec![]);
+        buffer.advance(p(0), s(4));
+        assert_eq!(buffer.expected(p(0)), s(5));
+        assert_eq!(buffer.buffered(), 1, "only seq 6 survives the floor");
+        // Stale offers below the floor are discarded, in-order resumes.
+        assert_eq!(buffer.offer(p(0), s(2), "b"), vec![]);
+        assert_eq!(buffer.buffered(), 1);
+        assert_eq!(
+            buffer.offer(p(0), s(5), "e"),
+            vec![(s(5), "e"), (s(6), "f")]
+        );
+        // Advancing backwards never lowers the floor.
+        buffer.advance(p(0), s(1));
+        assert_eq!(buffer.expected(p(0)), s(7));
     }
 
     #[test]

@@ -144,6 +144,12 @@ pub struct ChaosReport {
     /// Real frame loss across all transports (must be 0 after
     /// heal-and-drain).
     pub dropped_frames: u64,
+    /// Delivered-but-unvalidated transfers evicted from a bounded
+    /// per-source pending buffer, summed over the final reports (the
+    /// replica-owned counter survives warm restarts). A closed-loop
+    /// honest workload must never overflow the cap — nonzero is a
+    /// certification failure with its own violation entry.
+    pub overflow_dropped: u64,
     /// Validator violations (empty = the run upheld the paper's
     /// guarantees under this fault script).
     pub violations: Vec<Failure>,
@@ -167,7 +173,7 @@ impl ChaosReport {
     pub fn summary(&self) -> String {
         format!(
             "{}/{} seed {}: {} steps, {} submitted, {} committed, {} rejected, {} unresolved, \
-             {} timed out, {} events, converged={}, dropped={}, violations={}{}",
+             {} timed out, {} events, converged={}, dropped={}, overflow={}, violations={}{}",
             self.backend,
             self.transport,
             self.seed,
@@ -180,6 +186,7 @@ impl ChaosReport {
             self.events_recorded,
             self.converged,
             self.dropped_frames,
+            self.overflow_dropped,
             self.violations.len(),
             if self.unknown { " (unknown)" } else { "" },
         )
@@ -430,6 +437,24 @@ fn finalize(
         });
     }
 
+    // The bounded per-source pending buffers exist to survive a
+    // Byzantine flood; a closed-loop honest workload (pipeline-capped
+    // clients) overflowing one means the replica silently discarded
+    // delivered transfers that can now never apply — a liveness hole
+    // the counterexample must name, not bury in the metrics dump.
+    // The counter lives on the replica, so warm restarts carry it into
+    // the final reports; no crash-time harvest is needed.
+    let overflow_dropped: u64 = reports.iter().map(|r| r.overflow_dropped).sum();
+    if overflow_dropped > 0 {
+        violations.push(Failure {
+            kind: FailureKind::FrameLoss,
+            detail: format!(
+                "{overflow_dropped} delivered transfers evicted from bounded pending \
+                 buffers under an honest closed-loop workload"
+            ),
+        });
+    }
+
     let crashed = schedule
         .iter()
         .any(|c| matches!(c, NemesisChoice::CrashRestart { .. }));
@@ -509,6 +534,7 @@ fn finalize(
             .map(|r| r.balances.iter().map(|b| b.units()).collect())
             .unwrap_or_default(),
         dropped_frames: dropped,
+        overflow_dropped,
         violations,
         unknown,
         metrics,

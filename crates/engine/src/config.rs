@@ -154,6 +154,12 @@ pub struct EngineConfig {
     /// the signed backends' "CPU for messages" trade visible in virtual
     /// time without real cryptography on the hot path.
     pub sig_cost_us: u64,
+    /// Number of ledger accounts. `0` (the default) means one account
+    /// per process — the paper's base topology. The T9 scale scenarios
+    /// set this far above `n` (e.g. one million) so the account universe
+    /// is decoupled from the replica count; it must be `0` or `≥ n`,
+    /// since process `i` still owns (and debits only) account `i`.
+    pub accounts: usize,
 }
 
 impl EngineConfig {
@@ -166,6 +172,7 @@ impl EngineConfig {
             batch: BatchPolicy::immediate(),
             backend: BroadcastBackend::Bracha,
             sig_cost_us: 0,
+            accounts: 0,
         }
     }
 
@@ -177,6 +184,7 @@ impl EngineConfig {
             batch: BatchPolicy::windowed(batch_size, window),
             backend: BroadcastBackend::Bracha,
             sig_cost_us: 0,
+            accounts: 0,
         }
     }
 
@@ -196,6 +204,32 @@ impl EngineConfig {
     pub fn with_sig_cost_us(mut self, sig_cost_us: u64) -> Self {
         self.sig_cost_us = sig_cost_us;
         self
+    }
+
+    /// Sets the ledger account count (see [`EngineConfig::accounts`]).
+    pub fn with_accounts(mut self, accounts: usize) -> Self {
+        self.accounts = accounts;
+        self
+    }
+
+    /// The effective account count for an `n`-process cluster: the
+    /// configured count, or one account per process when unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a nonzero configured count is below `n` — every
+    /// process must own its account.
+    pub fn account_count(&self, n: usize) -> usize {
+        if self.accounts == 0 {
+            n
+        } else {
+            assert!(
+                self.accounts >= n,
+                "accounts ({}) must cover every process (n = {n})",
+                self.accounts
+            );
+            self.accounts
+        }
     }
 }
 
@@ -243,6 +277,20 @@ mod tests {
         assert_eq!(EngineConfig::standard().shards, 4);
         assert_eq!(EngineConfig::standard().backend, BroadcastBackend::Bracha);
         assert_eq!(EngineConfig::standard().sig_cost_us, 0);
+    }
+
+    #[test]
+    fn account_count_defaults_to_n_and_enforces_coverage() {
+        assert_eq!(EngineConfig::standard().accounts, 0);
+        assert_eq!(EngineConfig::standard().account_count(4), 4);
+        let big = EngineConfig::standard().with_accounts(1_000);
+        assert_eq!(big.account_count(4), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every process")]
+    fn account_count_below_n_rejected() {
+        let _ = EngineConfig::standard().with_accounts(2).account_count(4);
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod probe;
 pub mod replica;
 pub mod scenario;
 pub mod shard;
+pub mod snapshot;
 pub mod suite;
 
 pub use adversary::EngineActor;
@@ -71,7 +72,11 @@ pub use probe::{
     check_fifo_contract, history_from_events, rejections_locally_justified, ContractViolation,
     TimedEvent,
 };
-pub use replica::{DefaultEngineBroadcast, EngineEvent, EngineMsg, EnginePayload, ShardedReplica};
+pub use replica::{
+    DefaultEngineBroadcast, DropDiagnostic, DropReason, EngineEvent, EngineMsg, EnginePayload,
+    ShardedReplica,
+};
 pub use scenario::{percentiles, Adversary, Fault, NetProfile, Scenario, ScenarioReport, Workload};
 pub use shard::{ShardError, ShardMap, ShardStats, ShardedLedger};
+pub use snapshot::LedgerSnapshot;
 pub use suite::{format_reports, run_suite, standard_suite};

@@ -46,6 +46,7 @@
 
 use crate::config::{BatchPolicy, EngineConfig};
 use crate::shard::{ShardStats, ShardedLedger};
+use crate::snapshot::LedgerSnapshot;
 use at_broadcast::bracha::BrachaBroadcast;
 use at_broadcast::secure::SecureBroadcast;
 use at_broadcast::types::{Delivery, Outgoing, Step};
@@ -54,7 +55,7 @@ use at_core::figure4::TransferMsg;
 use at_model::{AccountId, Amount, ProcessId, SeqNo, Transfer};
 use at_net::{Actor, Context, VirtualTime};
 use at_obs::{Recorder, Stage, TraceCtx, TraceEventKind, Tracer};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -79,6 +80,36 @@ const FLUSH_TIMER: u64 = 0xBA7C;
 /// never-valid transfers hits the cap and is dropped instead of growing
 /// every correct replica's memory and `drain` scan cost without bound.
 const MAX_PENDING_PER_SOURCE: usize = 1_024;
+
+/// Cap on retained drop diagnostics ([`DropDiagnostic`]). A sustained
+/// Byzantine sender produces one diagnostic per dropped item; retaining
+/// them all would be exactly the unbounded growth the cap on `pending`
+/// prevents. Oldest entries are evicted first and counted.
+const MAX_DROP_DIAGNOSTICS: usize = 256;
+
+/// Why a delivered transfer was dropped instead of buffered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Well-formedness violation: wrong originator/source binding or a
+    /// non-consecutive sequence number (Figure 4 lines 9–12).
+    Malformed,
+    /// The per-source delivered-but-unvalidated buffer was full
+    /// ([`MAX_PENDING_PER_SOURCE`]); the source is too far ahead of
+    /// validation to be honest.
+    PendingOverflow,
+}
+
+/// A retained diagnostic for one dropped transfer, kept in a bounded
+/// ring for operators (see [`ShardedReplica::drop_diagnostics`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DropDiagnostic {
+    /// The process whose batch carried the dropped item.
+    pub source: ProcessId,
+    /// The transfer sequence number the item claimed.
+    pub seq: SeqNo,
+    /// Why it was dropped.
+    pub reason: DropReason,
+}
 
 /// Events surfaced by the engine replica.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -192,6 +223,25 @@ pub struct ShardedReplica<B: SecureBroadcast<EnginePayload> = DefaultEngineBroad
     reserved: Amount,
     /// Batches delivered whose items failed well-formedness (diagnostics).
     malformed_dropped: u64,
+    /// Well-formed transfers dropped because the per-source pending
+    /// buffer was full — surfaced separately from `malformed_dropped` so
+    /// a wedged validation pipeline is diagnosable instead of looking
+    /// like frame loss.
+    pending_overflow_dropped: u64,
+    /// Bounded ring of per-drop diagnostics (evict-oldest).
+    drop_diagnostics: VecDeque<DropDiagnostic>,
+    /// Diagnostics evicted from the ring to stay within
+    /// [`MAX_DROP_DIAGNOSTICS`].
+    diagnostics_dropped: u64,
+    /// Highest broadcast-*instance* sequence number delivered per source
+    /// (the backend floor a snapshot cut carries).
+    backend_seen: Vec<SeqNo>,
+    /// Per-source floor below which applied history has been pruned:
+    /// every transfer of source `q` with `seq ≤ pruned_floor[q]` is
+    /// folded into the ledger but absent from `applied`/`applied_from`.
+    pruned_floor: Vec<SeqNo>,
+    /// Total entries pruned from the applied history and deps buffer.
+    pruned_total: u64,
     /// Observability handles, when a runtime attached a recorder.
     obs: Option<EngineObs>,
     /// Causal tracer, when a runtime attached one.
@@ -240,7 +290,7 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
             policy: config.batch,
             sig_cost: VirtualTime::from_micros(config.sig_cost_us),
             charged_ops: 0,
-            ledger: ShardedLedger::uniform(n, initial, config.shards),
+            ledger: ShardedLedger::uniform(config.account_count(n), initial, config.shards),
             broadcast: backend,
             batcher: Batcher::new(config.batch.max_size),
             flush_armed: false,
@@ -254,10 +304,148 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
             next_own_seq: SeqNo::ZERO,
             reserved: Amount::ZERO,
             malformed_dropped: 0,
+            pending_overflow_dropped: 0,
+            drop_diagnostics: VecDeque::new(),
+            diagnostics_dropped: 0,
+            backend_seen: vec![SeqNo::ZERO; n],
+            pruned_floor: vec![SeqNo::ZERO; n],
+            pruned_total: 0,
             obs: None,
             tracer: None,
             next_trace: None,
         }
+    }
+
+    /// Reconstructs a replica from a verified [`LedgerSnapshot`]: the
+    /// ledger is materialized from the snapshot balances, the per-source
+    /// transfer frontiers seed `seq[q]`/`rec[q]` (and this process's own
+    /// next sequence number), and the backend's delivery floors are
+    /// raised to the snapshot's instance floors so stale replayed frames
+    /// are discarded and fresh instances resume gaplessly. This is the
+    /// cold catch-up path: snapshot + short log suffix instead of full
+    /// history replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot fails [`LedgerSnapshot::verify`] or its
+    /// frontier vectors don't cover `n` processes — a caller must only
+    /// pass quorum-attested, digest-checked snapshots.
+    pub fn from_snapshot(
+        me: ProcessId,
+        n: usize,
+        config: EngineConfig,
+        mut backend: B,
+        snapshot: &LedgerSnapshot,
+    ) -> Self {
+        assert!(snapshot.verify(), "snapshot digest mismatch");
+        assert_eq!(
+            snapshot.frontier.len(),
+            n,
+            "frontier must cover n processes"
+        );
+        assert_eq!(
+            snapshot.backend_floor.len(),
+            n,
+            "backend floor must cover n processes"
+        );
+        for (q, floor) in snapshot.backend_floor.iter().enumerate() {
+            backend.set_delivery_floor(ProcessId::new(q as u32), *floor);
+        }
+        let mut replica = ShardedReplica {
+            me,
+            n,
+            policy: config.batch,
+            sig_cost: VirtualTime::from_micros(config.sig_cost_us),
+            charged_ops: 0,
+            ledger: ShardedLedger::new(snapshot.balances.iter().copied(), config.shards),
+            broadcast: backend,
+            batcher: Batcher::new(config.batch.max_size),
+            flush_armed: false,
+            validated_seq: snapshot.frontier.clone(),
+            received_seq: snapshot.frontier.clone(),
+            applied: BTreeSet::new(),
+            applied_from: vec![BTreeMap::new(); n],
+            pending: Vec::new(),
+            pending_per_source: vec![0; n],
+            deps_buffer: BTreeSet::new(),
+            next_own_seq: SeqNo::ZERO,
+            reserved: Amount::ZERO,
+            malformed_dropped: 0,
+            pending_overflow_dropped: 0,
+            drop_diagnostics: VecDeque::new(),
+            diagnostics_dropped: 0,
+            backend_seen: snapshot.backend_floor.clone(),
+            pruned_floor: snapshot.frontier.clone(),
+            pruned_total: 0,
+            obs: None,
+            tracer: None,
+            next_trace: None,
+        };
+        replica.next_own_seq = snapshot.frontier[me.as_usize()];
+        replica
+    }
+
+    /// Cuts a [`LedgerSnapshot`] of the current applied state: balances,
+    /// the per-source validated-seq frontier, and the backend's
+    /// delivered-instance floors. The cut is always self-consistent
+    /// (application is gapless per source), so the snapshot verifies by
+    /// construction; whether it is *stable* (quorum-acknowledged) is the
+    /// caller's concern — the node layer cross-checks digests from `f+1`
+    /// peers before trusting one.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot::new(
+            self.ledger.iter().collect(),
+            self.validated_seq.clone(),
+            self.backend_seen.clone(),
+        )
+    }
+
+    /// This replica's stability-frontier contribution: the per-source
+    /// last-validated transfer sequence numbers. A quorum-wide frontier
+    /// is the element-wise minimum over `n − f` replicas' vectors.
+    pub fn stability_frontier(&self) -> Vec<SeqNo> {
+        self.validated_seq.clone()
+    }
+
+    /// Prunes applied-history and dependency state at or below
+    /// `frontier` (clamped per source to what this replica has actually
+    /// validated), plus the broadcast backend's delivered instances
+    /// behind its release floors. Returns the number of entries pruned.
+    ///
+    /// Soundness: a dependency at or behind the frontier is necessarily
+    /// applied (per-source application is gapless), so the relaxed
+    /// validity check accepts it by floor comparison instead of a set
+    /// lookup — see [`ShardedReplica::from_snapshot`] for the restart
+    /// side of the same argument. Pruned `deps_buffer` credits are safe
+    /// to omit from future submissions: every correct replica either
+    /// already applied them (they're behind a *quorum* frontier) or will
+    /// block the dependent transfer on the balance check until the
+    /// credit arrives.
+    pub fn prune_through(&mut self, frontier: &[SeqNo]) -> u64 {
+        let mut pruned = 0u64;
+        for (q, &advertised) in frontier.iter().enumerate().take(self.n) {
+            let floor = advertised.min(self.validated_seq[q]);
+            if floor.value() > self.pruned_floor[q].value() {
+                self.pruned_floor[q] = floor;
+            }
+            let floor = self.pruned_floor[q];
+            let keep = self.applied_from[q].split_off(&(floor.value() + 1));
+            for (_, transfer) in std::mem::replace(&mut self.applied_from[q], keep) {
+                self.applied.remove(&transfer);
+                pruned += 1;
+            }
+        }
+        let floors = &self.pruned_floor;
+        let before = self.deps_buffer.len();
+        self.deps_buffer.retain(|dep| {
+            floors
+                .get(dep.originator.as_usize())
+                .is_none_or(|floor| dep.seq.value() > floor.value())
+        });
+        pruned += (before - self.deps_buffer.len()) as u64;
+        pruned += self.broadcast.prune_delivered() as u64;
+        self.pruned_total += pruned;
+        pruned
     }
 
     /// Attaches an [`at_obs`] recorder: batch occupancy, admission
@@ -339,6 +527,41 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
     /// Number of well-formedness-violating transfers dropped.
     pub fn malformed_dropped(&self) -> u64 {
         self.malformed_dropped
+    }
+
+    /// Number of well-formed transfers dropped because the per-source
+    /// pending buffer overflowed ([`MAX_PENDING_PER_SOURCE`]).
+    pub fn pending_overflow_dropped(&self) -> u64 {
+        self.pending_overflow_dropped
+    }
+
+    /// The retained drop diagnostics, oldest first (bounded ring; see
+    /// [`ShardedReplica::diagnostics_dropped`] for evictions).
+    pub fn drop_diagnostics(&self) -> impl Iterator<Item = &DropDiagnostic> {
+        self.drop_diagnostics.iter()
+    }
+
+    /// Number of diagnostics evicted from the bounded ring.
+    pub fn diagnostics_dropped(&self) -> u64 {
+        self.diagnostics_dropped
+    }
+
+    /// Total entries pruned so far by [`ShardedReplica::prune_through`].
+    pub fn pruned_total(&self) -> u64 {
+        self.pruned_total
+    }
+
+    /// Records a drop diagnostic, evicting the oldest past the cap.
+    fn record_drop(&mut self, source: ProcessId, seq: SeqNo, reason: DropReason) {
+        self.drop_diagnostics.push_back(DropDiagnostic {
+            source,
+            seq,
+            reason,
+        });
+        if self.drop_diagnostics.len() > MAX_DROP_DIAGNOSTICS {
+            self.drop_diagnostics.pop_front();
+            self.diagnostics_dropped += 1;
+        }
     }
 
     /// A deterministic digest of the ledger state (see
@@ -496,6 +719,11 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
         } in deliveries
         {
             ctx.emit(EngineEvent::BackendDelivery { source, seq });
+            if let Some(seen) = self.backend_seen.get_mut(source.as_usize()) {
+                if seq.value() > seen.value() {
+                    *seen = seq;
+                }
+            }
             self.on_batch(source, payload, ctx);
         }
     }
@@ -532,6 +760,7 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
                 && t.seq == self.received_seq[index].next();
             if !well_formed {
                 self.malformed_dropped += 1;
+                self.record_drop(q, t.seq, DropReason::Malformed);
                 continue;
             }
             self.received_seq[index] = t.seq;
@@ -540,7 +769,8 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
                 // honest sender's transfers validate in receipt order
                 // once their dependencies land). Drop instead of
                 // buffering without bound.
-                self.malformed_dropped += 1;
+                self.pending_overflow_dropped += 1;
+                self.record_drop(q, t.seq, DropReason::PendingOverflow);
                 continue;
             }
             self.pending_per_source[index] += 1;
@@ -550,11 +780,19 @@ impl<B: SecureBroadcast<EnginePayload>> ShardedReplica<B> {
     }
 
     /// Validity of a pending transfer: next-in-sequence, dependencies
-    /// applied, destination known, source funded (shard-local lookup).
+    /// applied, destination known, source funded (shard-local lookup). A
+    /// dependency at or behind this replica's pruned floor is accepted
+    /// by floor comparison: per-source application is gapless, so
+    /// everything behind the floor was applied before being pruned.
     fn valid(&self, q: ProcessId, msg: &TransferMsg) -> bool {
         let t = &msg.transfer;
         t.seq == self.validated_seq[q.as_usize()].next()
-            && msg.deps.iter().all(|dep| self.applied.contains(dep))
+            && msg.deps.iter().all(|dep| {
+                self.pruned_floor
+                    .get(dep.originator.as_usize())
+                    .is_some_and(|floor| dep.seq.value() <= floor.value())
+                    || self.applied.contains(dep)
+            })
             && self.ledger.contains(t.destination)
             && self.ledger.balance(t.source) >= t.amount
     }
@@ -887,12 +1125,151 @@ mod tests {
                 "replica {i}"
             );
             assert_eq!(
-                replica.malformed_dropped(),
+                replica.pending_overflow_dropped(),
                 1_100 - MAX_PENDING_PER_SOURCE as u64,
                 "replica {i}"
             );
+            assert_eq!(replica.malformed_dropped(), 0, "overflow is not malformed");
+            assert_eq!(
+                replica.drop_diagnostics().count() as u64,
+                replica.pending_overflow_dropped(),
+                "each overflow leaves a diagnostic (under the ring cap)"
+            );
+            assert!(replica
+                .drop_diagnostics()
+                .all(|d| d.reason == DropReason::PendingOverflow && d.source == p(0)));
             assert_eq!(replica.balance(a(1)), amt(10));
         }
+    }
+
+    #[test]
+    fn drop_diagnostics_ring_is_bounded() {
+        let mut sim = system(3, 10, EngineConfig::unsharded());
+        // 300 malformed items (claiming to debit someone else's account):
+        // every one is dropped and diagnosed, but only the latest
+        // MAX_DROP_DIAGNOSTICS survive in the ring.
+        sim.schedule(VirtualTime::ZERO, p(0), |replica, ctx| {
+            let items = (1..=300u64)
+                .map(|s| TransferMsg {
+                    transfer: Transfer::new(a(2), a(1), amt(1), p(0), SeqNo::new(s)),
+                    deps: vec![],
+                })
+                .collect();
+            replica.broadcast_batch(Batch::new(items), ctx);
+        });
+        assert!(sim.run_until_quiet(10_000_000));
+        for i in 1..3 {
+            let replica = sim.actor(p(i));
+            assert_eq!(replica.malformed_dropped(), 300, "replica {i}");
+            assert_eq!(replica.drop_diagnostics().count(), MAX_DROP_DIAGNOSTICS);
+            assert_eq!(
+                replica.diagnostics_dropped(),
+                300 - MAX_DROP_DIAGNOSTICS as u64
+            );
+            // Evict-oldest: the survivors are the most recent seqs.
+            let first = replica.drop_diagnostics().next().expect("non-empty ring");
+            assert_eq!(first.seq.value(), 300 - MAX_DROP_DIAGNOSTICS as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn snapshot_restores_a_cold_replica() {
+        let mut sim = system(4, 100, EngineConfig::standard());
+        for i in 0..4u32 {
+            sim.schedule(VirtualTime::ZERO, p(i), move |replica, ctx| {
+                replica.submit(a((i + 1) % 4), amt(10 + u64::from(i)), ctx);
+            });
+        }
+        assert!(sim.run_until_quiet(10_000_000));
+        let snap = sim.actor(p(0)).snapshot();
+        assert!(snap.verify());
+        assert_eq!(snap.frontier, vec![SeqNo::new(1); 4]);
+
+        let restored: ShardedReplica = ShardedReplica::from_snapshot(
+            p(0),
+            4,
+            EngineConfig::standard(),
+            BrachaBroadcast::new(p(0), 4),
+            &snap,
+        );
+        assert_eq!(restored.digest(), sim.actor(p(0)).digest());
+        for j in 0..4 {
+            assert_eq!(restored.balance(a(j)), sim.actor(p(0)).balance(a(j)));
+        }
+        // The restored replica's own stream continues past the frontier.
+        let mut restored = restored;
+        let mut events = Vec::new();
+        let mut ctx = Context::detached(VirtualTime::ZERO, p(0), 4, &mut events);
+        restored.submit(a(1), amt(1), &mut ctx);
+        let submitted = events
+            .iter()
+            .find_map(|(_, _, e)| match e {
+                EngineEvent::Submitted { transfer } => Some(*transfer),
+                _ => None,
+            })
+            .expect("admission succeeded from snapshot balances");
+        assert_eq!(submitted.seq, SeqNo::new(2), "resumes after the frontier");
+    }
+
+    #[test]
+    fn pruning_behind_the_frontier_keeps_replicas_converging() {
+        let mut sim = system(4, 100, EngineConfig::standard());
+        // Wave 1 establishes applied history and deps buffers.
+        for i in 0..4u32 {
+            sim.schedule(VirtualTime::ZERO, p(i), move |replica, ctx| {
+                replica.submit(a((i + 1) % 4), amt(10), ctx);
+            });
+        }
+        assert!(sim.run_until_quiet(10_000_000));
+        // Every replica prunes at its own frontier (all converged, so
+        // the frontiers agree and the prune is quorum-safe).
+        for i in 0..4u32 {
+            sim.schedule(sim.now(), p(i), |replica, _ctx| {
+                let frontier = replica.stability_frontier();
+                let pruned = replica.prune_through(&frontier);
+                assert!(pruned > 0, "applied history must shrink");
+                assert_eq!(replica.applied_from(p(0)).len(), 0);
+            });
+        }
+        // Wave 2: dependencies on wave-1 credits now resolve via the
+        // pruned floor, not the applied set.
+        for i in 0..4u32 {
+            sim.schedule(sim.now(), p(i), move |replica, ctx| {
+                replica.submit(a((i + 2) % 4), amt(15), ctx);
+            });
+        }
+        assert!(sim.run_until_quiet(20_000_000));
+        let done = completed(&sim.take_events());
+        assert_eq!(done.len(), 8, "both waves complete everywhere");
+        let digest = sim.actor(p(0)).digest();
+        for i in 1..4 {
+            assert_eq!(sim.actor(p(i)).digest(), digest, "replica {i}");
+        }
+        let total: Amount = (0..4).map(|j| sim.actor(p(0)).balance(a(j))).sum();
+        assert_eq!(total, amt(400));
+        assert!(sim.actor(p(0)).pruned_total() > 0);
+    }
+
+    #[test]
+    fn more_accounts_than_processes() {
+        let config = EngineConfig::standard().with_accounts(16);
+        let replicas: Vec<ShardedReplica> = (0..3u32)
+            .map(|i| ShardedReplica::new(p(i), 3, amt(50), config))
+            .collect();
+        let mut sim = Simulation::new(replicas, NetConfig::lan(3));
+        // Transfers into accounts beyond the process range work; the
+        // snapshot covers all 16.
+        sim.schedule(VirtualTime::ZERO, p(0), |replica, ctx| {
+            replica.submit(a(11), amt(7), ctx);
+        });
+        assert!(sim.run_until_quiet(1_000_000));
+        assert_eq!(completed(&sim.take_events()).len(), 1);
+        for i in 0..3 {
+            assert_eq!(sim.actor(p(i)).balance(a(11)), amt(57));
+        }
+        let snap = sim.actor(p(0)).snapshot();
+        assert_eq!(snap.account_count(), 16);
+        assert!(snap.verify());
     }
 
     #[test]

@@ -31,6 +31,39 @@ pub struct Client {
     /// Trace responses that arrived while waiting for operation
     /// responses; consumed by [`Client::trace`].
     pending_traces: Vec<(u64, TraceLog)>,
+    /// Snapshot chunks that arrived while waiting for operation
+    /// responses; consumed by [`Client::snapshot_chunk`].
+    pending_chunks: Vec<SnapshotSlice>,
+}
+
+/// One slice of a node's encoded [`at_engine::LedgerSnapshot`], as
+/// served by a [`Frame::SnapshotChunk`](crate::wire::Frame) response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotSlice {
+    /// The request id this slice answers.
+    pub id: u64,
+    /// Byte offset of `bytes` within the encoded snapshot (`u64::MAX`
+    /// answers a header probe).
+    pub offset: u64,
+    /// Total encoded snapshot length in bytes.
+    pub total: u64,
+    /// Digest of the snapshot cut being served — constant across the
+    /// chunks of one consistent transfer.
+    pub digest: u64,
+    /// The slice itself (empty on a header probe or a past-the-end
+    /// offset).
+    pub bytes: Vec<u8>,
+}
+
+/// What one [`Client::recv_incoming`] step handled.
+enum Incoming {
+    /// An operation (transfer / read) response.
+    Op(ClientResponse),
+    /// A stats, trace, or snapshot frame, stashed in the matching
+    /// pending list for its accessor to claim.
+    Stashed,
+    /// The deadline passed with nothing decoded.
+    Timeout,
 }
 
 impl Client {
@@ -47,6 +80,7 @@ impl Client {
             outstanding: 0,
             pending_stats: Vec::new(),
             pending_traces: Vec::new(),
+            pending_chunks: Vec::new(),
         })
     }
 
@@ -82,6 +116,25 @@ impl Client {
     /// [`Client::outstanding`].
     pub fn recv_response(&mut self, timeout: Duration) -> std::io::Result<Option<ClientResponse>> {
         let deadline = Instant::now() + timeout;
+        loop {
+            match self.recv_incoming(deadline)? {
+                Incoming::Op(response) => return Ok(Some(response)),
+                // A stats / trace / snapshot frame was stashed for its
+                // dedicated accessor; keep waiting for an operation
+                // response.
+                Incoming::Stashed => continue,
+                Incoming::Timeout => return Ok(None),
+            }
+        }
+    }
+
+    /// Processes incoming frames until one operation response arrives,
+    /// one non-operation frame is stashed, or the deadline passes.
+    /// Returning on *every* handled frame (not just operation responses)
+    /// is what keeps the synchronous round trips latency-bound: a stats
+    /// / trace / snapshot wrapper regains control the moment its reply
+    /// lands instead of spinning inside here until its full timeout.
+    fn recv_incoming(&mut self, deadline: Instant) -> std::io::Result<Incoming> {
         let mut chunk = [0u8; crate::wire::READ_CHUNK];
         loop {
             match self.buffer.next_frame() {
@@ -92,13 +145,31 @@ impl Client {
                     ) {
                         self.outstanding = self.outstanding.saturating_sub(1);
                     }
-                    return Ok(Some(response));
+                    return Ok(Incoming::Op(response));
                 }
                 Ok(Some(Frame::StatsResponse { id, snapshot })) => {
                     self.pending_stats.push((id, snapshot));
+                    return Ok(Incoming::Stashed);
                 }
                 Ok(Some(Frame::TraceResponse { id, log })) => {
                     self.pending_traces.push((id, log));
+                    return Ok(Incoming::Stashed);
+                }
+                Ok(Some(Frame::SnapshotChunk {
+                    id,
+                    offset,
+                    total,
+                    digest,
+                    bytes,
+                })) => {
+                    self.pending_chunks.push(SnapshotSlice {
+                        id,
+                        offset,
+                        total,
+                        digest,
+                        bytes,
+                    });
+                    return Ok(Incoming::Stashed);
                 }
                 Ok(Some(_)) => {
                     return Err(std::io::Error::new(
@@ -110,7 +181,7 @@ impl Client {
                 Err(err) => return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, err)),
             }
             if Instant::now() >= deadline {
-                return Ok(None);
+                return Ok(Incoming::Timeout);
             }
             match (&self.stream).read(&mut chunk) {
                 Ok(0) => {
@@ -143,8 +214,7 @@ impl Client {
             if let Some(at) = self.pending_stats.iter().position(|(got, _)| *got == id) {
                 return Ok(self.pending_stats.swap_remove(at).1);
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
+            if Instant::now() >= deadline {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::TimedOut,
                     "no stats response",
@@ -152,7 +222,7 @@ impl Client {
             }
             // Drains interleaved operation responses; stats responses
             // land in `pending_stats` for the check above.
-            let _ = self.recv_response(remaining)?;
+            let _ = self.recv_incoming(deadline)?;
         }
     }
 
@@ -169,8 +239,7 @@ impl Client {
             if let Some(at) = self.pending_traces.iter().position(|(got, _)| *got == id) {
                 return Ok(self.pending_traces.swap_remove(at).1);
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
+            if Instant::now() >= deadline {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::TimedOut,
                     "no trace response",
@@ -178,7 +247,79 @@ impl Client {
             }
             // Drains interleaved operation responses; trace responses
             // land in `pending_traces` for the check above.
-            let _ = self.recv_response(remaining)?;
+            let _ = self.recv_incoming(deadline)?;
+        }
+    }
+
+    /// Requests one snapshot slice at `offset` (a synchronous round
+    /// trip): offset 0 makes the node cut a fresh snapshot, `u64::MAX`
+    /// probes the header (total length + digest, no body), anything
+    /// else resumes an earlier transfer from the node's cached cut.
+    /// Pipelined transfer acknowledgements that arrive first are
+    /// consumed and counted, not lost.
+    pub fn snapshot_chunk(
+        &mut self,
+        offset: u64,
+        timeout: Duration,
+    ) -> std::io::Result<SnapshotSlice> {
+        let id = self.next_id;
+        self.next_id += 1;
+        (&self.stream).write_all(&encode_frame(&Frame::SnapshotRequest { id, offset }))?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(at) = self.pending_chunks.iter().position(|slice| slice.id == id) {
+                return Ok(self.pending_chunks.swap_remove(at));
+            }
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "no snapshot chunk",
+                ));
+            }
+            // Drains interleaved operation responses; snapshot chunks
+            // land in `pending_chunks` for the check above.
+            let _ = self.recv_incoming(deadline)?;
+        }
+    }
+
+    /// Probes the node's snapshot header without transferring the body:
+    /// `(total encoded length, digest)`. Bootstrap runs this against
+    /// several peers and requires `f + 1` matching digests before
+    /// downloading from any of them (the quorum attestation).
+    pub fn snapshot_header(&mut self, timeout: Duration) -> std::io::Result<(u64, u64)> {
+        let slice = self.snapshot_chunk(u64::MAX, timeout)?;
+        Ok((slice.total, slice.digest))
+    }
+
+    /// Downloads the node's full encoded snapshot chunk by chunk,
+    /// per-chunk timeout `timeout`. A digest change mid-transfer (the
+    /// node re-cut under a concurrent bootstrap) restarts the download
+    /// from offset 0; a handful of restarts without progress is an
+    /// error. Decode the bytes with
+    /// [`at_model::codec::decode::<at_engine::LedgerSnapshot>`](at_model::codec::decode)
+    /// and check [`at_engine::LedgerSnapshot::verify`] before trusting
+    /// them.
+    pub fn fetch_snapshot(&mut self, timeout: Duration) -> std::io::Result<Vec<u8>> {
+        let mut restarts = 0;
+        'restart: loop {
+            let first = self.snapshot_chunk(0, timeout)?;
+            let (total, digest) = (first.total, first.digest);
+            let mut bytes = first.bytes;
+            while (bytes.len() as u64) < total {
+                let slice = self.snapshot_chunk(bytes.len() as u64, timeout)?;
+                if slice.digest != digest || slice.bytes.is_empty() {
+                    restarts += 1;
+                    if restarts > 5 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "snapshot cut keeps changing mid-transfer",
+                        ));
+                    }
+                    continue 'restart;
+                }
+                bytes.extend_from_slice(&slice.bytes);
+            }
+            return Ok(bytes);
         }
     }
 

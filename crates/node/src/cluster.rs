@@ -1,6 +1,7 @@
 //! Cluster helpers: spin up N nodes in one process, over the channel
 //! mesh or real loopback TCP, and wait for convergence.
 
+use crate::client::Client;
 use crate::gateway::ClientGateway;
 use crate::mesh::{channel_mesh, channel_mesh_faulty};
 use crate::node::{Node, NodeConfig, NodeHandle, NodeReport};
@@ -8,7 +9,7 @@ use crate::probe::EventProbe;
 use crate::tcp::{peer_directory, PeerDirectory, TcpOptions, TcpTransport};
 use at_broadcast::SecureBroadcast;
 use at_engine::replica::EnginePayload;
-use at_engine::ShardedReplica;
+use at_engine::{LedgerSnapshot, ShardedReplica};
 use at_model::codec::{Decode, Encode};
 use at_model::ProcessId;
 use at_net::transport::FaultInjector;
@@ -56,7 +57,9 @@ pub struct TcpCluster<B: SecureBroadcast<EnginePayload>> {
     /// One handle per node, in process order. Entries can be taken
     /// (stopped/restarted) individually.
     pub handles: Vec<Option<NodeHandle<B>>>,
-    /// The live peer-address directory (restarted nodes re-register).
+    /// The live peer-address directory (restarted nodes re-register via
+    /// [`crate::tcp::Directory::announce`], which purges the superseded
+    /// entry so peers never back off against the dead port).
     pub directory: PeerDirectory,
     /// The client gateway address of each node.
     pub client_addrs: Vec<SocketAddr>,
@@ -263,7 +266,7 @@ where
         assert!(self.handles[i].is_none(), "node {i} is still running");
         let me = replica.me();
         let listener = TcpListener::bind("127.0.0.1:0")?;
-        self.directory.lock().expect("directory poisoned")[i] = listener.local_addr()?;
+        self.directory.announce(i, listener.local_addr()?);
         let transport = TcpTransport::start_with_faults(
             me,
             listener,
@@ -279,6 +282,110 @@ where
             transport,
             Some(gateway),
             self.options.probe.clone(),
+        ));
+        Ok(())
+    }
+
+    /// Cold-starts node `i` from a **quorum-attested snapshot** instead
+    /// of warm replica state: the catch-up path of a node whose process
+    /// (and memory) is gone for good.
+    ///
+    /// The bootstrap probes every running peer's gateway for a snapshot
+    /// header and waits until `f + 1` digests agree (`f = (n-1)/3`) —
+    /// at least one honest replica then vouches for the state. It
+    /// downloads the snapshot from an attesting peer in resumable
+    /// chunks, verifies the digest over the decoded contents, restores
+    /// a replica with [`ShardedReplica::from_snapshot`], and starts it
+    /// on fresh ports (announced through the directory). Peers replay
+    /// only their unacknowledged outbox suffix — the short log tail —
+    /// and the restored backend floors discard anything behind the
+    /// snapshot, so catch-up work is O(state), not O(history).
+    ///
+    /// Attestation needs the agreeing digests to describe the same cut,
+    /// so this converges once in-flight traffic settles; `timeout`
+    /// bounds the wait. The previous incarnation of `i` must have
+    /// stopped gracefully (its own broadcast stream quiesced), as with
+    /// any restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if node `i` is still running.
+    pub fn cold_start_node<F>(
+        &mut self,
+        i: usize,
+        make: F,
+        timeout: Duration,
+    ) -> std::io::Result<()>
+    where
+        F: FnOnce(ProcessId) -> B,
+    {
+        assert!(self.handles[i].is_none(), "node {i} is still running");
+        let catch_up_started = Instant::now();
+        let deadline = catch_up_started + timeout;
+        let n = self.handles.len();
+        let f = (n - 1) / 3;
+        let chunk_timeout = Duration::from_secs(10);
+        let peers: Vec<usize> = (0..n)
+            .filter(|&j| j != i && self.handles[j].is_some())
+            .collect();
+        let snapshot = loop {
+            // One round of header probes across the running peers.
+            let mut votes: Vec<(u64, Vec<usize>)> = Vec::new();
+            for &j in &peers {
+                let Ok(mut client) = Client::connect(self.client_addrs[j]) else {
+                    continue;
+                };
+                let Ok((_, digest)) = client.snapshot_header(chunk_timeout) else {
+                    continue;
+                };
+                match votes.iter_mut().find(|(d, _)| *d == digest) {
+                    Some((_, voters)) => voters.push(j),
+                    None => votes.push((digest, vec![j])),
+                }
+            }
+            // f+1 matching digests guarantee at least one correct voter.
+            let attested = votes.iter().find(|(_, voters)| voters.len() > f);
+            if let Some((digest, voters)) = attested {
+                // Download from an attesting peer and cross-check the
+                // bytes against the attested digest (the peer re-cuts
+                // at offset 0; a mismatch means traffic moved the state
+                // under us — re-attest).
+                let mut client = Client::connect(self.client_addrs[voters[0]])?;
+                let bytes = client.fetch_snapshot(chunk_timeout)?;
+                if let Ok(snapshot) = at_model::codec::decode::<LedgerSnapshot>(&bytes) {
+                    if snapshot.verify() && snapshot.digest == *digest {
+                        break snapshot;
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("no quorum of {} matching snapshot digests", f + 1),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        let me = ProcessId::new(i as u32);
+        let replica = ShardedReplica::from_snapshot(me, n, self.config.engine, make(me), &snapshot);
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        self.directory.announce(i, listener.local_addr()?);
+        let transport = TcpTransport::start_with_faults(
+            me,
+            listener,
+            std::sync::Arc::clone(&self.directory),
+            self.options.tcp,
+            self.options.faults.clone(),
+        )?;
+        let gateway = ClientGateway::bind("127.0.0.1:0")?;
+        self.client_addrs[i] = gateway.local_addr()?;
+        self.handles[i] = Some(Node::resume_bootstrapped(
+            replica,
+            self.config,
+            transport,
+            Some(gateway),
+            self.options.probe.clone(),
+            catch_up_started,
         ));
         Ok(())
     }

@@ -45,6 +45,16 @@ pub(crate) enum GatewayEvent {
         /// Request id to echo.
         id: u64,
     },
+    /// A client (typically a cold-starting peer's bootstrap client)
+    /// asked for a slice of the node's ledger snapshot.
+    Snapshot {
+        /// Connection id (routes the response).
+        conn: u64,
+        /// Request id to echo.
+        id: u64,
+        /// Requested byte offset (`u64::MAX` probes the header only).
+        offset: u64,
+    },
     /// A client connection ended.
     Gone {
         /// Connection id to unregister.
@@ -70,6 +80,19 @@ pub(crate) enum ClientDelivery {
         /// The captured trace ring (empty when tracing is disabled).
         log: TraceLog,
     },
+    /// A snapshot slice answering a [`Frame::SnapshotRequest`].
+    SnapshotChunk {
+        /// The request id being answered.
+        id: u64,
+        /// Byte offset of `bytes` within the encoded snapshot.
+        offset: u64,
+        /// Total encoded snapshot length.
+        total: u64,
+        /// Digest of the snapshot being served.
+        digest: u64,
+        /// The slice itself (empty on a header probe).
+        bytes: Vec<u8>,
+    },
 }
 
 impl ClientDelivery {
@@ -78,6 +101,19 @@ impl ClientDelivery {
             ClientDelivery::Response(response) => Frame::Response(response),
             ClientDelivery::Stats { id, snapshot } => Frame::StatsResponse { id, snapshot },
             ClientDelivery::Trace { id, log } => Frame::TraceResponse { id, log },
+            ClientDelivery::SnapshotChunk {
+                id,
+                offset,
+                total,
+                digest,
+                bytes,
+            } => Frame::SnapshotChunk {
+                id,
+                offset,
+                total,
+                digest,
+                bytes,
+            },
         }
     }
 }
@@ -226,6 +262,9 @@ fn client_reader(
                 }
                 Ok(Some(Frame::TraceRequest { id })) if greeted => {
                     deliver(GatewayEvent::Trace { conn, id });
+                }
+                Ok(Some(Frame::SnapshotRequest { id, offset })) if greeted => {
+                    deliver(GatewayEvent::Snapshot { conn, id, offset });
                 }
                 Ok(Some(_)) => return, // protocol violation
                 Ok(None) => break,

@@ -44,7 +44,7 @@ pub mod probe;
 pub mod tcp;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{Client, SnapshotSlice};
 pub use cluster::{
     await_convergence, start_mesh_cluster, start_mesh_cluster_with, start_tcp_cluster,
     start_tcp_cluster_instrumented, start_tcp_cluster_with, try_await_convergence, ClusterOptions,
@@ -54,7 +54,7 @@ pub use gateway::ClientGateway;
 pub use mesh::{channel_mesh, channel_mesh_faulty, ChannelMesh};
 pub use node::{LocalClient, Node, NodeConfig, NodeHandle, NodeReport};
 pub use probe::EventProbe;
-pub use tcp::{peer_directory, PeerDirectory, TcpOptions, TcpTransport};
+pub use tcp::{peer_directory, Directory, PeerDirectory, TcpOptions, TcpTransport};
 pub use wire::{
     ClientOp, ClientRequest, ClientResponse, Frame, FrameBuffer, ResponseBody, WireError,
     MAX_FRAME_LEN, WIRE_VERSION,

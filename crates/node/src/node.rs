@@ -65,6 +65,12 @@ pub struct NodeConfig {
     /// Causal tracing plane, when enabled. `None` (the default) builds
     /// no tracer at all, so the hot path pays nothing.
     pub trace: Option<TraceConfig>,
+    /// How often the loop prunes replica state behind the stability
+    /// frontier ([`ShardedReplica::prune_through`]) — the log-truncation
+    /// cadence that keeps steady-state memory flat. `Duration::MAX`
+    /// disables pruning (history grows without bound, the pre-snapshot
+    /// behavior).
+    pub prune_interval: Duration,
 }
 
 impl NodeConfig {
@@ -78,6 +84,7 @@ impl NodeConfig {
             tick: Duration::from_micros(200),
             stop_grace: Duration::from_secs(3),
             trace: None,
+            prune_interval: Duration::from_secs(1),
         }
     }
 
@@ -116,6 +123,12 @@ pub struct NodeReport {
     /// acknowledged to peers and will *not* be replayed, so a nonzero
     /// value taints a later warm restart.
     pub lost_ingest: u64,
+    /// Delivered-but-unvalidated transfers evicted when a source's
+    /// bounded pending buffer overflowed
+    /// ([`ShardedReplica::pending_overflow_dropped`]). Expected 0 under
+    /// honest load; nonzero flags a flooding source (or an undersized
+    /// cap) whose evicted transfers can never apply on this replica.
+    pub overflow_dropped: u64,
 }
 
 /// Counters shared between the loop and its handles.
@@ -144,6 +157,11 @@ enum Command {
     Trace {
         conn: u64,
         id: u64,
+    },
+    Snapshot {
+        conn: u64,
+        id: u64,
+        offset: u64,
     },
     ClientGone {
         conn: u64,
@@ -380,6 +398,13 @@ impl Drop for LocalClient {
     }
 }
 
+/// Largest snapshot slice served per [`Frame::SnapshotChunk`]: well
+/// under [`crate::wire::MAX_FRAME_LEN`], large enough that a
+/// million-account snapshot moves in a few tens of round trips.
+///
+/// [`Frame::SnapshotChunk`]: crate::wire::Frame::SnapshotChunk
+const SNAPSHOT_CHUNK: usize = 1 << 20;
+
 /// Timer-heap entry ordered by deadline (earliest first).
 #[derive(PartialEq, Eq)]
 struct TimerEntry(Instant, u64);
@@ -519,6 +544,25 @@ where
         Node::resume_probed(replica, config, transport, gateway, None)
     }
 
+    /// [`Node::resume_probed`] for a replica restored from a fetched
+    /// snapshot ([`ShardedReplica::from_snapshot`]): records the cold
+    /// catch-up span — `catch_up_started` (when the snapshot fetch
+    /// began) until now — into the node's registry before serving, so
+    /// `stage_catchup_us` carries one sample per bootstrap.
+    pub fn resume_bootstrapped<T: Transport + 'static>(
+        replica: ShardedReplica<B>,
+        config: NodeConfig,
+        transport: T,
+        gateway: Option<ClientGateway>,
+        probe: Option<EventProbe>,
+        catch_up_started: Instant,
+    ) -> NodeHandle<B> {
+        let obs = Registry::new(format!("node {}", replica.me()));
+        obs.recorder()
+            .record(Stage::CatchUp, catch_up_started.elapsed());
+        Node::resume_with_registry(replica, config, transport, gateway, probe, obs)
+    }
+
     /// [`Node::resume`] with an optional cluster [`EventProbe`] (a
     /// restarted node keeps appending to the same recording).
     pub fn resume_probed<T: Transport + 'static>(
@@ -599,6 +643,8 @@ where
                     msgs_out,
                     batch_pending: VecDeque::new(),
                     broadcast_pending: VecDeque::new(),
+                    snapshot_cache: None,
+                    last_prune: Instant::now(),
                 }
                 .run()
             })
@@ -629,6 +675,7 @@ fn commands_adapter(commands: Sender<Command>) -> impl Fn(GatewayEvent) + Send +
             },
             GatewayEvent::Stats { conn, id } => Command::Stats { conn, id },
             GatewayEvent::Trace { conn, id } => Command::Trace { conn, id },
+            GatewayEvent::Snapshot { conn, id, offset } => Command::Snapshot { conn, id, offset },
             GatewayEvent::Gone { conn } => Command::ClientGone { conn },
         };
         let _ = commands.send(command);
@@ -701,6 +748,14 @@ where
     /// trip — popped by the local `BackendDelivery` of an own-source
     /// instance (per-source FIFO delivery makes this match up).
     broadcast_pending: VecDeque<Instant>,
+    /// The last snapshot cut for a bootstrap client: `(digest, encoded
+    /// bytes)`. Chunk requests at offsets past 0 serve from this copy so
+    /// a resumed transfer stays byte-consistent; a request at offset 0
+    /// re-cuts.
+    snapshot_cache: Option<(u64, Vec<u8>)>,
+    /// When replica state behind the stability frontier was last pruned
+    /// (see [`NodeConfig::prune_interval`]).
+    last_prune: Instant,
 }
 
 impl<B, T> NodeLoop<B, T>
@@ -745,6 +800,9 @@ where
                     Ok(Command::Trace { conn, id }) => {
                         let log = self.trace_log();
                         self.deliver(conn, ClientDelivery::Trace { id, log });
+                    }
+                    Ok(Command::Snapshot { conn, id, offset }) => {
+                        self.handle_snapshot(conn, id, offset);
                     }
                     Ok(Command::TraceLog(reply)) => {
                         let _ = reply.send(self.trace_log());
@@ -797,6 +855,17 @@ where
                 worked = true;
                 self.msgs_in.inc();
                 self.drive(|replica, ctx| replica.on_message(from, msg, ctx));
+            }
+
+            // 4b. Truncate history behind the stability frontier on a
+            // fixed cadence — the log-truncation half of the snapshot
+            // story, keeping steady-state memory flat over long runs.
+            if self.config.prune_interval != Duration::MAX
+                && self.last_prune.elapsed() >= self.config.prune_interval
+            {
+                self.last_prune = Instant::now();
+                let frontier = self.replica.stability_frontier();
+                self.replica.prune_through(&frontier);
             }
 
             // 5. Pull from the transport until the next deadline.
@@ -1198,6 +1267,15 @@ where
             "node_lost_ingest_total",
             self.stats.lost_ingest.load(Ordering::Relaxed),
         );
+        fold("engine_pruned_total", self.replica.pruned_total());
+        fold(
+            "engine_overflow_dropped_total",
+            self.replica.pending_overflow_dropped(),
+        );
+        fold(
+            "engine_diagnostics_dropped_total",
+            self.replica.diagnostics_dropped(),
+        );
         let backend = self.replica.backend();
         let ops = backend.crypto_ops();
         fold("broadcast_signs_total", ops.signs);
@@ -1230,6 +1308,44 @@ where
         self.tracer.as_ref().map(Tracer::log).unwrap_or_default()
     }
 
+    /// Answers one snapshot-chunk request. Offset 0 and the `u64::MAX`
+    /// header probe cut (and cache) a fresh snapshot — probes must
+    /// reflect current state for quorum attestation to converge;
+    /// anything else serves from the cached cut so a resumed transfer
+    /// stays byte-consistent. A client that resumes against a node
+    /// restarted mid-transfer sees the digest change and restarts from
+    /// offset 0.
+    fn handle_snapshot(&mut self, conn: u64, id: u64, offset: u64) {
+        if offset == 0 || offset == u64::MAX || self.snapshot_cache.is_none() {
+            let snapshot = self.replica.snapshot();
+            let bytes = at_model::codec::encode(&snapshot);
+            self.snapshot_cache = Some((snapshot.digest, bytes));
+        }
+        let (digest, encoded) = self.snapshot_cache.as_ref().expect("cut above");
+        let total = encoded.len() as u64;
+        let bytes = if offset == u64::MAX || offset >= total {
+            Vec::new()
+        } else {
+            let start = offset as usize;
+            let end = (start + SNAPSHOT_CHUNK).min(encoded.len());
+            encoded[start..end].to_vec()
+        };
+        self.recorder
+            .registry()
+            .counter("snapshot_chunks_served_total")
+            .inc();
+        self.deliver(
+            conn,
+            ClientDelivery::SnapshotChunk {
+                id,
+                offset,
+                total,
+                digest: *digest,
+                bytes,
+            },
+        );
+    }
+
     fn report(&self) -> NodeReport {
         let n = self.transport.n();
         NodeReport {
@@ -1245,6 +1361,7 @@ where
             malformed_frames: self.stats.malformed_frames.load(Ordering::Relaxed),
             dropped_frames: self.transport.dropped_frames(),
             lost_ingest: self.stats.lost_ingest.load(Ordering::Relaxed),
+            overflow_dropped: self.replica.pending_overflow_dropped(),
         }
     }
 }

@@ -296,17 +296,63 @@ impl Inbox {
 /// A cluster's live peer-address directory, shared by every endpoint.
 ///
 /// Writers re-read their peer's address on every reconnect attempt, so
-/// a node that restarts on a *different* port only has to update its
-/// directory slot — reusing the exact port would otherwise trip over
-/// TIME_WAIT remnants of the previous incarnation's connections
-/// (`std::net` sets no `SO_REUSEADDR`). In a multi-process deployment
-/// the directory is simply each process's static view of the cluster's
-/// listen addresses.
-pub type PeerDirectory = Arc<Mutex<Vec<SocketAddr>>>;
+/// a node that restarts on a *different* port only has to
+/// [`Directory::announce`] its new address — reusing the exact port
+/// would otherwise trip over TIME_WAIT remnants of the previous
+/// incarnation's connections (`std::net` sets no `SO_REUSEADDR`). An
+/// announce *purges* the superseded entry by bumping the slot's
+/// incarnation number: a dialer whose connection attempt fails against
+/// an address read before the announce sees the bump, resets its
+/// backoff, and dials the fresh address immediately — instead of
+/// sleeping through an exponential delay aimed at a dead port, which
+/// inflated a restarted node's catch-up latency. In a multi-process
+/// deployment the directory is simply each process's static view of
+/// the cluster's listen addresses.
+pub type PeerDirectory = Arc<Directory>;
 
-/// Builds a directory from the given listen addresses.
+/// The slot table behind [`PeerDirectory`]: one current address and
+/// incarnation number per node. There is never more than one entry per
+/// slot — announcing replaces (purges) the superseded address outright.
+#[derive(Debug)]
+pub struct Directory {
+    slots: Mutex<Vec<(SocketAddr, u64)>>,
+}
+
+impl Directory {
+    /// Number of cluster slots.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("directory poisoned").len()
+    }
+
+    /// Whether the directory has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot `i`'s current address and incarnation number.
+    pub fn get(&self, i: usize) -> (SocketAddr, u64) {
+        self.slots.lock().expect("directory poisoned")[i]
+    }
+
+    /// Announces a new incarnation of node `i` at `addr`: the
+    /// superseded entry is purged and the slot's incarnation number
+    /// bumped (returned), so reconnecting dialers stop treating
+    /// failures against the dead address as grounds for more backoff.
+    pub fn announce(&self, i: usize, addr: SocketAddr) -> u64 {
+        let mut slots = self.slots.lock().expect("directory poisoned");
+        let slot = &mut slots[i];
+        slot.0 = addr;
+        slot.1 += 1;
+        slot.1
+    }
+}
+
+/// Builds a directory from the given listen addresses (incarnation 0
+/// each).
 pub fn peer_directory(addrs: Vec<SocketAddr>) -> PeerDirectory {
-    Arc::new(Mutex::new(addrs))
+    Arc::new(Directory {
+        slots: Mutex::new(addrs.into_iter().map(|addr| (addr, 0)).collect()),
+    })
 }
 
 /// Receiver-side per-peer state: epoch + dedup cursor.
@@ -372,7 +418,7 @@ impl TcpTransport {
         options: TcpOptions,
         faults: Option<FaultInjector>,
     ) -> std::io::Result<TcpTransport> {
-        let n = directory.lock().expect("directory poisoned").len();
+        let n = directory.len();
         assert!(me.as_usize() < n, "process id out of range");
         let listen_addr = listener.local_addr()?;
         let epoch = SystemTime::now()
@@ -775,11 +821,19 @@ fn writer_loop(peer: usize, directory: PeerDirectory, shared: Arc<Shared>) {
                 continue;
             }
         }
-        let addr = directory.lock().expect("directory poisoned")[peer];
+        let (addr, incarnation) = directory.get(peer);
         match writer_conn(addr, peer, &shared, &outbox, &mut backoff) {
             Ok(()) => break, // clean shutdown
             Err(_) => {
                 shared.stats.note_reconnect();
+                // A re-announce while we dialed (or held a connection
+                // to) the superseded address means the failure belongs
+                // to the dead incarnation: dial the fresh entry now
+                // instead of backing off against a purged port.
+                if directory.get(peer).1 != incarnation {
+                    backoff.reset();
+                    continue;
+                }
                 std::thread::sleep(backoff.next_delay());
             }
         }
@@ -1091,7 +1145,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         // Now start peer 1 on a fresh port, announced via the directory.
         let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
-        dir.lock().unwrap()[1] = l1.local_addr().unwrap();
+        dir.announce(1, l1.local_addr().unwrap());
         let mut t1 = TcpTransport::start(p(1), l1, dir, opts).unwrap();
         for i in 0..10u8 {
             assert_eq!(recv_frame(&mut t1).payload, vec![i]);
@@ -1099,6 +1153,25 @@ mod tests {
         assert_eq!(t0.dropped_frames(), 0);
         t0.shutdown();
         t1.shutdown();
+    }
+
+    #[test]
+    fn announce_purges_the_superseded_entry_and_bumps_the_incarnation() {
+        let a: SocketAddr = "127.0.0.1:1000".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:2000".parse().unwrap();
+        let c: SocketAddr = "127.0.0.1:3000".parse().unwrap();
+        let dir = peer_directory(vec![a, b]);
+        assert_eq!(dir.len(), 2);
+        assert!(!dir.is_empty());
+        assert_eq!(dir.get(0), (a, 0));
+        assert_eq!(dir.announce(0, c), 1);
+        // Exactly one entry per slot: the old address is gone, and the
+        // bumped incarnation tells dialers their failure was against
+        // the purged port.
+        assert_eq!(dir.get(0), (c, 1));
+        assert_eq!(dir.get(1), (b, 0));
+        assert_eq!(dir.announce(0, a), 2);
+        assert_eq!(dir.get(0), (a, 2));
     }
 
     #[test]
@@ -1197,7 +1270,7 @@ mod tests {
         // The next incarnation of node 1 receives the replay.
         t1.shutdown();
         let l1b = TcpListener::bind("127.0.0.1:0").unwrap();
-        dir.lock().unwrap()[1] = l1b.local_addr().unwrap();
+        dir.announce(1, l1b.local_addr().unwrap());
         let mut t1b = TcpTransport::start(p(1), l1b, dir, opts).unwrap();
         assert_eq!(recv_frame(&mut t1b).payload, vec![2]);
         assert_eq!(t0.dropped_frames(), 0);

@@ -43,8 +43,9 @@ use std::fmt;
 /// Current wire protocol version. Bumped on any incompatible change;
 /// endpoints reject frames with any other value. Version 2 added the
 /// optional trace context on broadcast batch payloads and the
-/// `TraceRequest`/`TraceResponse` scrape frames.
-pub const WIRE_VERSION: u8 = 2;
+/// `TraceRequest`/`TraceResponse` scrape frames. Version 3 added the
+/// `SnapshotRequest`/`SnapshotChunk` catch-up frames.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Maximum frame body length (8 MiB) — a denial-of-service guard on
 /// untrusted length prefixes, far above any legitimate batch.
@@ -232,6 +233,38 @@ pub enum Frame {
         /// The node's trace ring at capture time.
         log: TraceLog,
     },
+    /// A bootstrap client's request for one chunk of the node's ledger
+    /// snapshot, starting at `offset` bytes into the encoded snapshot.
+    /// `offset == u64::MAX` is the header probe: the node answers with
+    /// an empty chunk carrying only `total` and `digest`, which the
+    /// requester cross-checks across peers for quorum attestation before
+    /// downloading anyone's bytes. `offset == 0` asks the node to cut a
+    /// fresh snapshot; non-zero offsets resume the one it cut last.
+    SnapshotRequest {
+        /// Client-chosen request id (echoed in the chunk).
+        id: u64,
+        /// Byte offset into the encoded snapshot, or `u64::MAX` to probe.
+        offset: u64,
+    },
+    /// One chunk of an encoded [`at_engine::LedgerSnapshot`], answering
+    /// one [`Frame::SnapshotRequest`]. The transfer is resumable: a
+    /// requester that crashed mid-download re-requests from the offset
+    /// it last persisted, and restarts from 0 if `digest` no longer
+    /// matches (the serving node cut a newer snapshot meanwhile).
+    SnapshotChunk {
+        /// The request id being answered.
+        id: u64,
+        /// Byte offset of `bytes` within the encoded snapshot.
+        offset: u64,
+        /// Total encoded snapshot length in bytes.
+        total: u64,
+        /// The snapshot's digest (cheap cross-peer attestation check;
+        /// the full check is decoding and verifying the assembled
+        /// snapshot).
+        digest: u64,
+        /// The chunk payload (empty for a header probe).
+        bytes: Vec<u8>,
+    },
 }
 
 impl Encode for ClientRequest {
@@ -368,6 +401,25 @@ impl Encode for Frame {
                 id.encode(w);
                 log.encode(w);
             }
+            Frame::SnapshotRequest { id, offset } => {
+                w.put_u8(11);
+                id.encode(w);
+                offset.encode(w);
+            }
+            Frame::SnapshotChunk {
+                id,
+                offset,
+                total,
+                digest,
+                bytes,
+            } => {
+                w.put_u8(12);
+                id.encode(w);
+                offset.encode(w);
+                total.encode(w);
+                digest.encode(w);
+                bytes.encode(w);
+            }
         }
     }
 }
@@ -441,6 +493,27 @@ pub enum FrameRef<'a> {
         /// The trace-event log.
         log: TraceLog,
     },
+    /// See [`Frame::SnapshotRequest`].
+    SnapshotRequest {
+        /// Client-chosen request id.
+        id: u64,
+        /// Byte offset into the encoded snapshot, or `u64::MAX` to probe.
+        offset: u64,
+    },
+    /// See [`Frame::SnapshotChunk`] — the chunk bytes borrow from the
+    /// receive buffer.
+    SnapshotChunk {
+        /// The request id being answered.
+        id: u64,
+        /// Byte offset of `bytes` within the encoded snapshot.
+        offset: u64,
+        /// Total encoded snapshot length in bytes.
+        total: u64,
+        /// The snapshot's digest.
+        digest: u64,
+        /// The chunk payload, in place.
+        bytes: &'a [u8],
+    },
 }
 
 impl<'a> FrameRef<'a> {
@@ -480,6 +553,17 @@ impl<'a> FrameRef<'a> {
                 id: u64::decode(r)?,
                 log: TraceLog::decode(r)?,
             }),
+            11 => Ok(FrameRef::SnapshotRequest {
+                id: u64::decode(r)?,
+                offset: u64::decode(r)?,
+            }),
+            12 => Ok(FrameRef::SnapshotChunk {
+                id: u64::decode(r)?,
+                offset: u64::decode(r)?,
+                total: u64::decode(r)?,
+                digest: u64::decode(r)?,
+                bytes: r.take_len_prefixed()?,
+            }),
             tag => Err(CodecError::InvalidTag {
                 type_name: "Frame",
                 tag,
@@ -510,6 +594,20 @@ impl<'a> FrameRef<'a> {
             FrameRef::TraceResponse { id, ref log } => Frame::TraceResponse {
                 id,
                 log: log.clone(),
+            },
+            FrameRef::SnapshotRequest { id, offset } => Frame::SnapshotRequest { id, offset },
+            FrameRef::SnapshotChunk {
+                id,
+                offset,
+                total,
+                digest,
+                bytes,
+            } => Frame::SnapshotChunk {
+                id,
+                offset,
+                total,
+                digest,
+                bytes: bytes.to_vec(),
             },
         }
     }
@@ -753,6 +851,17 @@ mod tests {
                     tracer.log()
                 },
             },
+            Frame::SnapshotRequest {
+                id: 14,
+                offset: u64::MAX,
+            },
+            Frame::SnapshotChunk {
+                id: 14,
+                offset: 4096,
+                total: 81920,
+                digest: 0xDEAD_BEEF_CAFE,
+                bytes: vec![7; 512],
+            },
         ];
         // Stream all frames as one byte soup, delivered in 7-byte chunks.
         let stream: Vec<u8> = frames.iter().flat_map(encode_frame).collect();
@@ -799,6 +908,14 @@ mod tests {
                 },
             }),
             Frame::StatsRequest { id: 3 },
+            Frame::SnapshotRequest { id: 4, offset: 0 },
+            Frame::SnapshotChunk {
+                id: 4,
+                offset: 0,
+                total: 3,
+                digest: 99,
+                bytes: vec![1, 2, 3],
+            },
         ];
         for frame in &frames {
             let bytes = encode_frame(frame);

@@ -1,0 +1,210 @@
+//! Integration tests for the snapshot catch-up plane: cold-starting a
+//! node from a quorum-attested snapshot plus the peers' short log
+//! suffix, and resuming a chunked snapshot download across a client
+//! crash.
+
+use at_broadcast::auth::NoAuth;
+use at_broadcast::echo::EchoBroadcast;
+use at_engine::{EngineConfig, LedgerSnapshot};
+use at_model::codec::decode;
+use at_model::{AccountId, Amount, ProcessId};
+use at_node::{
+    await_convergence, start_tcp_cluster, Client, NodeConfig, NodeHandle, ResponseBody, TcpOptions,
+};
+use std::time::Duration;
+
+fn committed_transfer<B>(handle: &NodeHandle<B>, destination: AccountId, amount: Amount)
+where
+    B: at_broadcast::SecureBroadcast<at_engine::replica::EnginePayload>,
+{
+    let mut client = handle.local_client();
+    client.submit_transfer(destination, amount);
+    let ack = client
+        .recv_response(Duration::from_secs(20))
+        .expect("transfer acknowledged");
+    assert!(
+        matches!(ack.body, ResponseBody::Committed { .. }),
+        "transfer rejected: {ack:?}"
+    );
+}
+
+#[test]
+fn cold_start_converges_from_snapshot_plus_suffix() {
+    let n = 4;
+    let config = NodeConfig::new(EngineConfig::unsharded(), Amount::new(1_000));
+    let mut cluster = start_tcp_cluster(n, config, TcpOptions::default(), |me| {
+        EchoBroadcast::new(me, n, NoAuth)
+    })
+    .expect("cluster start");
+
+    // Build some history: three waves from every node.
+    for _ in 0..3 {
+        for i in 0..n {
+            let handle = cluster.handles[i].as_ref().expect("running");
+            committed_transfer(handle, AccountId::new(((i + 1) % n) as u32), Amount::new(5));
+        }
+    }
+    {
+        let handles: Vec<_> = cluster.running().collect();
+        await_convergence(&handles, Duration::from_secs(30)).expect("pre-crash convergence");
+    }
+
+    // Node 3's process dies for good (graceful stop, but its warm state
+    // is discarded — the cold-start path must not need it).
+    let _discarded = cluster.stop_node(3);
+
+    // The cluster keeps committing while node 3 is gone: the suffix.
+    for i in 0..3 {
+        let handle = cluster.handles[i].as_ref().expect("running");
+        committed_transfer(handle, AccountId::new(3), Amount::new(7));
+    }
+
+    // Cold-start node 3 from a quorum-attested snapshot.
+    cluster
+        .cold_start_node(
+            3,
+            |me| EchoBroadcast::new(me, n, NoAuth),
+            Duration::from_secs(30),
+        )
+        .expect("cold start");
+
+    let handles: Vec<_> = cluster.running().collect();
+    let reports =
+        await_convergence(&handles, Duration::from_secs(30)).expect("post-bootstrap convergence");
+    assert_eq!(reports.len(), n);
+
+    // The restored node agreed on the full history (convergence checked
+    // the digests) yet applied almost none of it locally: the snapshot
+    // carried the prefix, only the suffix could have replayed.
+    let total_transfers = 3 * n as u64 + 3;
+    let cold = reports
+        .iter()
+        .find(|r| r.node == ProcessId::new(3))
+        .expect("cold node reports");
+    assert!(
+        cold.applied < total_transfers / 2,
+        "cold node applied {} of {} transfers — it replayed history instead of \
+         bootstrapping from the snapshot",
+        cold.applied,
+        total_transfers
+    );
+
+    // The catch-up stage span recorded exactly one bootstrap sample.
+    let metrics = cluster.handles[3].as_ref().expect("running").metrics();
+    let catch_up = metrics
+        .histogram("stage_catchup_us")
+        .expect("catch-up histogram registered");
+    assert_eq!(catch_up.count, 1, "one cold bootstrap, one sample");
+
+    cluster.stop_all();
+}
+
+#[test]
+fn chunked_snapshot_download_resumes_after_a_client_crash() {
+    let n = 4;
+    // Enough accounts that the encoded snapshot spans several chunks.
+    let config = NodeConfig::new(
+        EngineConfig::standard().with_accounts(150_000),
+        Amount::new(100),
+    );
+    let mut cluster = start_tcp_cluster(n, config, TcpOptions::default(), |me| {
+        EchoBroadcast::new(me, n, NoAuth)
+    })
+    .expect("cluster start");
+
+    let timeout = Duration::from_secs(10);
+    let mut client = Client::connect(cluster.client_addrs[0]).expect("connect");
+    let (total, digest) = client.snapshot_header(timeout).expect("header probe");
+    assert!(
+        total > 1 << 20,
+        "need a multi-chunk snapshot to exercise resume, got {total} bytes"
+    );
+
+    // First chunk arrives, then the client dies mid-transfer.
+    let first = client.snapshot_chunk(0, timeout).expect("first chunk");
+    assert_eq!(first.digest, digest, "quiescent re-cut digests agree");
+    assert!((first.bytes.len() as u64) < total);
+    drop(client);
+
+    // A fresh connection resumes at the crash offset; the node serves
+    // the remaining chunks from the same cached cut, byte-consistent.
+    let mut resumed = Client::connect(cluster.client_addrs[0]).expect("reconnect");
+    let mut bytes = first.bytes;
+    while (bytes.len() as u64) < total {
+        let slice = resumed
+            .snapshot_chunk(bytes.len() as u64, timeout)
+            .expect("resumed chunk");
+        assert_eq!(
+            slice.digest, digest,
+            "cut changed under a quiescent cluster"
+        );
+        assert!(
+            !slice.bytes.is_empty(),
+            "no progress at offset {}",
+            bytes.len()
+        );
+        bytes.extend_from_slice(&slice.bytes);
+    }
+    assert_eq!(bytes.len() as u64, total);
+
+    let snapshot = decode::<LedgerSnapshot>(&bytes).expect("snapshot decodes");
+    assert!(snapshot.verify(), "digest covers the reassembled bytes");
+    assert_eq!(snapshot.digest, digest);
+    assert_eq!(snapshot.account_count(), 150_000);
+
+    // The one-shot convenience fetch agrees with the manual resume.
+    let fetched = resumed.fetch_snapshot(timeout).expect("full fetch");
+    assert_eq!(fetched, bytes);
+
+    // The snapshot is enough to restore a working replica offline.
+    let restored = at_engine::ShardedReplica::from_snapshot(
+        ProcessId::new(3),
+        n,
+        EngineConfig::standard().with_accounts(150_000),
+        EchoBroadcast::new(ProcessId::new(3), n, NoAuth),
+        &snapshot,
+    );
+    assert_eq!(restored.digest(), {
+        let _ = &restored;
+        cluster.handles[0]
+            .as_ref()
+            .expect("running")
+            .report()
+            .digest
+    });
+    drop(restored);
+
+    cluster.stop_all();
+}
+
+/// A node resumed the ordinary warm way still works with pruning on:
+/// the default prune cadence must not break restart convergence.
+#[test]
+fn warm_restart_still_converges_with_pruning_enabled() {
+    let n = 4;
+    let mut config = NodeConfig::new(EngineConfig::unsharded(), Amount::new(500));
+    config.prune_interval = Duration::from_millis(50);
+    let mut cluster = start_tcp_cluster(n, config, TcpOptions::default(), |me| {
+        EchoBroadcast::new(me, n, NoAuth)
+    })
+    .expect("cluster start");
+
+    for _ in 0..2 {
+        for i in 0..n {
+            let handle = cluster.handles[i].as_ref().expect("running");
+            committed_transfer(handle, AccountId::new(((i + 2) % n) as u32), Amount::new(3));
+        }
+    }
+    // Let at least one prune pass run on every node.
+    std::thread::sleep(Duration::from_millis(120));
+
+    let replica = cluster.stop_node(1);
+    cluster.restart_node(1, replica).expect("warm restart");
+    for i in 0..n {
+        let handle = cluster.handles[i].as_ref().expect("running");
+        committed_transfer(handle, AccountId::new(((i + 1) % n) as u32), Amount::new(2));
+    }
+    let handles: Vec<_> = cluster.running().collect();
+    await_convergence(&handles, Duration::from_secs(30)).expect("convergence with pruning");
+    cluster.stop_all();
+}

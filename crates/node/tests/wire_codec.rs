@@ -134,10 +134,10 @@ fn frame() -> impl Strategy<Value = Frame> {
         client_request(),
         snapshot(),
         trace_log(),
-        0u32..22,
+        0u32..26,
     )
         .prop_map(
-            |(a, b, payload, request, snapshot, log, pick)| match pick % 11 {
+            |(a, b, payload, request, snapshot, log, pick)| match pick % 13 {
                 0 => Frame::HelloNode {
                     node: ProcessId::new((a % 16) as u32),
                     epoch: b,
@@ -151,6 +151,23 @@ fn frame() -> impl Strategy<Value = Frame> {
                 8 => Frame::StatsResponse { id: a, snapshot },
                 9 => Frame::TraceRequest { id: a },
                 10 => Frame::TraceResponse { id: a, log },
+                11 => Frame::SnapshotRequest {
+                    id: a,
+                    // Cover the header probe (u64::MAX), the fresh cut
+                    // (0), and resume offsets.
+                    offset: match b % 3 {
+                        0 => u64::MAX,
+                        1 => 0,
+                        _ => b,
+                    },
+                },
+                12 => Frame::SnapshotChunk {
+                    id: a,
+                    offset: b,
+                    total: b.wrapping_mul(31),
+                    digest: a ^ b,
+                    bytes: payload.clone(),
+                },
                 _ => Frame::Response(ClientResponse {
                     id: a,
                     body: match b % 3 {

@@ -37,11 +37,14 @@ pub enum Stage {
     /// Gateway ingress until the acknowledgement is queued (the whole
     /// request path).
     EndToEnd,
+    /// Cold catch-up: snapshot fetch begun until the restored replica is
+    /// serving (off the request path — samples only on bootstrap).
+    CatchUp,
 }
 
 impl Stage {
     /// Every stage, in path order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Gateway,
         Stage::Batch,
         Stage::Broadcast,
@@ -52,6 +55,7 @@ impl Stage {
         Stage::Apply,
         Stage::Ack,
         Stage::EndToEnd,
+        Stage::CatchUp,
     ];
 
     /// The stage's histogram name in the registry.
@@ -67,6 +71,7 @@ impl Stage {
             Stage::Apply => "stage_apply_us",
             Stage::Ack => "stage_ack_us",
             Stage::EndToEnd => "stage_e2e_us",
+            Stage::CatchUp => "stage_catchup_us",
         }
     }
 
@@ -83,6 +88,7 @@ impl Stage {
             Stage::Apply => "apply",
             Stage::Ack => "ack",
             Stage::EndToEnd => "e2e",
+            Stage::CatchUp => "catch-up",
         }
     }
 }
